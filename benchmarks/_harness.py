@@ -1,0 +1,98 @@
+"""Shared utilities for the benchmark suite.
+
+Every table and figure of the paper's evaluation (§6) has one bench
+module.  Two scales are supported:
+
+* **default** — the paper's classes (B/C) with the SSOR iteration count
+  *capped* and linearly extrapolated to the full ``itmax``.  LU iterations
+  are stationary (same volumes, same communication pattern every
+  iteration), so ``T(itmax) ~= T(k1) + (itmax - k1) * (T(k2) - T(k1)) /
+  (k2 - k1)`` is accurate once the wavefront pipeline is filled; trace
+  *sizes* never need capping (the analytic profiler is exact).
+* **paper** (``REPRO_PAPER_SCALE=1``) — full iteration counts.  Hours of
+  wall-clock; numbers then come from full simulations.
+
+Bench output goes to stdout and ``benchmarks/results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apps import LuWorkload, lu_class
+from repro.apps.classes import LuClass
+from repro.core.acquisition import AcquisitionMode, build_deployment
+from repro.simkernel import Platform
+from repro.smpi import MpiRuntime
+from repro.tracer import Tracer, VirtualCounterBank
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "") == "1"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Iteration counts used for the capped runs (fit points k1 < k2).
+EXEC_CAPS: Tuple[int, int] = (1, 3)
+
+
+def results_path(name: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR / name
+
+
+def emit_table(name: str, lines: Sequence[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    results_path(name).write_text(text)
+
+
+def capped(config: LuClass, itmax: int) -> LuClass:
+    """A class variant with fewer iterations (inorm pinned to the end so
+    the capped run keeps exactly one in-loop norm, like the full run)."""
+    return replace(config, itmax=itmax, inorm=itmax)
+
+
+def lu_execution_time(
+    platform: Platform,
+    cls_name: str,
+    n_ranks: int,
+    mode: AcquisitionMode = AcquisitionMode(),
+    instrumented: bool = False,
+    papi_jitter: float = 0.0,
+) -> float:
+    """Simulated execution time of the LU instance under ``mode``.
+
+    At paper scale this is one full simulation.  Otherwise two capped runs
+    are extrapolated to the class's full ``itmax``.
+    """
+    config = lu_class(cls_name)
+    deployment = build_deployment(platform, n_ranks, mode)
+
+    def run(cfg: LuClass) -> float:
+        tracer = Tracer(None) if instrumented else None
+        runtime = MpiRuntime(
+            platform, deployment, hooks=tracer,
+            papi=VirtualCounterBank(n_ranks, jitter=papi_jitter),
+        )
+        return runtime.run(LuWorkload(cfg, n_ranks).program).time
+
+    if PAPER_SCALE:
+        return run(config)
+    k1, k2 = EXEC_CAPS
+    t1 = run(capped(config, k1))
+    t2 = run(capped(config, k2))
+    per_iter = (t2 - t1) / (k2 - k1)
+    return t1 + (config.itmax - k1) * per_iter
+
+
+def fmt_seconds(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:,.2f}"
+
+
+def scale_note() -> str:
+    if PAPER_SCALE:
+        return "scale: paper (full iteration counts)"
+    return (f"scale: default (iterations capped at {EXEC_CAPS[1]} and "
+            f"extrapolated; set REPRO_PAPER_SCALE=1 for full runs)")

@@ -1,0 +1,74 @@
+"""Ablation — collective decomposition: binomial trees vs flat trees.
+
+§2 notes that many simulators use monolithic performance models for
+collectives instead of simulating them as sets of point-to-point
+messages.  Our replayer decomposes collectives over binomial trees (and
+offers flat trees as the degenerate alternative).  This bench compares
+the two on broadcast/allreduce-heavy traces: the flat tree's root-link
+serialisation makes it increasingly pessimistic as ranks grow — the gap
+a monolithic model would have to paper over.
+"""
+
+import pytest
+
+from _harness import emit_table
+from repro.core.actions import AllReduce, Bcast, CommSize
+from repro.core.replay import TraceReplayer
+from repro.core.trace import InMemoryTrace
+from repro.simkernel import Platform
+from repro.simkernel.pwl import IDENTITY_MODEL
+from repro.smpi import round_robin_deployment
+
+RANKS = [4, 8, 16, 32, 64]
+VOLUME = 1 << 20  # 1 MiB payloads
+ROUNDS = 4
+
+
+def make_trace(n_ranks: int) -> InMemoryTrace:
+    trace = InMemoryTrace()
+    for rank in range(n_ranks):
+        trace.emit(CommSize(rank, n_ranks))
+        for _ in range(ROUNDS):
+            trace.emit(Bcast(rank, VOLUME))
+            trace.emit(AllReduce(rank, VOLUME, 0.0))
+    return trace
+
+
+def replay(n_ranks: int, algorithm: str) -> float:
+    platform = Platform("c")
+    platform.add_cluster(
+        "c", n_ranks, speed=1e9, link_bw=1.25e8, link_lat=1.667e-5,
+        backbone_bw=1.25e10, backbone_lat=1.667e-5,
+    )
+    replayer = TraceReplayer(
+        platform, round_robin_deployment(platform, n_ranks),
+        comm_model=IDENTITY_MODEL, collective_algorithm=algorithm,
+    )
+    return replayer.replay(make_trace(n_ranks)).simulated_time
+
+
+def run_ablation():
+    lines = [
+        "Ablation - binomial vs flat collective decomposition",
+        f"({ROUNDS} rounds of 1 MiB bcast + allReduce per trace)",
+        "",
+        f"{'ranks':>6} {'binomial':>10} {'flat':>10} {'flat/binomial':>14}",
+    ]
+    gaps = {}
+    for n in RANKS:
+        t_binomial = replay(n, "binomial")
+        t_flat = replay(n, "flat")
+        gaps[n] = t_flat / t_binomial
+        lines.append(f"{n:>6} {t_binomial:>9.3f}s {t_flat:>9.3f}s "
+                     f"{gaps[n]:>13.2f}x")
+    emit_table("ablation_collectives.txt", lines)
+    return gaps
+
+
+@pytest.mark.benchmark(group="ablation-collectives")
+def test_ablation_collectives(benchmark):
+    gaps = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    # The flat tree degrades relative to the binomial tree as ranks grow:
+    # O(P) serialised root transfers vs O(log P) rounds.
+    assert gaps[64] > gaps[8] > 1.0
+    assert gaps[64] > 3.0

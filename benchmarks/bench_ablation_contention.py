@@ -1,0 +1,68 @@
+"""Ablation — flow-level network contention (§2, §5).
+
+Most off-line simulators ignore contention because it is costly to
+simulate; SimGrid's kernel prices it with the flow-level max-min model.
+This bench shows what ignoring contention would cost: a bisection
+exchange (every rank pairs with one across the bisection) saturates the
+cluster backbone, and a contention-free model underestimates its time by
+a factor that grows with the rank count.
+
+"Contention-free" is simulated with an oversized backbone (every flow
+gets its full private-link rate), keeping everything else identical.
+"""
+
+import pytest
+
+from _harness import emit_table
+from repro.apps.bisection import bisection_program
+from repro.simkernel import Platform
+from repro.simkernel.pwl import IDENTITY_MODEL
+from repro.smpi import MpiRuntime, round_robin_deployment
+
+MESSAGE = 4 << 20  # 4 MiB per pair: far beyond the latency regime
+RANKS = [4, 8, 16, 32, 64]
+BACKBONE = 1.25e9  # 10 GbE, as bordereau
+
+
+def run_exchange(n_ranks: int, backbone_bw: float) -> float:
+    platform = Platform("c")
+    platform.add_cluster(
+        "c", n_ranks, speed=1e9, link_bw=1.25e8, link_lat=1.667e-5,
+        backbone_bw=backbone_bw, backbone_lat=1.667e-5,
+    )
+    runtime = MpiRuntime(platform, round_robin_deployment(platform, n_ranks),
+                         comm_model=IDENTITY_MODEL)
+    return runtime.run(
+        lambda mpi: bisection_program(mpi, MESSAGE)
+    ).time
+
+
+def run_ablation():
+    lines = [
+        "Ablation - flow contention vs contention-free network model",
+        f"(bisection exchange, {MESSAGE >> 20} MiB per pair, "
+        "GigE node links, 10 GbE backbone)",
+        "",
+        f"{'ranks':>6} {'contended':>11} {'no contention':>14} "
+        f"{'underestimate':>14}",
+    ]
+    factors = {}
+    for n in RANKS:
+        contended = run_exchange(n, BACKBONE)
+        free = run_exchange(n, BACKBONE * 1e6)
+        factors[n] = contended / free
+        lines.append(f"{n:>6} {contended:>10.3f}s {free:>13.3f}s "
+                     f"{factors[n]:>13.2f}x")
+    emit_table("ablation_contention.txt", lines)
+    return factors
+
+
+@pytest.mark.benchmark(group="ablation-contention")
+def test_ablation_contention(benchmark):
+    factors = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    # Below saturation (<= 10 concurrent GigE flows on 10 GbE) the models
+    # agree; beyond it the contention factor grows with the rank count.
+    assert factors[4] == pytest.approx(1.0, rel=0.05)
+    assert factors[8] == pytest.approx(1.0, rel=0.05)
+    assert factors[32] > 1.5
+    assert factors[64] > factors[32]

@@ -1,0 +1,70 @@
+"""Ablation — folding-factor sweep beyond Table 2.
+
+Table 2 samples folding factors 2-32 at 64 processes.  This bench sweeps
+the factor on a fixed instance and separates the two effects the kernel
+models: fair CPU sharing (the ~x slowdown) and the co-residence penalty
+(the extra few percent that makes the paper's ratios slightly
+super-linear).  It also confirms the dependency-limited regime: folding a
+communication-bound instance costs *less* than the factor, because folded
+ranks often wait instead of competing for the CPU.
+"""
+
+import pytest
+
+from _harness import emit_table, lu_execution_time
+from repro.core.acquisition import AcquisitionMode
+from repro.platforms import bordereau, default_sharing_model
+
+CLS = "A"
+N_RANKS = 16
+FACTORS = [1, 2, 4, 8, 16]
+
+
+def run_sweep(with_sharing_penalty: bool):
+    platform = bordereau(N_RANKS)
+    if not with_sharing_penalty:
+        for host in platform.host_list():
+            host.sharing_model = None
+    times = {}
+    for factor in FACTORS:
+        mode = AcquisitionMode(folding=factor)
+        times[factor] = lu_execution_time(platform, CLS, N_RANKS, mode=mode,
+                                          instrumented=True)
+    return times
+
+
+def run_ablation():
+    with_penalty = run_sweep(True)
+    without = run_sweep(False)
+    lines = [
+        "Ablation - folding factor sweep "
+        f"(LU class {CLS}, {N_RANKS} processes)",
+        f"(co-residence penalty: "
+        f"{100 * (1 - default_sharing_model(2)):.0f}% once a host is shared)",
+        "",
+        f"{'factor':>7} {'with penalty':>13} {'ratio':>7} "
+        f"{'no penalty':>11} {'ratio':>7}",
+    ]
+    for factor in FACTORS:
+        lines.append(
+            f"{factor:>7} {with_penalty[factor]:>12.1f}s "
+            f"{with_penalty[factor] / with_penalty[1]:>7.2f} "
+            f"{without[factor]:>10.1f}s "
+            f"{without[factor] / without[1]:>7.2f}"
+        )
+    emit_table("ablation_folding.txt", lines)
+    return with_penalty, without
+
+
+@pytest.mark.benchmark(group="ablation-folding")
+def test_ablation_folding(benchmark):
+    with_penalty, without = benchmark.pedantic(run_ablation, rounds=1,
+                                               iterations=1)
+    for factor in FACTORS[1:]:
+        ratio_p = with_penalty[factor] / with_penalty[1]
+        ratio_n = without[factor] / without[1]
+        # Sharing penalty makes folding strictly more expensive...
+        assert ratio_p > ratio_n
+        # ...and ratios grow with the factor, staying near-linear.
+        assert 0.5 * factor < ratio_p < 1.6 * factor
+    assert with_penalty[16] / with_penalty[1] > with_penalty[4] / with_penalty[1]

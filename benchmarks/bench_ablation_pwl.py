@@ -1,0 +1,85 @@
+"""Ablation — the piece-wise-linear MPI model (§5).
+
+The paper's kernel replaces the affine latency+bandwidth communication
+model with a 3-segment piece-wise-linear specialisation for MPI over TCP
+clusters.  This bench quantifies what the specialisation buys: replay a
+ping-pong sweep acquired on the ground-truth platform under
+
+* the identity (plain affine) model,
+* the built-in 3-segment MPI model (the ground truth's own), and
+* a model *fitted* by the §5 calibration procedure,
+
+and compare per-size predictions against the ground-truth timings.
+"""
+
+import pytest
+
+from _harness import emit_table
+from repro.apps.bisection import pingpong_program
+from repro.core.calibration import calibrate_network
+from repro.platforms import bordereau
+from repro.simkernel.pwl import DEFAULT_MPI_MODEL, IDENTITY_MODEL
+from repro.smpi import MpiRuntime, round_robin_deployment
+
+SIZES = [64, 512, 1024, 8192, 65536, 262144, 1 << 20, 1 << 22]
+
+
+def ground_truth_times():
+    platform = bordereau(4)
+    results = {}
+    runtime = MpiRuntime(platform, round_robin_deployment(platform, 2))
+    runtime.run(lambda mpi: pingpong_program(mpi, SIZES, 3, results))
+    return results
+
+
+def model_times(model):
+    platform = bordereau(4, ground_truth=False)
+    results = {}
+    runtime = MpiRuntime(platform, round_robin_deployment(platform, 2),
+                         comm_model=model)
+    runtime.run(lambda mpi: pingpong_program(mpi, SIZES, 3, results))
+    return results
+
+
+def run_ablation():
+    truth = ground_truth_times()
+    fitted = calibrate_network(
+        bordereau(4), round_robin_deployment(bordereau(4), 2),
+        repetitions=3,
+    ).model
+    candidates = {
+        "affine (identity)": model_times(IDENTITY_MODEL),
+        "3-segment (built-in)": model_times(DEFAULT_MPI_MODEL),
+        "3-segment (fitted)": model_times(fitted),
+    }
+    lines = [
+        "Ablation - affine vs piece-wise-linear MPI communication model",
+        "(mean |relative error| of round-trip predictions vs ground truth)",
+        "",
+        f"{'size (B)':>10} | " + " | ".join(f"{n:>20}" for n in candidates),
+    ]
+    errors = {name: [] for name in candidates}
+    for size in SIZES:
+        row = [f"{size:>10}"]
+        for name, values in candidates.items():
+            err = abs(values[size] - truth[size]) / truth[size]
+            errors[name].append(err)
+            row.append(f"{100 * err:>19.1f}%")
+        lines.append(" | ".join(row))
+    lines.append("")
+    means = {}
+    for name, errs in errors.items():
+        means[name] = sum(errs) / len(errs)
+        lines.append(f"mean |error| {name:>22}: {100 * means[name]:6.2f}%")
+    emit_table("ablation_pwl.txt", lines)
+    return means
+
+
+@pytest.mark.benchmark(group="ablation-pwl")
+def test_ablation_pwl(benchmark):
+    means = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    # The piece-wise-linear models must beat the affine one clearly, and
+    # the fitted model must be at least as good as guessing identity.
+    assert means["3-segment (built-in)"] < means["affine (identity)"]
+    assert means["3-segment (fitted)"] < means["affine (identity)"]
+    assert means["3-segment (fitted)"] < 0.10

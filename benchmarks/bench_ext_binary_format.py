@@ -1,0 +1,74 @@
+"""Extension — binary time-independent trace format (§7 future work).
+
+"We also aim at exploring techniques to reduce the size of the traces,
+e.g., using a binary format."  This bench prices that idea on real LU
+traces: per instance, the text format, the binary format, and both after
+gzip, with the resulting reduction factors, plus a projection of the §6.5
+class-D/1024 trace in every representation.
+"""
+
+import gzip
+
+import pytest
+
+from _harness import emit_table
+from repro.apps.lu_profile import lu_instance_profile, sample_rank_lines
+from repro.core.actions import parse_action
+from repro.core.binfmt import encode_actions
+from repro.core.trace import estimate_gzip_ratio
+
+INSTANCES = [("S", 8), ("W", 8), ("A", 8)]
+
+
+def measure_instance(cls: str, procs: int):
+    """Per-rank representative byte costs, from a really-generated
+    (jittered) truncated trace of a middle rank."""
+    lines = sample_rank_lines(cls, procs, rank=procs // 2, max_iters=2)
+    actions = [parse_action(line) for line in lines]
+    text = ("\n".join(lines) + "\n").encode("ascii")
+    binary = encode_actions(actions)
+    text_gz = gzip.compress(text, compresslevel=6)
+    binary_gz = gzip.compress(binary, compresslevel=6)
+    return len(text), len(binary), len(text_gz), len(binary_gz)
+
+
+def run_bench():
+    lines = [
+        "Extension - binary TI trace format vs text (per-rank samples)",
+        "",
+        f"{'inst.':>6} {'text':>10} {'binary':>10} {'text.gz':>10} "
+        f"{'bin.gz':>10} {'bin/text':>9} {'bin.gz/text':>12}",
+    ]
+    ratios = {}
+    for cls, procs in INSTANCES:
+        text, binary, text_gz, binary_gz = measure_instance(cls, procs)
+        ratios[(cls, procs)] = (binary / text, binary_gz / text)
+        lines.append(
+            f"{cls + '/' + str(procs):>6} {text:>10,} {binary:>10,} "
+            f"{text_gz:>10,} {binary_gz:>10,} "
+            f"{binary / text:>8.2f}x {binary_gz / text:>11.3f}x"
+        )
+    # Project the paper's class-D/1024 instance.
+    profile = lu_instance_profile("D", 1024)
+    bin_ratio = sum(r[0] for r in ratios.values()) / len(ratios)
+    bin_gz_ratio = sum(r[1] for r in ratios.values()) / len(ratios)
+    ti_gib = profile.ti_bytes / 2 ** 30
+    lines += [
+        "",
+        f"projection for D/1024 (text {ti_gib:.1f} GiB, paper 32.5):",
+        f"  binary:        {ti_gib * bin_ratio:8.2f} GiB",
+        f"  binary + gzip: {ti_gib * bin_gz_ratio:8.2f} GiB "
+        "(paper's gzip-of-text: 1.2 GiB)",
+    ]
+    emit_table("ext_binary_format.txt", lines)
+    return ratios
+
+
+@pytest.mark.benchmark(group="ext-binary")
+def test_ext_binary_format(benchmark):
+    ratios = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    for (cls, procs), (bin_ratio, bin_gz_ratio) in ratios.items():
+        # Binary beats text by >2.5x raw; gzipped binary beats raw text
+        # by an order of magnitude.
+        assert bin_ratio < 0.4
+        assert bin_gz_ratio < 0.12

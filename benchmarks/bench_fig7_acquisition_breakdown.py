@@ -1,0 +1,111 @@
+"""Fig. 7 — distribution of the acquisition time over its four steps
+(application, tracing overhead, extraction, gathering) for LU classes B
+and C on 8-64 processes, Regular mode on bordereau.
+
+Paper observations to reproduce:
+* application time shrinks with the process count (parallelism),
+* gathering grows with the process count (deeper 4-nomial tree) but stays
+  the smallest component,
+* the TI-specific steps (extraction + gathering) stay <= ~35 % of the
+  total acquisition time, with the worst share at class B / 64 processes
+  (the paper's 34.91 % cell).
+
+Application and tracing-overhead come from (capped, extrapolated)
+simulations; extraction time is modelled as per-record cost x records on
+the slowest node, with the per-record cost *measured* by running the real
+extractor on a real class-S archive; gathering is the simulated 4-nomial
+tree over the real per-node trace sizes.
+"""
+
+import tempfile
+
+import pytest
+
+from _harness import emit_table, lu_execution_time, scale_note
+from repro.apps import LuWorkload
+from repro.apps.lu_profile import lu_instance_profile, lu_rank_profile
+from repro.core.acquisition import acquire
+from repro.core.gather import simulate_gather
+from repro.platforms import bordereau
+
+CLASSES = ["B", "C"]
+PROCS = [8, 16, 32, 64]
+
+
+def measure_extraction_cost_per_record() -> float:
+    """Seconds per TAU record of the real extractor (class S archive)."""
+    with tempfile.TemporaryDirectory() as workdir:
+        result = acquire(LuWorkload("S", 4).program, bordereau(8), 4,
+                         workdir=workdir, measure_application=False)
+        return (result.extraction.wall_seconds
+                / result.tau_archive.n_records)
+
+
+def run_fig7():
+    platform = bordereau()
+    per_record = measure_extraction_cost_per_record()
+    lines = [
+        "Fig. 7 - acquisition time breakdown, Regular mode on bordereau",
+        scale_note(),
+        f"(extractor cost measured on a real class-S archive: "
+        f"{per_record * 1e6:.2f} us/record)",
+        "",
+        f"{'inst.':>6} {'application':>12} {'tracing':>9} "
+        f"{'extraction':>11} {'gathering':>10} {'total':>9} "
+        f"{'extr+gath %':>11}",
+    ]
+    breakdown = {}
+    for cls in CLASSES:
+        for procs in PROCS:
+            app = lu_execution_time(platform, cls, procs)
+            instrumented = lu_execution_time(platform, cls, procs,
+                                             instrumented=True)
+            tracing = max(0.0, instrumented - app)
+            profile = lu_instance_profile(cls, procs)
+            # tau2simgrid runs in parallel, one extractor per node: the
+            # wall time is the slowest (= busiest) node's records x cost.
+            max_records = max(
+                lu_rank_profile(cls, procs, rank).tau_records
+                for rank in (0, procs // 2)  # corner vs interior rank
+            )
+            extraction = max_records * per_record
+            hosts = platform.host_list()[:procs]
+            per_rank_bytes = profile.ti_bytes / procs
+            gather = simulate_gather(platform, hosts,
+                                     [per_rank_bytes] * procs, arity=4).time
+            total = app + tracing + extraction + gather
+            share = 100 * (extraction + gather) / total
+            breakdown[(cls, procs)] = (app, tracing, extraction, gather)
+            lines.append(
+                f"{cls + '/' + str(procs):>6} {app:>11.1f}s {tracing:>8.1f}s "
+                f"{extraction:>10.1f}s {gather:>9.2f}s {total:>8.1f}s "
+                f"{share:>10.1f}%"
+            )
+    emit_table("fig7_acquisition_breakdown.txt", lines)
+    return breakdown
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_acquisition_breakdown(benchmark):
+    breakdown = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    for cls in CLASSES:
+        app8, _, extr8, gath8 = breakdown[(cls, 8)]
+        app64, _, extr64, gath64 = breakdown[(cls, 64)]
+        # Application time shrinks with parallelism...
+        assert app64 < app8
+        # ...gathering grows with the tree depth...
+        assert gath64 > gath8
+        # ...and stays the smallest component (paper: least consuming).
+        assert gath64 < app64
+        assert gath64 < extr64
+        # The TI-specific steps stay an affordable share of the total —
+        # the paper's bound is 34.91%, worst at class B on 64 processes.
+        for procs in PROCS:
+            app, tracing, extr, gath = breakdown[(cls, procs)]
+            share = (extr + gath) / (app + tracing + extr + gath)
+            assert share < 0.35
+    shares = {
+        (cls, procs): (b[2] + b[3]) / sum(b)
+        for (cls, procs), b in breakdown.items()
+    }
+    assert max(shares, key=shares.get) == ("B", 64)

@@ -1,0 +1,109 @@
+"""Fig. 9 — time needed to replay a time-independent trace as the number
+of processes grows (LU classes B and C).
+
+Paper observations to reproduce:
+* replay time is directly proportional to the number of actions in the
+  trace (it grows with both class and process count),
+* most of the cost is per-action bookkeeping (the paper blames context
+  switches between simulated processes; here, generator scheduling).
+
+The per-action replay rate is *measured* on really-replayed capped
+traces; full-class replay times are that rate times Table 3's exact
+action counts.  ``REPRO_PAPER_SCALE=1`` replays the full traces instead.
+"""
+
+import tempfile
+
+import pytest
+
+from _harness import PAPER_SCALE, capped, emit_table, scale_note
+from repro.apps import LuWorkload, lu_class
+from repro.apps.lu_profile import lu_instance_profile
+from repro.core.acquisition import acquire
+from repro.core.replay import TraceReplayer
+from repro.platforms import bordereau
+from repro.smpi import round_robin_deployment
+
+CLASSES = ["B", "C"]
+PROCS = [8, 16, 32, 64]
+CAP_ITERS = 2
+
+
+def replay_rate(cls: str, procs: int):
+    """(actions/s, measured actions) on a capped, really-replayed trace."""
+    itmax = lu_class(cls).itmax if PAPER_SCALE else CAP_ITERS
+    config = capped(lu_class(cls), itmax)
+    ground_truth = bordereau()
+    with tempfile.TemporaryDirectory() as workdir:
+        acq = acquire(LuWorkload(config, procs).program, ground_truth,
+                      procs, workdir=workdir, measure_application=False)
+        calibrated = bordereau(ground_truth=False, speed=4e8)
+        replayer = TraceReplayer(
+            calibrated, round_robin_deployment(calibrated, procs)
+        )
+        result = replayer.replay(acq.trace_dir)
+    return result.n_actions / result.wall_seconds, result
+
+
+def run_fig9():
+    lines = [
+        "Fig. 9 - trace replay time vs process count",
+        scale_note(),
+        "",
+        f"{'inst.':>6} {'actions(M)':>11} {'measured rate':>15} "
+        f"{'replay time':>12}",
+    ]
+    series = {}
+    for cls in CLASSES:
+        for procs in PROCS:
+            rate, measured = replay_rate(cls, procs)
+            profile = lu_instance_profile(cls, procs)
+            if PAPER_SCALE:
+                replay_time = measured.wall_seconds
+            else:
+                replay_time = profile.ti_actions / rate
+            series[(cls, procs)] = (profile.ti_actions, replay_time)
+            lines.append(
+                f"{cls + '/' + str(procs):>6} "
+                f"{profile.ti_actions / 1e6:>10.2f} "
+                f"{rate:>11,.0f} a/s {replay_time:>11.1f}s"
+            )
+    emit_table("fig9_replay_time.txt", lines)
+    return series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_replay_time(benchmark):
+    series = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    for cls in CLASSES:
+        times = [series[(cls, p)][1] for p in PROCS]
+        actions = [series[(cls, p)][0] for p in PROCS]
+        # Replay time grows with the action count (paper's direct link).
+        assert times == sorted(times)
+        assert actions == sorted(actions)
+    for p in PROCS:
+        assert series[("C", p)][1] > series[("B", p)][1]
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_replay_throughput_kernel(benchmark):
+    """A classical pytest-benchmark measurement: repeated replays of one
+    fixed capped trace (LU B/8, 2 iterations) to track the replayer's
+    per-action cost over time."""
+    config = capped(lu_class("B"), CAP_ITERS)
+    ground_truth = bordereau()
+    with tempfile.TemporaryDirectory() as workdir:
+        acq = acquire(LuWorkload(config, 8).program, ground_truth, 8,
+                      workdir=workdir, measure_application=False)
+        from repro.core.trace import read_trace_dir
+        trace = read_trace_dir(acq.trace_dir)
+
+    def replay_once():
+        calibrated = bordereau(8, ground_truth=False, speed=4e8)
+        replayer = TraceReplayer(
+            calibrated, round_robin_deployment(calibrated, 8)
+        )
+        return replayer.replay(trace).n_actions
+
+    n_actions = benchmark(replay_once)
+    assert n_actions == trace.n_actions()

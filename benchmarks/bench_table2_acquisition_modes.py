@@ -1,0 +1,102 @@
+"""Table 2 — execution time of the instrumented LU benchmark (64 procs)
+under every acquisition mode, plus §6.2's trace-invariance property.
+
+Paper (bordereau + gdx, one core per node):
+
+  mode            R     F-2    F-4    F-8   F-16   F-32    S-2  SF-(2,2) ...
+  B exec (s)   20.73  52.96  88.66 179.07 347.27 689.18  37.54   79.19
+  B ratio       1     2.55   4.28   8.64  16.75  33.25   1.81    3.82
+  C exec (s)   57.77 143.45 272.45 511.75 1011.59 1970.05 85.71  211.95
+
+Regenerates: the full mode x class grid of execution times and ratios.
+"""
+
+import pytest
+
+from _harness import (
+    PAPER_SCALE, emit_table, lu_execution_time, scale_note,
+)
+from repro.apps import LuWorkload
+from repro.core.acquisition import AcquisitionMode, acquire
+from repro.core.trace import read_trace_dir
+from repro.platforms import grid5000
+
+N_RANKS = 64
+CLASSES = ["B", "C"]
+MODES = ["R", "F-2", "F-4", "F-8", "F-16", "F-32",
+         "S-2", "SF-(2,2)", "SF-(2,4)", "SF-(2,8)", "SF-(2,16)"]
+
+PAPER_RATIOS = {  # class B row of Table 2
+    "R": 1.0, "F-2": 2.55, "F-4": 4.28, "F-8": 8.64, "F-16": 16.75,
+    "F-32": 33.25, "S-2": 1.81, "SF-(2,2)": 3.82, "SF-(2,4)": 6.47,
+    "SF-(2,8)": 13.37, "SF-(2,16)": 24.39,
+}
+
+
+def run_table2():
+    platform = grid5000()  # ground truth, 1 core/node as in the paper
+    lines = [
+        "Table 2 - instrumented LU execution time by acquisition mode "
+        f"({N_RANKS} processes)",
+        scale_note(),
+        "",
+        f"{'mode':>10} | " + " | ".join(f"{c+' time':>10} {c+' ratio':>8}"
+                                        for c in CLASSES)
+        + f" | {'paper B ratio':>13}",
+    ]
+    ratios = {}
+    for mode_label in MODES:
+        mode = AcquisitionMode.parse(mode_label)
+        cells = []
+        for cls in CLASSES:
+            t = lu_execution_time(platform, cls, N_RANKS, mode=mode,
+                                  instrumented=True)
+            ratios.setdefault(cls, {})[mode_label] = t
+            base = ratios[cls]["R"]
+            cells.append(f"{t:>9.2f}s {t / base:>8.2f}")
+        lines.append(
+            f"{mode_label:>10} | " + " | ".join(cells)
+            + f" | {PAPER_RATIOS[mode_label]:>13.2f}"
+        )
+    emit_table("table2_acquisition_modes.txt", lines)
+    return ratios
+
+
+def run_invariance():
+    """§6.2 last paragraph: the time-independent trace (hence the replayed
+    time) does not depend on the acquisition scenario."""
+    import tempfile
+    platform = grid5000(16, 16)
+    workload = LuWorkload("S", 8)
+    reference = None
+    lines = ["Trace invariance across acquisition modes (LU S, 8 procs):"]
+    for label in ("R", "F-4", "S-2", "SF-(2,4)"):
+        with tempfile.TemporaryDirectory() as workdir:
+            result = acquire(workload.program, platform, 8,
+                             mode=AcquisitionMode.parse(label),
+                             workdir=workdir, measure_application=False)
+            trace = read_trace_dir(result.trace_dir)
+        if reference is None:
+            reference = trace
+        identical = trace.by_rank == reference.by_rank
+        lines.append(f"  mode {label:>9}: exec {result.execution_time:8.2f}s"
+                     f"  trace identical to R: {identical}")
+        assert identical
+    emit_table("table2_invariance.txt", lines)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_acquisition_modes(benchmark):
+    ratios = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    for cls in CLASSES:
+        base = ratios[cls]["R"]
+        # Folding ratios grow roughly linearly with the folding factor.
+        assert 1.5 < ratios[cls]["F-2"] / base < 3.5
+        assert 20 < ratios[cls]["F-32"] / base < 45
+        # Scattering costs less than folding by 2.
+        assert ratios[cls]["S-2"] < ratios[cls]["F-2"]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_trace_invariance(benchmark):
+    benchmark.pedantic(run_invariance, rounds=1, iterations=1)

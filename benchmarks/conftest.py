@@ -1,0 +1,25 @@
+"""Shared pytest configuration for the benchmark suite.
+
+Every module here regenerates one table or figure of the paper's
+evaluation (§6); see `_harness.py` for the scale protocol and
+`make_experiments_md.py` to rebuild EXPERIMENTS.md from the results.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_report_header(config):
+    scale = ("paper (full iteration counts)"
+             if os.environ.get("REPRO_PAPER_SCALE", "") == "1"
+             else "default (capped + extrapolated; REPRO_PAPER_SCALE=1 "
+                  "for full runs)")
+    return [f"repro benchmark scale: {scale}",
+            "results are written to benchmarks/results/*.txt"]
+
+
+@pytest.fixture(autouse=True)
+def _print_separator(request):
+    """Blank line between bench outputs so tables stay readable with -s."""
+    yield

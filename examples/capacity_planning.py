@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""What-if capacity planning — the paper's motivating use case (§1).
+
+A computing centre wants to know how a production stencil code would
+behave on candidate cluster upgrades *before buying them*.  Because the
+trace is time-independent, one acquisition answers every question: we
+replay the same trace on platforms with faster CPUs, fatter links, and
+more of both, by only swapping the platform description (Fig. 4's
+decoupling of simulator and scenario).
+
+Run:  python examples/capacity_planning.py
+"""
+
+import tempfile
+
+from repro.apps import StencilConfig, stencil_program
+from repro.core.acquisition import acquire
+from repro.core.calibration import calibrate_flop_rate
+from repro.core.replay import TraceReplayer
+from repro.platforms import bordereau
+from repro.simkernel import Platform
+from repro.smpi import round_robin_deployment
+
+N_RANKS = 8
+CONFIG = StencilConfig(nx=512, ny=512, iterations=150, norm_period=10)
+
+
+def candidate(name: str, speed: float, link_bw: float) -> Platform:
+    platform = Platform(name)
+    platform.add_cluster(
+        name, N_RANKS, speed=speed, link_bw=link_bw, link_lat=1.2e-5,
+        backbone_bw=10 * link_bw, backbone_lat=1.2e-5,
+    )
+    return platform
+
+
+def main() -> None:
+    program = lambda mpi: stencil_program(mpi, CONFIG)
+
+    # One acquisition on today's hardware...
+    current = bordereau(N_RANKS)
+    with tempfile.TemporaryDirectory(prefix="repro-whatif-") as workdir:
+        result = acquire(program, current, N_RANKS, workdir=workdir)
+        calib = calibrate_flop_rate(
+            current, round_robin_deployment(current, N_RANKS), program,
+            runs=3,
+        )
+        print(f"measured on current cluster : "
+              f"{result.application_time:.3f} s "
+              f"(calibrated rate {calib.rate:.3g} flop/s)\n")
+
+        # ... and as many replays as there are candidate upgrades.
+        candidates = {
+            "baseline (calibrated model)": candidate(
+                "base", calib.rate, 1.25e8),
+            "2x faster CPUs": candidate("cpu2x", 2 * calib.rate, 1.25e8),
+            "10 GbE network": candidate("net10g", calib.rate, 1.25e9),
+            "both upgrades": candidate("both", 2 * calib.rate, 1.25e9),
+        }
+        print(f"{'candidate platform':>30} {'simulated time':>15} "
+              f"{'speedup':>8}")
+        base_time = None
+        for name, platform in candidates.items():
+            replayer = TraceReplayer(
+                platform, round_robin_deployment(platform, N_RANKS)
+            )
+            simulated = replayer.replay(result.trace_dir).simulated_time
+            if base_time is None:
+                base_time = simulated
+            print(f"{name:>30} {simulated:>14.3f}s "
+                  f"{base_time / simulated:>7.2f}x")
+    print("\nOne trace, four dimensioning answers — no hardware bought.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — Time-independent trace replay for off-line MPI simulation.
+
+Reproduction of "Assessing the Performance of MPI Applications Through
+Time-Independent Trace Replay" (Desprez, Markomanolis, Quinson, Suter —
+PSTI/ICPP 2011, INRIA RR-7489).
+
+Public entry points:
+
+* :mod:`repro.core` — the time-independent trace format (Table 1), the
+  trace replayer, the acquisition pipeline, and calibration.
+* :mod:`repro.simkernel` — the SimGrid-like simulation kernel.
+* :mod:`repro.smpi` — the simulated-MPI runtime used to execute
+  applications and acquire traces.
+* :mod:`repro.tracer` — the TAU-like tracing substrate.
+* :mod:`repro.extract` — the tau2simgrid extractor (timed → TI traces).
+* :mod:`repro.apps` — workloads (NPB LU skeleton, ring, stencil, ...).
+* :mod:`repro.platforms` — Grid'5000-like platform catalog.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Analysis of simulated timed traces: profiles and wait states.
+
+The third output of Fig. 4 ("derive a profile of the application from
+this timed trace"), which the paper defers to TAU/Scalasca-class tools.
+"""
+
+from .paje import export_paje
+from .profile import ApplicationProfile, RankProfile, build_profile
+from .trace_stats import TraceStats, compute_trace_stats
+from .wait_states import WaitStateReport, diagnose_wait_states
+
+__all__ = [
+    "ApplicationProfile", "RankProfile", "WaitStateReport",
+    "TraceStats", "build_profile", "compute_trace_stats",
+    "diagnose_wait_states", "export_paje",
+]

@@ -1,0 +1,140 @@
+"""Scalasca-style wait-state diagnosis on replayed traces.
+
+§2 cites Scalasca's wait-state verification ([15], [22]) as the class of
+analysis a timed trace enables.  This module implements the two classic
+point-to-point wait states on the replayer's output:
+
+* **Late sender** — a receive (or the wait of an Irecv) blocks because the
+  matching send started later: waiting time ``max(0, send_start -
+  recv_start)``.
+* **Late receiver** — a (rendezvous) send blocks because the matching
+  receive was posted later: ``max(0, recv_start - send_start)``.
+
+Matching pairs are reconstructed from the time-independent trace itself:
+MPI's non-overtaking rule makes the k-th ``send`` from A to B match the
+k-th receive of B from A, so no extra bookkeeping is needed in the
+replayer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Sequence, Tuple
+
+from ..core.trace import InMemoryTrace
+
+__all__ = ["WaitStateReport", "diagnose_wait_states"]
+
+
+@dataclass
+class WaitStateReport:
+    """Aggregate wait-state times, per rank and total."""
+
+    late_sender: Dict[int, float] = field(default_factory=dict)
+    late_receiver: Dict[int, float] = field(default_factory=dict)
+    n_pairs: int = 0
+
+    @property
+    def total_late_sender(self) -> float:
+        return sum(self.late_sender.values())
+
+    @property
+    def total_late_receiver(self) -> float:
+        return sum(self.late_receiver.values())
+
+    def report(self) -> str:
+        lines = [
+            f"Wait-state diagnosis over {self.n_pairs} matched "
+            "point-to-point pairs:",
+            f"  late-sender waiting:   {self.total_late_sender:.4f} s",
+            f"  late-receiver waiting: {self.total_late_receiver:.4f} s",
+        ]
+        worst = sorted(self.late_sender.items(), key=lambda kv: -kv[1])[:5]
+        for rank, value in worst:
+            if value > 0:
+                lines.append(f"    p{rank}: {value:.4f} s waiting on late "
+                             "senders")
+        return "\n".join(lines)
+
+
+def _event_streams(
+    trace: InMemoryTrace,
+    timed_trace: Sequence[Tuple[int, str, float, float]],
+):
+    """Pair each rank's TI actions with its timed-trace records."""
+    timed_by_rank: Dict[int, Deque[Tuple[str, float, float]]] = defaultdict(deque)
+    for rank, kind, start, end in timed_trace:
+        timed_by_rank[rank].append((kind, start, end))
+    for rank in trace.ranks():
+        actions = trace.actions_of(rank)
+        timed = timed_by_rank[rank]
+        if len(actions) != len(timed):
+            raise ValueError(
+                f"p{rank}: {len(actions)} trace actions but {len(timed)} "
+                "timed records — replay the same trace with "
+                "record_timed_trace=True"
+            )
+        for action, (kind, start, end) in zip(actions, timed):
+            if action.name != kind:
+                raise ValueError(
+                    f"p{rank}: timed record {kind!r} does not match trace "
+                    f"action {action.name!r}"
+                )
+            yield rank, action, start, end
+
+
+def diagnose_wait_states(
+    trace: InMemoryTrace,
+    timed_trace: Sequence[Tuple[int, str, float, float]],
+) -> WaitStateReport:
+    """Classify point-to-point waiting in a replay.
+
+    ``trace`` is the replayed time-independent trace; ``timed_trace`` the
+    replayer's recorded output for it.
+    """
+    report = WaitStateReport()
+    # Streams of (start, end) per directed pair, in program order.
+    sends: Dict[Tuple[int, int], Deque[Tuple[float, float]]] = defaultdict(deque)
+    recvs: Dict[Tuple[int, int], Deque[Tuple[float, float]]] = defaultdict(deque)
+    # Irecv posting times are the semantically relevant "receive posted"
+    # instants; the later wait is where blocking shows up.  We credit the
+    # Irecv's own start as the posting time and the wait's interval as the
+    # blocking window — the classic Scalasca attribution.
+    pending_irecv: Dict[int, Deque[Tuple[int, float]]] = defaultdict(deque)
+
+    for rank, action, start, end in _event_streams(trace, timed_trace):
+        name = action.name
+        if name in ("send", "Isend"):
+            sends[(rank, action.peer)].append((start, end))
+        elif name == "recv":
+            recvs[(action.peer, rank)].append((start, end))
+        elif name == "Irecv":
+            pending_irecv[rank].append((action.peer, start))
+        elif name == "wait":
+            if not pending_irecv[rank]:
+                raise ValueError(f"p{rank}: wait without pending Irecv")
+            src, _posted = pending_irecv[rank].popleft()
+            # The blocking window of the wait stands in for the receive.
+            recvs[(src, rank)].append((start, end))
+
+    for key in sorted(set(sends) | set(recvs)):
+        send_stream = sends.get(key, deque())
+        recv_stream = recvs.get(key, deque())
+        src, dst = key
+        for (s_start, s_end), (r_start, r_end) in zip(send_stream,
+                                                      recv_stream):
+            report.n_pairs += 1
+            if s_start > r_start:
+                report.late_sender[dst] = (
+                    report.late_sender.get(dst, 0.0)
+                    + min(s_start, r_end) - r_start
+                )
+            elif r_start > s_start and s_end > r_start:
+                # The sender was still blocked when the receive arrived:
+                # rendezvous held up by the receiver.
+                report.late_receiver[src] = (
+                    report.late_receiver.get(src, 0.0)
+                    + min(r_start, s_end) - s_start
+                )
+    return report

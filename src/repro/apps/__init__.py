@@ -1,0 +1,23 @@
+"""Workloads: the NPB LU skeleton and companion MPI applications."""
+
+from .bisection import bisection_program, default_size_sweep, pingpong_program
+from .cg import CG_CLASSES, CgClass, CgWorkload, cg_class, cg_grid, cg_program
+from .classes import LU_CLASSES, LuClass, lu_class
+from .lu import FLOPS_PER_POINT_ITER, LuGrid, LuWorkload, lu_program
+from .mg import MG_CLASSES, MgClass, MgWorkload, mg_class, mg_grid, mg_program
+from .ring import (
+    RING_COMPUTE_FLOPS, RING_ITERATIONS, RING_MESSAGE_BYTES, ring_program,
+)
+from .stencil import StencilConfig, stencil_dims, stencil_program
+
+__all__ = [
+    "CG_CLASSES", "CgClass", "CgWorkload", "cg_class", "cg_grid",
+    "cg_program",
+    "FLOPS_PER_POINT_ITER", "LU_CLASSES", "LuClass", "LuGrid", "LuWorkload",
+    "MG_CLASSES", "MgClass", "MgWorkload", "mg_class", "mg_grid",
+    "mg_program",
+    "RING_COMPUTE_FLOPS", "RING_ITERATIONS", "RING_MESSAGE_BYTES",
+    "StencilConfig", "bisection_program", "default_size_sweep", "lu_class",
+    "lu_program", "pingpong_program", "ring_program", "stencil_dims",
+    "stencil_program",
+]

@@ -1,0 +1,64 @@
+"""Pairwise-exchange microbenchmarks: ping-pong and bisection traffic.
+
+``pingpong_program`` is the SKaMPI ``Pingpong_Send_Recv`` pattern the
+paper's calibration procedure relies on (§5): two ranks bounce messages of
+swept sizes, and rank 0 records the round-trip time per size.
+
+``bisection_program`` pairs rank i with rank i + P/2 and exchanges
+simultaneously, saturating the backbone — the workload that makes network
+*contention* visible, used by the contention ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+__all__ = ["pingpong_program", "bisection_program", "default_size_sweep"]
+
+
+def default_size_sweep() -> List[int]:
+    """Message sizes covering all three segments of the MPI model."""
+    sizes = []
+    size = 1
+    while size <= 1 << 22:  # 1 B .. 4 MiB
+        sizes.append(size)
+        sizes.append(size + size // 2 or size)
+        size <<= 1
+    return sorted(set(sizes))
+
+
+def pingpong_program(mpi, sizes: Sequence[int], repetitions: int,
+                     results: Dict[int, float]) -> Iterator:
+    """SKaMPI-style ping-pong between ranks 0 and 1.
+
+    ``results`` (filled on rank 0) maps message size to the mean *round
+    trip* time in seconds.  Extra ranks idle, so the same program can run
+    on a full cluster deployment.
+    """
+    if mpi.size < 2:
+        raise ValueError("ping-pong needs at least 2 ranks")
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    for size in sizes:
+        if mpi.rank == 0:
+            start = mpi.wtime()
+            for _ in range(repetitions):
+                yield from mpi.send(1, size, tag=5)
+                yield from mpi.recv(src=1, tag=5)
+            results[size] = (mpi.wtime() - start) / repetitions
+        elif mpi.rank == 1:
+            for _ in range(repetitions):
+                yield from mpi.recv(src=0, tag=5)
+                yield from mpi.send(0, size, tag=5)
+
+
+def bisection_program(mpi, nbytes: float, rounds: int = 1) -> Iterator:
+    """All P/2 cross-bisection pairs exchange ``nbytes`` simultaneously."""
+    if mpi.size % 2:
+        raise ValueError("bisection exchange needs an even rank count")
+    half = mpi.size // 2
+    peer = mpi.rank + half if mpi.rank < half else mpi.rank - half
+    for _ in range(rounds):
+        req = mpi.irecv(src=peer, tag=9)
+        yield from mpi.send(peer, nbytes, tag=9)
+        yield from mpi.wait(req)

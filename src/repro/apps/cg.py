@@ -1,0 +1,148 @@
+"""NPB CG benchmark skeleton (communication + computation volumes).
+
+A second NAS benchmark beyond LU, exercising a very different
+communication signature: CG (conjugate gradient) is dominated by
+*collective-like* exchanges — per iteration, two transpose exchanges of
+partial vectors across row/column neighbour sets and two scalar
+allreduces — rather than LU's wavefront point-to-point pipeline.  The
+paper's framework claims generality over regular MPI codes; CG is the
+classic stress test for the reduce-heavy end of that spectrum.
+
+The skeleton follows NPB 3.3 CG's structure: a power-of-two process count
+arranged as ``npcols x nprows`` (npcols = nprows or 2*nprows); each
+conjugate-gradient iteration does
+
+* a local sparse matrix-vector product (~2 * nnz/np flops),
+* a reduce-sum exchange across the processor row (log2(npcols) pairwise
+  exchange steps of the local vector slice),
+* two allreduces of one scalar (rho, alpha denominators),
+
+repeated ``cgitmax = 25`` times per outer iteration, ``niter`` outer
+iterations, with a residual-norm allreduce per outer iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["CgClass", "CG_CLASSES", "cg_class", "cg_grid", "CgWorkload", "cg_program"]
+
+BYTES_PER_VALUE = 8
+CG_ITMAX = 25          # inner CG iterations per outer iteration
+FLOPS_PER_NONZERO = 2.0
+
+
+@dataclass(frozen=True)
+class CgClass:
+    """One NPB CG problem class."""
+
+    name: str
+    na: int        # matrix order
+    nonzer: int    # nonzeros per row parameter
+    niter: int     # outer iterations
+
+    @property
+    def nnz_estimate(self) -> float:
+        """NPB's makea yields ~na * (nonzer+1) * (nonzer+1) nonzeros."""
+        return float(self.na) * (self.nonzer + 1) * (self.nonzer + 1)
+
+
+CG_CLASSES: Dict[str, CgClass] = {
+    "S": CgClass("S", 1400, 7, 15),
+    "W": CgClass("W", 7000, 8, 15),
+    "A": CgClass("A", 14000, 11, 15),
+    "B": CgClass("B", 75000, 13, 75),
+    "C": CgClass("C", 150000, 15, 75),
+    "D": CgClass("D", 1500000, 21, 100),
+}
+
+
+def cg_class(name: str) -> CgClass:
+    try:
+        return CG_CLASSES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown CG class {name!r}; valid: {sorted(CG_CLASSES)}"
+        ) from None
+
+
+def cg_grid(nprocs: int) -> Tuple[int, int]:
+    """NPB CG layout: npcols x nprows, power-of-two, npcols in {r, 2r}."""
+    if nprocs < 1 or nprocs & (nprocs - 1):
+        raise ValueError(
+            f"NPB CG requires a power-of-two process count, got {nprocs}"
+        )
+    p = nprocs.bit_length() - 1
+    npcols = 1 << ((p + 1) // 2)
+    nprows = 1 << (p // 2)
+    return npcols, nprows
+
+
+class CgWorkload:
+    """A bound (class, nprocs) CG instance."""
+
+    def __init__(self, config, nprocs: int) -> None:
+        if isinstance(config, str):
+            config = cg_class(config)
+        self.config: CgClass = config
+        self.nprocs = nprocs
+        cg_grid(nprocs)  # validate
+
+    def program(self, mpi) -> Iterator:
+        return cg_program(mpi, self.config)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CgWorkload(class={self.config.name}, nprocs={self.nprocs})"
+
+
+def _row_exchange_peers(rank: int, npcols: int, nprows: int):
+    """Recursive-halving exchange partners within the processor row."""
+    col = rank % npcols
+    row = rank // npcols
+    peers = []
+    stride = 1
+    while stride < npcols:
+        peer_col = col ^ stride
+        peers.append(row * npcols + peer_col)
+        stride <<= 1
+    return peers
+
+
+def cg_program(mpi, config) -> Iterator:
+    """One rank of the CG skeleton."""
+    if isinstance(config, str):
+        config = cg_class(config)
+    npcols, nprows = cg_grid(mpi.size)
+    rank = mpi.rank
+
+    local_rows = config.na // nprows
+    local_cols = config.na // npcols
+    vector_bytes = local_rows * BYTES_PER_VALUE
+    nnz_local = config.nnz_estimate / mpi.size
+    spmv_flops = FLOPS_PER_NONZERO * nnz_local
+    axpy_flops = 3.0 * 2.0 * local_cols  # three vector updates per CG step
+
+    peers = _row_exchange_peers(rank, npcols, nprows)
+
+    yield from mpi.comm_size()
+    yield from mpi.bcast(24, root=0)  # na, nonzer, niter
+    # makea: sparse matrix generation, ~nonzer^2 work per local row.
+    yield from mpi.compute(nnz_local * 4.0, kind="makea")
+
+    for _outer in range(config.niter):
+        for _inner in range(CG_ITMAX):
+            # q = A.p: local SpMV then the row-wise reduce exchange.
+            yield from mpi.compute(spmv_flops, kind="spmv")
+            for peer in peers:
+                req = mpi.irecv(src=peer, tag=40)
+                yield from mpi.send(peer, vector_bytes, tag=40)
+                yield from mpi.wait(req)
+                yield from mpi.compute(local_rows * 1.0, kind="fold")
+            # rho / alpha: two scalar allreduces per CG step.
+            yield from mpi.allreduce(8, flops=1.0)
+            yield from mpi.compute(axpy_flops, kind="axpy")
+            yield from mpi.allreduce(8, flops=1.0)
+        # Residual norm once per outer iteration.
+        yield from mpi.compute(2.0 * local_cols, kind="norm")
+        yield from mpi.allreduce(8, flops=1.0)

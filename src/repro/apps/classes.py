@@ -1,0 +1,58 @@
+"""NPB problem classes for the LU benchmark.
+
+Grid sizes and iteration counts follow NPB 3.3's ``applu.incl`` /
+``npbparams.h`` values: class S (smallest) through E (largest).  A class-D
+instance is ~20x the work and ~16x the data of class C (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["LuClass", "LU_CLASSES", "lu_class"]
+
+
+@dataclass(frozen=True)
+class LuClass:
+    """One NPB LU problem class."""
+
+    name: str
+    nx: int      # grid points in x
+    ny: int      # grid points in y
+    nz: int      # grid points in z
+    itmax: int   # SSOR iterations
+    inorm: int   # residual-norm period (NPB default: itmax)
+
+    @property
+    def points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (f"LU class {self.name}: {self.nx}^3 grid, "
+                f"{self.itmax} iterations")
+
+
+def _cls(name: str, n: int, itmax: int) -> LuClass:
+    return LuClass(name=name, nx=n, ny=n, nz=n, itmax=itmax, inorm=itmax)
+
+
+LU_CLASSES: Dict[str, LuClass] = {
+    "S": _cls("S", 12, 50),
+    "W": _cls("W", 33, 300),
+    "A": _cls("A", 64, 250),
+    "B": _cls("B", 102, 250),
+    "C": _cls("C", 162, 250),
+    "D": _cls("D", 408, 300),
+    "E": _cls("E", 1020, 300),
+}
+
+
+def lu_class(name: str) -> LuClass:
+    """Look up a class by letter; raises with the valid set on typos."""
+    try:
+        return LU_CLASSES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown LU class {name!r}; valid: {sorted(LU_CLASSES)}"
+        ) from None

@@ -1,0 +1,280 @@
+"""NPB LU benchmark skeleton (communication + computation volumes).
+
+The paper evaluates on NPB 3.3's LU: an SSOR solver whose 2-D pencil
+decomposition produces the classic wavefront pattern.  This module is a
+*volume-faithful* skeleton of that code: it issues, per rank, the same
+sequence of MPI calls with the same message sizes, and the same flop
+volumes per CPU burst, as the Fortran original — which is all the
+acquisition process records (a time-independent trace holds volumes only).
+
+Structure, per SSOR iteration (ssor.f):
+
+* RHS assembly (``rhs``): three directional compute sweeps with two
+  ``exchange_3`` ghost-cell exchanges (full faces, Irecv + Send + Wait).
+* Lower-triangular solve: for each k-plane, ``exchange_1`` receives from
+  north and west (with small unpack bursts), one jacld+blts compute, then
+  sends to south and east (with a pack burst between them).
+* Upper-triangular solve: the mirrored sweep (receive from south/east,
+  send to north/west) over descending k.
+* Solution update (``add``) and, every ``inorm`` iterations, a residual
+  norm — an MPI_Allreduce of 5 doubles.
+
+Flop volumes use NPB's official operation counts: LU class A totals
+~119.28 Gflop over 64^3 x 250 point-iterations, i.e. ~1820 flop per grid
+point per iteration, apportioned over the phases.
+
+The decomposition (``LuGrid``) follows NPB: a power-of-two process count
+arranged as a 2^ceil(p/2) x 2^floor(p/2) grid over (x, y), with the
+remainder points of non-divisible dimensions going to the first rows and
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .classes import LuClass, lu_class
+
+__all__ = ["LuGrid", "LuWorkload", "lu_program", "FLOPS_PER_POINT_ITER"]
+
+# NPB LU operation counts: ~1820 flop / grid point / SSOR iteration,
+# apportioned over the phases of the iteration.
+FLOPS_RHS = 485.0         # rhs assembly, all three directions together
+FLOPS_LOWER = 662.0       # jacld + blts, per point
+FLOPS_UPPER = 662.0       # jacu + buts, per point
+FLOPS_ADD = 11.0          # solution update
+FLOPS_PER_POINT_ITER = FLOPS_RHS + FLOPS_LOWER + FLOPS_UPPER + FLOPS_ADD
+
+# Unpacking a received boundary buffer touches every value once or twice:
+# ~0.25 flop per byte (10 flop per 5-double point).
+PACK_FLOPS_PER_BYTE = 0.25
+
+BYTES_PER_POINT = 40      # 5 doubles per grid point in boundary buffers
+GHOST_LAYERS = 2          # exchange_3 ships two ghost planes
+NORM_BYTES = 40           # residual norm: 5 doubles
+NORM_FLOPS = 10.0         # reduction operator cost per contribution
+INIT_BCAST_BYTES = 40     # input parameters broadcast by rank 0
+
+
+def _split(n: int, parts: int, index: int) -> int:
+    """NPB-style block split: the first ``n % parts`` blocks get one extra."""
+    base, extra = divmod(n, parts)
+    return base + (1 if index < extra else 0)
+
+
+@dataclass(frozen=True)
+class LuGrid:
+    """The 2-D process grid and this rank's subdomain."""
+
+    nprocs: int
+    xdim: int
+    ydim: int
+    rank: int
+    col: int            # position along x (0..xdim-1)
+    row: int            # position along y (0..ydim-1)
+    sub_nx: int         # local points along x
+    sub_ny: int         # local points along y
+    nz: int
+
+    @staticmethod
+    def dims(nprocs: int) -> Tuple[int, int]:
+        """NPB LU process grid: power-of-two count, near-square layout."""
+        if nprocs < 1 or nprocs & (nprocs - 1):
+            raise ValueError(
+                f"NPB LU requires a power-of-two process count, got {nprocs}"
+            )
+        p = nprocs.bit_length() - 1
+        return 1 << ((p + 1) // 2), 1 << (p // 2)
+
+    @classmethod
+    def build(cls, config: LuClass, nprocs: int, rank: int) -> "LuGrid":
+        xdim, ydim = cls.dims(nprocs)
+        if not 0 <= rank < nprocs:
+            raise ValueError(f"rank {rank} out of range for {nprocs} procs")
+        col, row = rank % xdim, rank // xdim
+        return cls(
+            nprocs=nprocs, xdim=xdim, ydim=ydim, rank=rank, col=col, row=row,
+            sub_nx=_split(config.nx, xdim, col),
+            sub_ny=_split(config.ny, ydim, row),
+            nz=config.nz,
+        )
+
+    # Neighbours (None at domain boundary).  North = row-1, west = col-1.
+    @property
+    def north(self) -> Optional[int]:
+        return self.rank - self.xdim if self.row > 0 else None
+
+    @property
+    def south(self) -> Optional[int]:
+        return self.rank + self.xdim if self.row < self.ydim - 1 else None
+
+    @property
+    def west(self) -> Optional[int]:
+        return self.rank - 1 if self.col > 0 else None
+
+    @property
+    def east(self) -> Optional[int]:
+        return self.rank + 1 if self.col < self.xdim - 1 else None
+
+    @property
+    def points(self) -> int:
+        return self.sub_nx * self.sub_ny * self.nz
+
+    # Boundary message sizes (bytes).
+    @property
+    def ns_plane_bytes(self) -> int:
+        """North/south wavefront exchange: one x-row of the k-plane."""
+        return BYTES_PER_POINT * self.sub_nx
+
+    @property
+    def ew_plane_bytes(self) -> int:
+        """East/west wavefront exchange: one y-row of the k-plane."""
+        return BYTES_PER_POINT * self.sub_ny
+
+    @property
+    def ns_face_bytes(self) -> int:
+        """exchange_3 full face with ghost layers, north/south."""
+        return GHOST_LAYERS * BYTES_PER_POINT * self.sub_nx * self.nz
+
+    @property
+    def ew_face_bytes(self) -> int:
+        """exchange_3 full face with ghost layers, east/west."""
+        return GHOST_LAYERS * BYTES_PER_POINT * self.sub_ny * self.nz
+
+
+class LuWorkload:
+    """A bound (class, nprocs) LU instance: builds per-rank programs."""
+
+    def __init__(self, config, nprocs: int) -> None:
+        if isinstance(config, str):
+            config = lu_class(config)
+        self.config: LuClass = config
+        self.nprocs = nprocs
+        LuGrid.dims(nprocs)  # validate early
+
+    def grid(self, rank: int) -> LuGrid:
+        return LuGrid.build(self.config, self.nprocs, rank)
+
+    def program(self, mpi) -> Iterator:
+        """The rank program (pass ``workload.program`` to ``MpiRuntime.run``)."""
+        return lu_program(mpi, self.config)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"LuWorkload(class={self.config.name}, nprocs={self.nprocs})"
+
+
+def _exchange_3(mpi, grid: LuGrid, direction: str) -> Iterator:
+    """Ghost-face exchange (exchange_3): Irecv both ways, Send, Wait.
+
+    ``direction`` is ``"ns"`` (north/south faces) or ``"ew"``.
+    """
+    if direction == "ns":
+        peers = [grid.north, grid.south]
+        nbytes = grid.ns_face_bytes
+    else:
+        peers = [grid.west, grid.east]
+        nbytes = grid.ew_face_bytes
+    peers = [p for p in peers if p is not None]
+    recv_reqs = [mpi.irecv(src=p, tag=30) for p in peers]
+    for peer in peers:
+        # Pack the outgoing face, then ship it.
+        yield from mpi.compute(nbytes * PACK_FLOPS_PER_BYTE, kind="pack")
+        yield from mpi.send(peer, nbytes, tag=30)
+    for req in recv_reqs:
+        yield from mpi.wait(req)
+        yield from mpi.compute(req.size * PACK_FLOPS_PER_BYTE, kind="unpack")
+
+
+def _lower_sweep(mpi, grid: LuGrid, plane_flops: float) -> Iterator:
+    """jacld + blts wavefront: k ascending, NW -> SE propagation."""
+    for _k in range(1, grid.nz - 1):
+        if grid.north is not None:
+            req = yield from mpi.recv(src=grid.north, tag=10)
+            yield from mpi.compute(req.size * PACK_FLOPS_PER_BYTE,
+                                   kind="unpack")
+        if grid.west is not None:
+            req = yield from mpi.recv(src=grid.west, tag=11)
+            yield from mpi.compute(req.size * PACK_FLOPS_PER_BYTE,
+                                   kind="unpack")
+        yield from mpi.compute(plane_flops, kind="blts")
+        if grid.south is not None:
+            yield from mpi.send(grid.south, grid.ns_plane_bytes, tag=10)
+        if grid.east is not None:
+            # Pack the eastward row before sending it.
+            yield from mpi.compute(
+                grid.ew_plane_bytes * PACK_FLOPS_PER_BYTE, kind="pack"
+            )
+            yield from mpi.send(grid.east, grid.ew_plane_bytes, tag=11)
+
+
+def _upper_sweep(mpi, grid: LuGrid, plane_flops: float) -> Iterator:
+    """jacu + buts wavefront: k descending, SE -> NW propagation."""
+    for _k in range(grid.nz - 2, 0, -1):
+        if grid.south is not None:
+            req = yield from mpi.recv(src=grid.south, tag=20)
+            yield from mpi.compute(req.size * PACK_FLOPS_PER_BYTE,
+                                   kind="unpack")
+        if grid.east is not None:
+            req = yield from mpi.recv(src=grid.east, tag=21)
+            yield from mpi.compute(req.size * PACK_FLOPS_PER_BYTE,
+                                   kind="unpack")
+        yield from mpi.compute(plane_flops, kind="buts")
+        if grid.north is not None:
+            yield from mpi.send(grid.north, grid.ns_plane_bytes, tag=20)
+        if grid.west is not None:
+            yield from mpi.compute(
+                grid.ew_plane_bytes * PACK_FLOPS_PER_BYTE, kind="pack"
+            )
+            yield from mpi.send(grid.west, grid.ew_plane_bytes, tag=21)
+
+
+def _rhs(mpi, grid: LuGrid) -> Iterator:
+    """RHS assembly with its two ghost exchanges."""
+    points_per_plane = grid.sub_nx * grid.sub_ny
+    per_dir = FLOPS_RHS / 3.0 * points_per_plane * grid.nz
+    yield from mpi.compute(per_dir, kind="rhs")
+    yield from _exchange_3(mpi, grid, "ew")
+    yield from mpi.compute(per_dir, kind="rhs")
+    yield from _exchange_3(mpi, grid, "ns")
+    yield from mpi.compute(per_dir, kind="rhs")
+
+
+def _l2norm(mpi, grid: LuGrid) -> Iterator:
+    """Residual norm: local sum of squares + 5-double allreduce."""
+    yield from mpi.compute(grid.points * 2.0, kind="l2norm")
+    yield from mpi.allreduce(NORM_BYTES, flops=NORM_FLOPS)
+
+
+def lu_program(mpi, config) -> Iterator:
+    """The full LU rank program: init, SSOR iterations, verification."""
+    if isinstance(config, str):
+        config = lu_class(config)
+    grid = LuGrid.build(config, mpi.size, mpi.rank)
+    points_per_plane = grid.sub_nx * grid.sub_ny
+
+    # --- init: read_input + bcast of parameters, field setup, initial rhs
+    yield from mpi.comm_size()
+    yield from mpi.bcast(INIT_BCAST_BYTES, root=0)
+    yield from mpi.compute(grid.points * 25.0, kind="init")  # setbv/setiv/erhs
+    yield from _rhs(mpi, grid)
+    yield from _l2norm(mpi, grid)
+    yield from mpi.barrier()  # NPB synchronises before timing
+
+    # --- SSOR loop
+    lower_plane = FLOPS_LOWER * points_per_plane
+    upper_plane = FLOPS_UPPER * points_per_plane
+    for istep in range(1, config.itmax + 1):
+        yield from _lower_sweep(mpi, grid, lower_plane)
+        yield from _upper_sweep(mpi, grid, upper_plane)
+        yield from mpi.compute(FLOPS_ADD * grid.points, kind="add")
+        if istep % config.inorm == 0:
+            yield from _l2norm(mpi, grid)
+        yield from _rhs(mpi, grid)
+
+    # --- verification: final norms, error, surface integral (pintgr)
+    yield from _l2norm(mpi, grid)
+    yield from mpi.compute(grid.points * 12.0, kind="error")
+    yield from mpi.allreduce(NORM_BYTES, flops=NORM_FLOPS)
+    yield from mpi.compute(points_per_plane * 30.0, kind="pintgr")
+    yield from mpi.allreduce(8, flops=1.0)

@@ -1,0 +1,367 @@
+"""Exact trace-size profiles of LU instances, without simulation.
+
+Table 3 and §6.5 report trace *sizes* (timed and time-independent) and
+action counts for instances up to class D on 1024 processes — about two
+billion actions, far beyond what a Python event loop should enumerate.
+This module computes those numbers **exactly** without simulating:
+
+* A :class:`_DryMpi` stand-in runs the *real* ``lu_program`` generator for
+  one rank in isolation, counting the TI actions/bytes it would emit and
+  the TAU records the tracer would write.  Receive sizes are derived from
+  the LU decomposition (a neighbour's shared boundary has the same extent,
+  so the size a rank receives equals the size it would send back), which
+  is what makes a single-rank dry walk possible.
+* Because every SSOR iteration of a rank emits an *identical* action
+  multiset (volumes included), a rank's totals for any ``itmax`` follow
+  from walks at two small iteration counts:
+  ``totals(itmax) = base + itmax * per_iter + (norm windows) * norm_extra``.
+
+A pinning test asserts these profiles agree byte-for-byte with the real
+instrument-execute-extract pipeline on classes the test suite actually
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.actions import (
+    AllReduce, Barrier, Bcast, CommSize, Compute, Irecv, Isend, Recv,
+    Reduce, Send, Wait, format_action,
+)
+from ..tracer.tracefile import HEADER_BYTES, RECORD_BYTES
+from .classes import LuClass, lu_class
+from .lu import LuGrid, lu_program
+
+__all__ = ["RankProfile", "InstanceProfile", "lu_rank_profile",
+           "lu_instance_profile", "sample_rank_lines", "rank_burst_mix"]
+
+
+@dataclass
+class RankProfile:
+    """Exact per-rank trace statistics."""
+
+    rank: int
+    ti_actions: int
+    ti_bytes: int
+    tau_records: int
+
+    @property
+    def tau_bytes(self) -> int:
+        return HEADER_BYTES + RECORD_BYTES * self.tau_records
+
+
+@dataclass
+class InstanceProfile:
+    """Exact whole-instance trace statistics (one LU class x rank count)."""
+
+    class_name: str
+    n_ranks: int
+    ti_actions: int
+    ti_bytes: int
+    tau_records: int
+
+    @property
+    def tau_bytes(self) -> int:
+        return self.n_ranks * HEADER_BYTES + RECORD_BYTES * self.tau_records
+
+    @property
+    def ti_mib(self) -> float:
+        return self.ti_bytes / (1024.0 ** 2)
+
+    @property
+    def tau_mib(self) -> float:
+        return self.tau_bytes / (1024.0 ** 2)
+
+    @property
+    def ratio(self) -> float:
+        """TAU size over TI size (Table 3's ~10x)."""
+        return self.tau_bytes / self.ti_bytes
+
+
+class _FakeRequest:
+    __slots__ = ("kind", "size", "src")
+
+    def __init__(self, kind: str, size: float, src: int) -> None:
+        self.kind = kind
+        self.size = size
+        self.src = src
+
+
+class _DryMpi:
+    """Runs one rank's program, counting trace output instead of simulating.
+
+    Mirrors the tracer + extractor pipeline: consecutive compute bursts
+    between MPI calls merge into one TI ``compute`` action; every traced
+    call writes ``2 * (1 + n_counters)`` boundary records plus its message
+    records.
+    """
+
+    def __init__(self, config: LuClass, nprocs: int, rank: int,
+                 n_counters: int = 2, sink: Optional[list] = None,
+                 jitter: float = 0.0, seed: int = 0,
+                 burst_hook=None) -> None:
+        #: optional callable(kind, flops) observing every compute call
+        self._burst_hook = burst_hook
+        self.rank = rank
+        self.size = nprocs
+        self.grid = LuGrid.build(config, nprocs, rank)
+        if jitter:
+            import numpy as np
+            self._rng = np.random.default_rng(seed + 7919 * rank)
+        else:
+            self._rng = None
+        self._jitter = jitter
+        self._boundary_records = 1 + n_counters  # Enter/Leave + counters
+        self.ti_actions = 0
+        self.ti_bytes = 0
+        self.tau_records = 0
+        # Cumulative flop counter, integer-read at MPI boundaries exactly
+        # like PAPI_FP_OPS -> extractor deltas.
+        self._papi = 0.0
+        self._boundary = 0
+        self._sink = sink  # optional list of formatted lines
+
+    # -- accounting -------------------------------------------------------
+    def _emit(self, action) -> None:
+        line = format_action(action)
+        self.ti_actions += 1
+        self.ti_bytes += len(line) + 1
+        if self._sink is not None:
+            self._sink.append(line)
+
+    def _flush_burst(self) -> None:
+        counter = int(round(self._papi))
+        burst = counter - self._boundary
+        if burst > 0:
+            self._emit(Compute(self.rank, burst))
+        self._boundary = counter
+
+    def _mpi_call(self, extra_records: int = 0) -> None:
+        self._flush_burst()
+        self.tau_records += 2 * self._boundary_records + extra_records
+
+    def _recv_size_from(self, src: int) -> float:
+        """A neighbour's boundary extent equals ours along the shared edge,
+        so the received volume is what we would send back on that edge."""
+        grid = self.grid
+        if src in (grid.north, grid.south):
+            return float(grid.ns_plane_bytes)
+        if src in (grid.west, grid.east):
+            return float(grid.ew_plane_bytes)
+        raise ValueError(f"rank {self.rank}: receive from non-neighbour {src}")
+
+    # -- MpiProcess interface (the subset lu_program uses) -----------------
+    def compute(self, flops: float, kind: str = "compute") -> Iterator:
+        self.tau_records += 2 * self._boundary_records  # app function events
+        if self._burst_hook is not None:
+            self._burst_hook(kind, flops)
+        if self._rng is not None:
+            flops *= 1.0 + self._jitter * self._rng.uniform(-1.0, 1.0)
+        self._papi += flops
+        return
+        yield  # pragma: no cover
+
+    def comm_size(self) -> Iterator:
+        self._mpi_call()
+        self._emit(CommSize(self.rank, self.size))
+        return self.size
+        yield  # pragma: no cover
+
+    def send(self, dst: int, nbytes: float, tag: int = 0,
+             data=None) -> Iterator:
+        self._mpi_call(extra_records=2)  # size trigger + SendMessage
+        self._emit(Send(self.rank, dst, nbytes))
+        return
+        yield  # pragma: no cover
+
+    def recv(self, src: int = -1, tag: int = -1) -> Iterator:
+        self._mpi_call(extra_records=1)  # RecvMessage
+        size = self._recv_size_from(src)
+        self._emit(Recv(self.rank, src, size))
+        return _FakeRequest("recv", size, src)
+        yield  # pragma: no cover
+
+    def isend(self, dst: int, nbytes: float, tag: int = 0, data=None):
+        self._mpi_call(extra_records=2)
+        self._emit(Isend(self.rank, dst, nbytes))
+        return _FakeRequest("send", nbytes, self.rank)
+
+    def irecv(self, src: int = -1, tag: int = -1):
+        self._mpi_call()
+        # The exchange_3 pattern: the only Irecvs LU posts are face
+        # exchanges; note which face so wait() can resolve the size.
+        size = self._recv_size_from_face(src)
+        self._emit(Irecv(self.rank, src, size))
+        return _FakeRequest("recv", size, src)
+
+    def _recv_size_from_face(self, src: int) -> float:
+        grid = self.grid
+        if src in (grid.north, grid.south):
+            return float(grid.ns_face_bytes)
+        if src in (grid.west, grid.east):
+            return float(grid.ew_face_bytes)
+        raise ValueError(f"rank {self.rank}: Irecv from non-neighbour {src}")
+
+    def wait(self, req: _FakeRequest) -> Iterator:
+        if req.kind == "recv":
+            self._mpi_call(extra_records=1)
+            self._emit(Wait(self.rank))
+        else:
+            self._mpi_call()
+        return req
+        yield  # pragma: no cover
+
+    def waitall(self, reqs) -> Iterator:
+        for req in reqs:
+            # Exhaust the wait() generator protocol without an engine.
+            for _ in self.wait(req):  # pragma: no cover - yields nothing
+                pass
+        return reqs
+        yield  # pragma: no cover
+
+    def bcast(self, nbytes: float, root: int = 0, data=None) -> Iterator:
+        self._mpi_call(extra_records=2)  # the two collective-volume triggers
+        self._emit(Bcast(self.rank, nbytes))
+        return data
+        yield  # pragma: no cover
+
+    def reduce(self, nbytes: float, flops: float = 0.0, root: int = 0,
+               data=None, op=None) -> Iterator:
+        self._mpi_call(extra_records=2)
+        self._emit(Reduce(self.rank, nbytes, flops))
+        return data
+        yield  # pragma: no cover
+
+    def allreduce(self, nbytes: float, flops: float = 0.0, data=None,
+                  op=None) -> Iterator:
+        self._mpi_call(extra_records=2)
+        self._emit(AllReduce(self.rank, nbytes, flops))
+        return data
+        yield  # pragma: no cover
+
+    def barrier(self) -> Iterator:
+        self._mpi_call()
+        self._emit(Barrier(self.rank))
+        return
+        yield  # pragma: no cover
+
+    # -- driving ----------------------------------------------------------
+    def run(self, config: LuClass) -> None:
+        for _ in lu_program(self, config):  # pragma: no cover - no yields
+            raise RuntimeError("dry walk must not yield")
+        self._flush_burst()
+
+
+def _walk(config: LuClass, nprocs: int, rank: int,
+          n_counters: int) -> Tuple[int, int, int]:
+    dry = _DryMpi(config, nprocs, rank, n_counters=n_counters)
+    dry.run(config)
+    return dry.ti_actions, dry.ti_bytes, dry.tau_records
+
+
+def lu_rank_profile(config, nprocs: int, rank: int,
+                    n_counters: int = 2) -> RankProfile:
+    """Exact per-rank totals for the full ``config.itmax`` iterations.
+
+    Three small dry walks (itmax 1 and 2 without a mid-run norm, plus one
+    with) give the affine decomposition; iterations are identical, so the
+    result is exact for any iteration count.
+    """
+    if isinstance(config, str):
+        config = lu_class(config)
+    if nprocs == 1:
+        # A single rank issues no point-to-point calls inside the SSOR
+        # loop, so whole iterations merge into one compute burst whose
+        # volume (and digit count) grows with itmax — the affine shortcut
+        # does not apply.  The full walk is cheap: few calls per iteration.
+        totals = _walk(config, nprocs, rank, n_counters)
+        return RankProfile(rank=rank, ti_actions=totals[0],
+                           ti_bytes=totals[1], tau_records=totals[2])
+    no_norm_1 = replace(config, itmax=1, inorm=10 ** 9)
+    no_norm_2 = replace(config, itmax=2, inorm=10 ** 9)
+    with_norm = replace(config, itmax=1, inorm=1)
+    t1 = _walk(no_norm_1, nprocs, rank, n_counters)
+    t2 = _walk(no_norm_2, nprocs, rank, n_counters)
+    tn = _walk(with_norm, nprocs, rank, n_counters)
+    per_iter = tuple(b - a for a, b in zip(t1, t2))
+    base = tuple(a - p for a, p in zip(t1, per_iter))
+    norm_extra = tuple(n - a for n, a in zip(tn, t1))
+    n_norms = config.itmax // config.inorm
+    totals = tuple(
+        b + config.itmax * p + n_norms * x
+        for b, p, x in zip(base, per_iter, norm_extra)
+    )
+    return RankProfile(rank=rank, ti_actions=totals[0], ti_bytes=totals[1],
+                       tau_records=totals[2])
+
+
+def lu_instance_profile(config, nprocs: int,
+                        n_counters: int = 2) -> InstanceProfile:
+    """Exact whole-instance totals (all ranks)."""
+    if isinstance(config, str):
+        config = lu_class(config)
+    ti_actions = ti_bytes = tau_records = 0
+    # Ranks with the same subdomain shape, neighbourhood, and digit
+    # widths (their own and their peers') produce identical byte counts;
+    # caching on that key collapses 1024 ranks to a few dozen walks.
+    cache: Dict[tuple, Tuple[int, int, int]] = {}
+    for rank in range(nprocs):
+        grid = LuGrid.build(config, nprocs, rank)
+        digits = tuple(
+            len(str(peer)) if peer is not None else 0
+            for peer in (grid.north, grid.south, grid.west, grid.east)
+        )
+        key = (grid.sub_nx, grid.sub_ny, len(str(rank)), digits)
+        totals = cache.get(key)
+        if totals is None:
+            profile = lu_rank_profile(config, nprocs, rank,
+                                      n_counters=n_counters)
+            totals = (profile.ti_actions, profile.ti_bytes,
+                      profile.tau_records)
+            cache[key] = totals
+        ti_actions += totals[0]
+        ti_bytes += totals[1]
+        tau_records += totals[2]
+    return InstanceProfile(
+        class_name=config.name,
+        n_ranks=nprocs,
+        ti_actions=ti_actions,
+        ti_bytes=ti_bytes,
+        tau_records=tau_records,
+    )
+
+
+def sample_rank_lines(config, nprocs: int, rank: int,
+                      max_iters: int = 2, jitter: float = 0.002,
+                      seed: int = 0) -> List[str]:
+    """Real trace lines of one rank for a truncated instance — used to
+    estimate gzip compressibility of paper-scale traces (§6.5).
+
+    ``jitter`` reproduces the hardware-counter noise of real acquisitions;
+    without it every iteration's volumes are bit-identical and gzip
+    compresses far better than the paper's ~27x."""
+    if isinstance(config, str):
+        config = lu_class(config)
+    truncated = replace(config, itmax=max_iters, inorm=max_iters)
+    lines: List[str] = []
+    dry = _DryMpi(truncated, nprocs, rank, sink=lines, jitter=jitter,
+                  seed=seed)
+    dry.run(truncated)
+    return lines
+
+
+def rank_burst_mix(config, nprocs: int, rank: int,
+                   itmax: int = 1) -> List[Tuple[str, float]]:
+    """(kind, flops) of every compute call of one rank for ``itmax``
+    iterations — the input of analytic execution-time estimates (used by
+    the §6.5 bench, where simulating 1024 folded ranks is impractical)."""
+    if isinstance(config, str):
+        config = lu_class(config)
+    truncated = replace(config, itmax=itmax, inorm=itmax)
+    bursts: List[Tuple[str, float]] = []
+    dry = _DryMpi(truncated, nprocs, rank,
+                  burst_hook=lambda kind, flops: bursts.append((kind, flops)))
+    dry.run(truncated)
+    return bursts

@@ -1,0 +1,202 @@
+"""NPB MG benchmark skeleton (communication + computation volumes).
+
+MG (multigrid) rounds out the workload set with a communication signature
+unlike LU's wavefront or CG's scalar allreduces: V-cycles sweep a grid
+*hierarchy*, exchanging ghost faces at every level — so message sizes
+span three orders of magnitude within a single iteration, exercising all
+segments of the piece-wise-linear MPI model at once.
+
+Skeleton of NPB 3.3 MG: a 3-D grid of ``2^lt`` points per side split over
+a 3-D process grid; each of ``nit`` iterations runs one V-cycle
+(restriction down to the coarsest level and prolongation back up, with a
+residual/smoother computation and a 6-face ghost exchange per level) and
+one residual evaluation, with a final norm allreduce (``norm2u3``).
+
+Volumes per level ``k`` (side ``2^k``): faces carry
+``(side/px)*(side/py)`` (or the matching pair) doubles; smoother and
+residual cost ~50 flops per local point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["MgClass", "MG_CLASSES", "mg_class", "MgWorkload", "mg_program",
+           "mg_grid"]
+
+BYTES_PER_VALUE = 8
+FLOPS_SMOOTH = 30.0    # psinv per point
+FLOPS_RESID = 21.0     # resid per point
+FLOPS_TRANSFER = 8.0   # rprj3/interp per point
+
+
+@dataclass(frozen=True)
+class MgClass:
+    """One NPB MG problem class."""
+
+    name: str
+    lt: int       # log2 of the grid side (grid is 2^lt ^3)
+    nit: int      # V-cycle iterations
+
+    @property
+    def side(self) -> int:
+        return 1 << self.lt
+
+
+MG_CLASSES: Dict[str, MgClass] = {
+    "S": MgClass("S", 5, 4),
+    "W": MgClass("W", 7, 4),
+    "A": MgClass("A", 8, 4),
+    "B": MgClass("B", 8, 20),
+    "C": MgClass("C", 9, 20),
+    "D": MgClass("D", 10, 50),
+}
+
+
+def mg_class(name: str) -> MgClass:
+    try:
+        return MG_CLASSES[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown MG class {name!r}; valid: {sorted(MG_CLASSES)}"
+        ) from None
+
+
+def mg_grid(nprocs: int) -> Tuple[int, int, int]:
+    """3-D process grid (px, py, pz), powers of two, px >= py >= pz."""
+    if nprocs < 1 or nprocs & (nprocs - 1):
+        raise ValueError(
+            f"NPB MG requires a power-of-two process count, got {nprocs}"
+        )
+    dims = [1, 1, 1]
+    axis = 0
+    remaining = nprocs
+    while remaining > 1:
+        dims[axis % 3] *= 2
+        remaining //= 2
+        axis += 1
+    dims.sort(reverse=True)
+    return dims[0], dims[1], dims[2]
+
+
+class MgWorkload:
+    """A bound (class, nprocs) MG instance."""
+
+    def __init__(self, config, nprocs: int) -> None:
+        if isinstance(config, str):
+            config = mg_class(config)
+        self.config: MgClass = config
+        self.nprocs = nprocs
+        px, py, pz = mg_grid(nprocs)
+        if (1 << config.lt) < 2 * max(px, py, pz):
+            raise ValueError(
+                f"class {config.name} grid (side {1 << config.lt}) is too "
+                f"small for a {px}x{py}x{pz} process grid"
+            )
+
+    def program(self, mpi) -> Iterator:
+        return mg_program(mpi, self.config)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MgWorkload(class={self.config.name}, nprocs={self.nprocs})"
+
+
+def _neighbours(rank: int, dims: Tuple[int, int, int]):
+    """The six axis neighbours (periodic, as NPB MG's comm3)."""
+    px, py, pz = dims
+    x = rank % px
+    y = (rank // px) % py
+    z = rank // (px * py)
+
+    def at(nx, ny, nz):
+        return (nz % pz) * px * py + (ny % py) * px + (nx % px)
+
+    return [
+        ("x-", at(x - 1, y, z)), ("x+", at(x + 1, y, z)),
+        ("y-", at(x, y - 1, z)), ("y+", at(x, y + 1, z)),
+        ("z-", at(x, y, z - 1)), ("z+", at(x, y, z + 1)),
+    ]
+
+
+def _level_extents(side: int, dims: Tuple[int, int, int]):
+    px, py, pz = dims
+    return max(1, side // px), max(1, side // py), max(1, side // pz)
+
+
+def _comm3(mpi, dims, side: int, tag: int) -> Iterator:
+    """Ghost-face exchange at one level: three axis-pair exchanges.
+
+    NPB's comm3 exchanges faces axis by axis (x, then y, then z) so that
+    corner values propagate; each exchange is Irecv + Send + Wait with
+    both axis neighbours.
+    """
+    nx, ny, nz = _level_extents(side, dims)
+    face_bytes = {
+        "x": ny * nz * BYTES_PER_VALUE,
+        "y": nx * nz * BYTES_PER_VALUE,
+        "z": nx * ny * BYTES_PER_VALUE,
+    }
+    neighbours = _neighbours(mpi.rank, dims)
+    for axis_index, axis in enumerate(("x", "y", "z")):
+        pair = neighbours[2 * axis_index: 2 * axis_index + 2]
+        # Periodic tori can alias both directions to the same peer (or to
+        # ourselves when the axis is undivided) — skip self-messages, and
+        # de-duplicate the peer set like NPB's degenerate-dimension path.
+        peers = []
+        for _, peer in pair:
+            if peer != mpi.rank and peer not in peers:
+                peers.append(peer)
+        reqs = [mpi.irecv(src=peer, tag=tag + axis_index) for peer in peers]
+        for peer in peers:
+            yield from mpi.send(peer, face_bytes[axis], tag=tag + axis_index)
+        for req in reqs:
+            yield from mpi.wait(req)
+
+
+def mg_program(mpi, config) -> Iterator:
+    """One rank of the MG skeleton."""
+    if isinstance(config, str):
+        config = mg_class(config)
+    dims = mg_grid(mpi.size)
+    # Levels from finest (lt) down to the coarsest the process grid
+    # allows (every process keeps at least 2 points per side).
+    min_side = 2 * max(dims)
+    levels: List[int] = [
+        side for side in (1 << k for k in range(config.lt, 0, -1))
+        if side >= min_side
+    ] or [min_side]
+
+    def local_points(side: int) -> float:
+        nx, ny, nz = _level_extents(side, dims)
+        return float(nx * ny * nz)
+
+    yield from mpi.comm_size()
+    yield from mpi.bcast(24, root=0)  # lt, nit, verification constants
+    yield from mpi.compute(local_points(levels[0]) * 10.0, kind="zran3")
+    yield from _comm3(mpi, dims, levels[0], tag=50)
+
+    for _it in range(config.nit):
+        # Downward: restrict to each coarser level.
+        for side in levels[1:]:
+            yield from mpi.compute(local_points(side) * FLOPS_TRANSFER,
+                                   kind="rprj3")
+            yield from _comm3(mpi, dims, side, tag=60)
+        # Coarsest-level smoothing.
+        yield from mpi.compute(local_points(levels[-1]) * FLOPS_SMOOTH,
+                               kind="psinv")
+        # Upward: interpolate, smooth, exchange at each finer level.
+        for side in reversed(levels[:-1]):
+            yield from mpi.compute(local_points(side) * FLOPS_TRANSFER,
+                                   kind="interp")
+            yield from mpi.compute(local_points(side) * FLOPS_SMOOTH,
+                                   kind="psinv")
+            yield from _comm3(mpi, dims, side, tag=70)
+        # Residual on the finest level.
+        yield from mpi.compute(local_points(levels[0]) * FLOPS_RESID,
+                               kind="resid")
+        yield from _comm3(mpi, dims, levels[0], tag=80)
+
+    # Final verification norm (norm2u3).
+    yield from mpi.compute(local_points(levels[0]) * 4.0, kind="norm2u3")
+    yield from mpi.allreduce(24, flops=3.0)

@@ -1,0 +1,35 @@
+"""The paper's Fig. 1 example: computation on a ring of processes.
+
+Each of the four iterations: rank 0 computes 1 Mflop and sends 1 MB to its
+neighbour; every other rank receives, computes 1 Mflop, and forwards.
+The time-independent trace of this program is the right-hand side of
+Fig. 1 — a round-trip test asserts that, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["ring_program", "RING_COMPUTE_FLOPS", "RING_MESSAGE_BYTES",
+           "RING_ITERATIONS"]
+
+RING_COMPUTE_FLOPS = 1e6
+RING_MESSAGE_BYTES = 1e6
+RING_ITERATIONS = 4
+
+
+def ring_program(mpi, iterations: int = RING_ITERATIONS,
+                 flops: float = RING_COMPUTE_FLOPS,
+                 nbytes: float = RING_MESSAGE_BYTES) -> Iterator:
+    """The MPI code of the paper's Fig. 1 (left), one rank's view."""
+    nproc = mpi.size
+    me = mpi.rank
+    for _ in range(iterations):
+        if me == 0:
+            yield from mpi.compute(flops)
+            yield from mpi.send((me + 1) % nproc, nbytes)
+            yield from mpi.recv(src=(me - 1) % nproc)
+        else:
+            yield from mpi.recv(src=(me - 1) % nproc)
+            yield from mpi.compute(flops)
+            yield from mpi.send((me + 1) % nproc, nbytes)

@@ -1,0 +1,85 @@
+"""2-D Jacobi heat stencil on a process grid.
+
+A second regular MPI workload (the paper's intro motivates trace-based
+dimensioning for production codes beyond a single benchmark): per
+iteration, every rank exchanges halos with its 4-neighbourhood
+(Irecv + Send + Wait) and computes a 5-point update, with a periodic
+residual allreduce.  Compute-to-communication ratio is controlled by the
+grid size per rank, making this the natural workload for the what-if
+capacity-planning example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["StencilConfig", "stencil_program", "stencil_dims"]
+
+FLOPS_PER_POINT = 6.0     # 5-point stencil: 4 adds + 1 multiply + copy
+BYTES_PER_VALUE = 8
+
+
+def stencil_dims(nprocs: int) -> Tuple[int, int]:
+    """Most-square factorisation px x py with px >= py."""
+    if nprocs < 1:
+        raise ValueError("need at least one process")
+    best = (nprocs, 1)
+    for py in range(1, int(nprocs ** 0.5) + 1):
+        if nprocs % py == 0:
+            best = (nprocs // py, py)
+    return best
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """Global grid and iteration parameters."""
+
+    nx: int
+    ny: int
+    iterations: int
+    norm_period: int = 10
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1 or self.iterations < 0:
+            raise ValueError("stencil dimensions/iterations must be positive")
+        if self.norm_period < 1:
+            raise ValueError("norm_period must be >= 1")
+
+
+def stencil_program(mpi, config: StencilConfig) -> Iterator:
+    """One rank of the Jacobi iteration."""
+    px, py = stencil_dims(mpi.size)
+    col, row = mpi.rank % px, mpi.rank // px
+    sub_nx = config.nx // px + (1 if col < config.nx % px else 0)
+    sub_ny = config.ny // py + (1 if row < config.ny % py else 0)
+
+    def neighbour(dc: int, dr: int) -> Optional[int]:
+        c, r = col + dc, row + dr
+        if 0 <= c < px and 0 <= r < py:
+            return r * px + c
+        return None
+
+    peers = {
+        "west": (neighbour(-1, 0), sub_ny * BYTES_PER_VALUE),
+        "east": (neighbour(+1, 0), sub_ny * BYTES_PER_VALUE),
+        "north": (neighbour(0, -1), sub_nx * BYTES_PER_VALUE),
+        "south": (neighbour(0, +1), sub_nx * BYTES_PER_VALUE),
+    }
+    active = {k: v for k, v in peers.items() if v[0] is not None}
+
+    yield from mpi.comm_size()
+    yield from mpi.bcast(24, root=0)  # nx, ny, iterations
+    yield from mpi.compute(sub_nx * sub_ny * 2.0, kind="init")
+
+    for step in range(1, config.iterations + 1):
+        recv_reqs = [mpi.irecv(src=peer, tag=1) for peer, _ in active.values()]
+        for peer, nbytes in active.values():
+            yield from mpi.send(peer, nbytes, tag=1)
+        for req in recv_reqs:
+            yield from mpi.wait(req)
+        yield from mpi.compute(sub_nx * sub_ny * FLOPS_PER_POINT,
+                               kind="jacobi")
+        if step % config.norm_period == 0:
+            yield from mpi.compute(sub_nx * sub_ny * 2.0, kind="norm")
+            yield from mpi.allreduce(8, flops=1.0)

@@ -1,0 +1,220 @@
+"""The four-step acquisition process (§4, Fig. 2) and its modes (§4.2).
+
+Steps: instrument the application (attach a Tracer), execute it under a
+deployment chosen by the *acquisition mode*, extract time-independent
+traces with tau2simgrid, and gather them on one node.
+
+Modes (Table 2's columns):
+
+* ``R`` — Regular: one rank per CPU, the only mode timed traces allow.
+* ``F-x`` — Folding: ``x`` ranks per CPU; fewer nodes, ~x-times slower.
+* ``S-y`` — Scattering: ranks spread over ``y`` sites (clusters).
+* ``SF-(u,v)`` — Scattering and Folding combined.
+
+Because the traces are time-independent, every mode yields (modulo the
+<1 % hardware-counter wobble) *the same* trace — the invariance the last
+paragraph of §6.2 demonstrates, covered by an integration test here.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..extract import ExtractionReport, tau2simgrid
+from ..simkernel import Host, Platform
+from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
+from ..smpi import MpiRuntime
+from ..tracer import TauArchive, Tracer, VirtualCounterBank
+from .gather import GatherResult, simulate_gather
+
+__all__ = ["AcquisitionMode", "AcquisitionResult", "build_deployment",
+           "acquire"]
+
+_MODE_RE = re.compile(
+    r"^(?:R|F-(?P<f>\d+)|S-(?P<s>\d+)|SF-\((?P<u>\d+),(?P<v>\d+)\))$"
+)
+
+
+@dataclass(frozen=True)
+class AcquisitionMode:
+    """folding = ranks per CPU, sites = clusters used (1 each for Regular)."""
+
+    folding: int = 1
+    sites: int = 1
+
+    def __post_init__(self) -> None:
+        if self.folding < 1 or self.sites < 1:
+            raise ValueError("folding and sites must be >= 1")
+
+    @property
+    def label(self) -> str:
+        """Table 2's naming: R, F-x, S-y, SF-(u,v)."""
+        if self.folding == 1 and self.sites == 1:
+            return "R"
+        if self.sites == 1:
+            return f"F-{self.folding}"
+        if self.folding == 1:
+            return f"S-{self.sites}"
+        return f"SF-({self.sites},{self.folding})"
+
+    @classmethod
+    def parse(cls, label: str) -> "AcquisitionMode":
+        match = _MODE_RE.match(label.strip())
+        if match is None:
+            raise ValueError(
+                f"bad acquisition mode {label!r}; expected R, F-<x>, "
+                "S-<y>, or SF-(<u>,<v>)"
+            )
+        groups = match.groupdict()
+        if groups["f"]:
+            return cls(folding=int(groups["f"]))
+        if groups["s"]:
+            return cls(sites=int(groups["s"]))
+        if groups["u"]:
+            return cls(sites=int(groups["u"]), folding=int(groups["v"]))
+        return cls()
+
+
+def build_deployment(
+    platform: Platform,
+    n_ranks: int,
+    mode: AcquisitionMode = AcquisitionMode(),
+    clusters: Optional[Sequence[str]] = None,
+) -> List[Host]:
+    """Map ranks to hosts per the acquisition mode.
+
+    Scattering splits the rank range into contiguous blocks across the
+    first ``mode.sites`` clusters (``clusters`` overrides the order);
+    folding packs ``mode.folding`` consecutive ranks per host.
+    """
+    names = list(clusters) if clusters is not None else list(platform.clusters)
+    if mode.sites > len(names):
+        raise ValueError(
+            f"mode {mode.label} needs {mode.sites} clusters, platform has "
+            f"{len(names)}"
+        )
+    site_names = names[: mode.sites]
+    base, extra = divmod(n_ranks, mode.sites)
+    deployment: List[Host] = []
+    for idx, cname in enumerate(site_names):
+        block = base + (1 if idx < extra else 0)
+        hosts = platform.clusters[cname].hosts
+        needed = (block + mode.folding - 1) // mode.folding
+        if needed > len(hosts):
+            raise ValueError(
+                f"cluster {cname!r} has {len(hosts)} hosts; mode "
+                f"{mode.label} needs {needed} for {block} ranks"
+            )
+        deployment.extend(hosts[r // mode.folding] for r in range(block))
+    return deployment
+
+
+@dataclass
+class AcquisitionResult:
+    """Everything the four steps produced, with their costs."""
+
+    mode_label: str
+    n_ranks: int
+    application_time: Optional[float]    # uninstrumented simulated run
+    execution_time: float                # instrumented simulated run
+    tau_archive: TauArchive              # timed-trace sizes
+    extraction: Optional[ExtractionReport]  # None when files were not written
+    gather: Optional[GatherResult]
+    trace_dir: Optional[str]             # where SG_process*.trace landed
+
+    @property
+    def tracing_overhead(self) -> Optional[float]:
+        if self.application_time is None:
+            return None
+        return self.execution_time - self.application_time
+
+
+def acquire(
+    program,
+    platform: Platform,
+    n_ranks: int,
+    mode: AcquisitionMode = AcquisitionMode(),
+    workdir: Optional[str] = None,
+    measure_application: bool = True,
+    gather_arity: int = 4,
+    papi_jitter: float = 0.0,
+    papi_seed: int = 0,
+    comm_model: PiecewiseLinearModel = DEFAULT_MPI_MODEL,
+    extraction_processes: int = 1,
+    tracer_factory: Optional[Callable[[Optional[str]], Tracer]] = None,
+) -> AcquisitionResult:
+    """Run the full acquisition pipeline for ``program`` on ``platform``.
+
+    With ``workdir`` set, TAU trace files are really written under
+    ``<workdir>/tau`` and time-independent traces extracted into
+    ``<workdir>/ti`` (ready for :class:`~repro.core.replay.TraceReplayer`).
+    With ``workdir=None`` the tracer runs in size-accounting mode:
+    execution times and timed-trace sizes are produced, but no extraction
+    happens (the paper-scale mode used for Table 2's timings).
+    """
+    deployment = build_deployment(platform, n_ranks, mode)
+
+    application_time = None
+    if measure_application:
+        bare = MpiRuntime(platform, deployment, comm_model=comm_model,
+                          papi=VirtualCounterBank(n_ranks))
+        application_time = bare.run(program).time
+
+    tau_dir = os.path.join(workdir, "tau") if workdir is not None else None
+    tracer = (tracer_factory(tau_dir) if tracer_factory is not None
+              else Tracer(tau_dir))
+    papi = VirtualCounterBank(n_ranks, jitter=papi_jitter, seed=papi_seed)
+    runtime = MpiRuntime(platform, deployment, comm_model=comm_model,
+                         hooks=tracer, papi=papi)
+    execution_time = runtime.run(program).time
+    archive = tracer.archive
+
+    extraction = None
+    gather = None
+    trace_dir = None
+    if workdir is not None:
+        trace_dir = os.path.join(workdir, "ti")
+        extraction = tau2simgrid(tau_dir, n_ranks, trace_dir,
+                                 processes=extraction_processes)
+        # Gathering: the per-*node* TI trace volumes funnel to the first
+        # node of the deployment over a K-nomial tree.
+        node_hosts: List[Host] = []
+        node_bytes: Dict[int, float] = {}
+        host_index: Dict[int, int] = {}
+        per_rank_bytes = _per_rank_ti_bytes(extraction)
+        for rank, host in enumerate(deployment):
+            idx = host_index.get(id(host))
+            if idx is None:
+                idx = len(node_hosts)
+                host_index[id(host)] = idx
+                node_hosts.append(host)
+                node_bytes[idx] = 0.0
+            node_bytes[idx] += per_rank_bytes[rank]
+        gather = simulate_gather(
+            platform, node_hosts,
+            [node_bytes[i] for i in range(len(node_hosts))],
+            arity=gather_arity,
+        )
+    return AcquisitionResult(
+        mode_label=mode.label,
+        n_ranks=n_ranks,
+        application_time=application_time,
+        execution_time=execution_time,
+        tau_archive=archive,
+        extraction=extraction,
+        gather=gather,
+        trace_dir=trace_dir,
+    )
+
+
+def _per_rank_ti_bytes(extraction: ExtractionReport) -> List[float]:
+    """Approximate per-rank TI bytes from per-rank action counts (exact
+    totals are known; the split only feeds the gather simulation)."""
+    total_actions = max(1, extraction.n_actions)
+    return [
+        extraction.n_bytes * (count / total_actions)
+        for count in extraction.per_rank_actions
+    ]

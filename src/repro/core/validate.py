@@ -1,0 +1,202 @@
+"""Static validation of time-independent traces.
+
+Replaying a multi-gigabyte trace only to hit a deadlock or a volume
+mismatch hours in is miserable; this validator checks the §3 format
+contracts *statically*, in one pass over the trace:
+
+* **Point-to-point matching** — for every directed pair (a, b), the
+  sequence of volumes sent by `a` to `b` (send + Isend, in program order)
+  must equal the sequence received by `b` from `a` (recv + resolved
+  Irecv).  MPI's non-overtaking rule makes order part of the contract.
+* **Request balance** — every `wait` must have a pending `Irecv` before
+  it, and no `Irecv` may be left pending at end of trace.
+* **Collective agreement** — all ranks must issue the same sequence of
+  collectives with the same volumes (a mismatched bcast count hangs the
+  replay); `comm_size` must precede the first collective and agree across
+  ranks.
+* **Self-messaging** — a rank sending to itself would self-deadlock under
+  blocking replay semantics and is reported.
+
+The result is a list of findings, empty when the trace is replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .actions import (
+    AllReduce, Barrier, Bcast, CommSize, Irecv, Isend, Recv, Reduce, Send,
+    Wait,
+)
+from .trace import InMemoryTrace
+
+__all__ = ["Finding", "ValidationReport", "validate_trace"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation problem."""
+
+    severity: str   # "error" | "warning"
+    rank: int       # primary rank involved (-1 for global findings)
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        where = "global" if self.rank < 0 else f"p{self.rank}"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    findings: List[Finding] = field(default_factory=list)
+    n_actions: int = 0
+    n_ranks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "INVALID"
+        lines = [
+            f"{status}: {self.n_ranks} ranks, {self.n_actions} actions, "
+            f"{len(self.errors())} error(s), "
+            f"{len(self.findings) - len(self.errors())} warning(s)"
+        ]
+        lines += [str(f) for f in self.findings[:50]]
+        if len(self.findings) > 50:
+            lines.append(f"... and {len(self.findings) - 50} more")
+        return "\n".join(lines)
+
+
+def validate_trace(trace: InMemoryTrace,
+                   max_findings: int = 1000) -> ValidationReport:
+    """Check a trace set against the format's §3 contracts."""
+    report = ValidationReport(n_ranks=len(trace.ranks()),
+                              n_actions=trace.n_actions())
+    findings = report.findings
+
+    def add(severity: str, rank: int, message: str) -> None:
+        if len(findings) < max_findings:
+            findings.append(Finding(severity, rank, message))
+
+    ranks = trace.ranks()
+    if ranks != list(range(len(ranks))):
+        add("error", -1, f"ranks are not contiguous from 0: {ranks[:10]}")
+        return report
+
+    sent: Dict[Tuple[int, int], List[float]] = {}
+    received: Dict[Tuple[int, int], List[float]] = {}
+    collectives: Dict[int, List[Tuple[str, float, float]]] = {}
+    comm_sizes: Dict[int, int] = {}
+
+    for rank in ranks:
+        pending_irecvs: List[Irecv] = []
+        saw_comm_size = False
+        for index, action in enumerate(trace.actions_of(rank)):
+            if action.rank != rank:
+                add("error", rank,
+                    f"action #{index} belongs to p{action.rank}")
+                continue
+            if isinstance(action, (Send, Isend)):
+                if action.peer == rank:
+                    add("error", rank,
+                        f"action #{index} sends to itself")
+                elif action.peer >= len(ranks):
+                    add("error", rank,
+                        f"action #{index} sends to non-existent "
+                        f"p{action.peer}")
+                else:
+                    sent.setdefault((rank, action.peer), []).append(
+                        action.volume)
+            elif isinstance(action, Recv):
+                if action.peer >= len(ranks):
+                    add("error", rank,
+                        f"action #{index} receives from non-existent "
+                        f"p{action.peer}")
+                else:
+                    received.setdefault((action.peer, rank), []).append(
+                        action.volume)
+            elif isinstance(action, Irecv):
+                pending_irecvs.append(action)
+                if action.peer >= len(ranks):
+                    add("error", rank,
+                        f"action #{index} Irecvs from non-existent "
+                        f"p{action.peer}")
+            elif isinstance(action, Wait):
+                if not pending_irecvs:
+                    add("error", rank,
+                        f"action #{index} is a wait with no pending Irecv")
+                else:
+                    resolved = pending_irecvs.pop(0)
+                    if resolved.peer < len(ranks):
+                        received.setdefault(
+                            (resolved.peer, rank), []).append(resolved.volume)
+            elif isinstance(action, (Bcast, Reduce, AllReduce, Barrier)):
+                if not saw_comm_size:
+                    add("error", rank,
+                        f"action #{index} ({action.name}) precedes "
+                        "comm_size (required by the format, §3)")
+                if isinstance(action, Bcast):
+                    signature = (action.name, action.volume, 0.0)
+                elif isinstance(action, Barrier):
+                    signature = (action.name, 0.0, 0.0)
+                else:
+                    signature = (action.name, action.vcomm, action.vcomp)
+                collectives.setdefault(rank, []).append(signature)
+            elif isinstance(action, CommSize):
+                saw_comm_size = True
+                previous = comm_sizes.get(rank)
+                if previous is not None and previous != action.size:
+                    add("warning", rank,
+                        f"comm_size changes from {previous} to "
+                        f"{action.size}")
+                comm_sizes[rank] = action.size
+        if pending_irecvs:
+            add("error", rank,
+                f"{len(pending_irecvs)} Irecv(s) never waited on")
+
+    # Cross-rank checks -----------------------------------------------------
+    declared = {size for size in comm_sizes.values()}
+    if len(declared) > 1:
+        add("error", -1, f"ranks disagree on comm_size: {sorted(declared)}")
+    elif declared and declared != {len(ranks)}:
+        add("warning", -1,
+            f"comm_size {declared.pop()} differs from the trace's "
+            f"{len(ranks)} ranks")
+
+    for key in sorted(set(sent) | set(received)):
+        src, dst = key
+        sends = sent.get(key, [])
+        recvs = received.get(key, [])
+        if len(sends) != len(recvs):
+            add("error", dst,
+                f"p{src}->p{dst}: {len(sends)} message(s) sent but "
+                f"{len(recvs)} received")
+        for i, (s_volume, r_volume) in enumerate(zip(sends, recvs)):
+            if s_volume != r_volume:
+                add("error", dst,
+                    f"p{src}->p{dst} message #{i}: sent {s_volume:g} B "
+                    f"but received {r_volume:g} B")
+                break  # one finding per pair is enough
+
+    sequences = {rank: tuple(seq) for rank, seq in collectives.items()}
+    if sequences:
+        reference_rank = min(sequences)
+        reference = sequences[reference_rank]
+        participating = set(sequences)
+        if len(participating) != len(ranks):
+            missing = sorted(set(ranks) - participating)
+            add("error", -1,
+                f"ranks {missing[:10]} issue no collectives while others do")
+        for rank in sorted(participating):
+            if sequences[rank] != reference:
+                add("error", rank,
+                    f"collective sequence differs from p{reference_rank} "
+                    f"({len(sequences[rank])} vs {len(reference)} calls or "
+                    "mismatched volumes)")
+    return report

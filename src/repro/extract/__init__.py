@@ -1,0 +1,9 @@
+"""tau2simgrid: extraction of time-independent traces from timed traces."""
+
+from .tau2ti import BurstSample, ExtractionReport, extract_rank, tau2simgrid
+from .tfr import TfrCallbacks, read_trace
+
+__all__ = [
+    "BurstSample", "ExtractionReport", "TfrCallbacks", "extract_rank",
+    "read_trace", "tau2simgrid",
+]

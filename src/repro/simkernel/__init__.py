@@ -1,0 +1,35 @@
+"""SimGrid-like simulation kernel.
+
+A fluid discrete-event kernel: generator-coroutine processes, max-min
+fair sharing of CPUs and links, flow-level network contention, and the
+3-segment piece-wise-linear MPI communication model of the paper's §5.
+
+The paper's replay tool sits on the MSG API; ours talks to the kernel
+directly — the optimisation the paper's §6.6 itself recommends ("write the
+simulator directly on top of the simulation [kernel], i.e., by bypassing
+the MSG API").
+"""
+
+from .activity import CommActivity, ExecActivity, Timer, Waitable
+from .engine import DeadlockError, Engine, Process, WaitAny
+from .lmm import Constraint, Variable
+from .mailbox import ANY_SOURCE, ANY_TAG, CommRequest, CommSystem
+from .platform import Cluster, Host, Link, Platform, Route
+from .pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel, Segment, fit
+from .xmlio import (
+    ProcessDeployment,
+    dump_deployment,
+    dump_platform,
+    load_deployment,
+    load_platform,
+    parse_radical,
+)
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "Cluster", "CommActivity", "CommRequest",
+    "CommSystem", "Constraint", "DEFAULT_MPI_MODEL", "DeadlockError",
+    "Engine", "ExecActivity", "Host", "Link", "PiecewiseLinearModel",
+    "Platform", "Process", "ProcessDeployment", "Route", "Segment", "Timer",
+    "Variable", "WaitAny", "Waitable", "dump_deployment", "dump_platform",
+    "fit", "load_deployment", "load_platform", "parse_radical",
+]

@@ -1,0 +1,430 @@
+"""Lazy discrete-event fluid simulation engine.
+
+Simulated processes are Python generators.  A process blocks by yielding
+either a :class:`~repro.simkernel.activity.Waitable` (resume when it
+completes) or a :class:`WaitAny` over several waitables (resume when the
+first completes; the completed one is sent back into the generator).
+
+Resource sharing is *lazily* maintained, as in SimGrid's kernel: every
+constraint records which activities currently use it, and when the
+activity mix changes, only the affected *sharing component* — activities
+transitively connected to the change through shared constraints — is
+settled (progress accrued at the old rate) and re-rated (max-min fair
+share recomputed).  Predicted completion instants live in a heap with
+epoch-validated lazy deletion.  The cost of an event is proportional to
+the size of its component, not to the number of activities in flight —
+which is what lets thousand-rank replays run in reasonable time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Generator, List, Optional, Sequence, Set
+
+from .activity import Activity, CommActivity, ExecActivity, Timer, Waitable
+from .lmm import Constraint
+
+__all__ = ["Engine", "Process", "WaitAny", "DeadlockError"]
+
+INF = float("inf")
+
+
+class DeadlockError(RuntimeError):
+    """Raised when live processes remain but nothing can make progress."""
+
+
+class WaitAny:
+    """Yielded by a process to block until any of ``waitables`` completes."""
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables: Sequence[Waitable]) -> None:
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise ValueError("WaitAny needs at least one waitable")
+
+
+class Process:
+    """A simulated process: a generator driven by the engine."""
+
+    __slots__ = ("name", "generator", "alive", "_wait_token", "result")
+
+    def __init__(self, name: str, generator: Generator) -> None:
+        self.name = name
+        self.generator = generator
+        self.alive = True
+        self._wait_token = 0  # invalidates stale WaitAny registrations
+        self.result = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"Process({self.name}, {state})"
+
+
+class Engine:
+    """Owns the simulated clock, the processes, and the active activities."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._processes: List[Process] = []
+        self._ready: deque = deque()
+        self._live_count = 0
+        self._heap: list = []       # (time, seq, epoch, activity)
+        self._seq = 0               # heap tie-breaker
+        self._dirty: Set[Constraint] = set()
+        # Heap-compaction watermark: compact when the heap doubles past
+        # the live-entry count observed at the previous compaction.
+        self._heap_floor = 4096
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def add_process(self, name: str, generator: Generator) -> Process:
+        """Register a generator as a simulated process, ready to run."""
+        proc = Process(name, generator)
+        self._processes.append(proc)
+        self._live_count += 1
+        self._ready.append((proc, None))
+        return proc
+
+    # ------------------------------------------------------------------
+    # Operations processes can yield (built here, waited on by yielding)
+    # ------------------------------------------------------------------
+    def exec_activity(
+        self,
+        constraint: Constraint,
+        amount: float,
+        bound: Optional[float] = None,
+        name: str = "",
+    ) -> ExecActivity:
+        act = ExecActivity(constraint, amount, bound=bound, name=name)
+        self.start_activity(act)
+        return act
+
+    def comm_activity(
+        self,
+        links,
+        size: float,
+        latency: float,
+        rate_factor: float = 1.0,
+        bound: Optional[float] = None,
+        name: str = "",
+    ) -> CommActivity:
+        act = CommActivity(
+            list(links), size, latency, rate_factor=rate_factor,
+            bound=bound, name=name,
+        )
+        self.start_activity(act)
+        return act
+
+    def timer(self, duration: float, name: str = "") -> Timer:
+        act = Timer(duration, name=name)
+        self.start_activity(act)
+        return act
+
+    def start_activity(self, act: Activity) -> Activity:
+        """Hand an already-built activity to the lazy fluid loop."""
+        act.start_time = self.now
+        self._enter_phase(act, act.begin(self.now))
+        return act
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until all processes finish (or ``until`` seconds of simulated
+        time elapse).  Returns the final simulated time."""
+        heap = self._heap
+        while True:
+            self._run_ready()
+            if self._dirty:
+                self._recompute_dirty()
+            if self._live_count == 0:
+                return self.now
+            # Pop the next valid completion event.
+            act = None
+            while heap:
+                time_, _, epoch, candidate = heapq.heappop(heap)
+                if candidate.done or epoch != candidate.epoch:
+                    continue
+                act = candidate
+                break
+            if act is None:
+                blocked = [p.name for p in self._processes if p.alive]
+                raise DeadlockError(
+                    f"t={self.now:g}: no activity can progress; blocked "
+                    f"processes: {blocked[:20]}"
+                    + ("..." if len(blocked) > 20 else "")
+                )
+            if until is not None and time_ > until:
+                # Re-arm the event and pause the clock at the horizon.
+                heapq.heappush(heap, (time_, self._next_seq(), epoch, act))
+                self.now = until
+                return self.now
+            if time_ > self.now:
+                self.now = time_
+            self._end_phase(act)
+            self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # Phase transitions
+    # ------------------------------------------------------------------
+    def _enter_phase(self, act: Activity, phase: str) -> None:
+        if phase == "done":
+            act.finish_time = self.now
+            self._complete(act)
+        elif phase == "timer":
+            act.epoch += 1
+            act.rate = 0.0
+            act.settled_at = self.now
+            self._push(self.now + act.remaining, act)
+        elif phase == "sharing":
+            act.settled_at = self.now
+            for cons in act.constraints:
+                cons.users.add(act)
+                self._dirty.add(cons)
+            act.registered = True
+            if not act.constraints:
+                # Unconstrained: bound-only or infinite rate.
+                act.epoch += 1
+                act.rate = act.bound if act.bound else INF
+                duration = (act.remaining / act.rate) if act.rate != INF else 0.0
+                self._push(self.now + duration, act)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown activity phase {phase!r}")
+
+    def _end_phase(self, act: Activity) -> None:
+        act.remaining = 0.0
+        if act.registered:
+            for cons in act.constraints:
+                cons.users.discard(act)
+                self._dirty.add(cons)
+            act.registered = False
+        self._enter_phase(act, act.on_phase_end(self.now))
+
+    # ------------------------------------------------------------------
+    # Lazy sharing updates
+    # ------------------------------------------------------------------
+    def _recompute_dirty(self) -> None:
+        """Settle and re-rate every activity affected by pending changes."""
+        seeds, self._dirty = self._dirty, set()
+        # Fast path for the overwhelmingly common case — one dirty
+        # constraint whose (at most one) user touches nothing else, e.g. a
+        # compute burst starting or ending on an otherwise idle CPU.
+        if len(seeds) == 1:
+            (cons,) = seeds
+            users = cons.users
+            if not users:
+                return
+            if all(len(act.constraints) == 1 for act in users):
+                # The whole component is this one constraint (e.g. a CPU
+                # with its folded compute bursts): equal shares with
+                # bounds, no BFS and no generic filling needed.
+                self._rerate_single_constraint(cons, users)
+                return
+        # BFS over the bipartite activity/constraint graph.  Disjoint
+        # components may be swept together: max-min allocations are
+        # independent across components, so one filling pass is equivalent.
+        comp_cons: Set[Constraint] = set()
+        comp_acts: Set[Activity] = set()
+        stack = [c for c in seeds if c.users]
+        comp_cons.update(seeds)
+        while stack:
+            cons = stack.pop()
+            for act in cons.users:
+                if act not in comp_acts:
+                    comp_acts.add(act)
+                    for other in act.constraints:
+                        if other not in comp_cons:
+                            comp_cons.add(other)
+                            stack.append(other)
+        if not comp_acts:
+            return
+        now = self.now
+        # Settle progress at the old rates.
+        for act in comp_acts:
+            rate = act.rate
+            if rate:
+                act.remaining -= (INF if rate == INF else
+                                  rate * (now - act.settled_at))
+                if act.remaining < 0.0:
+                    act.remaining = 0.0
+            act.settled_at = now
+
+        self._maxmin(comp_acts)
+
+        # Re-arm completion events at the new rates.
+        for act in comp_acts:
+            act.epoch += 1
+            rate = act.rate
+            if rate == INF or act.remaining <= 0.0:
+                self._push(now, act)
+            elif rate > 0.0:
+                self._push(now + act.remaining / rate, act)
+            # rate == 0: saturated at zero — no event; if everyone ends up
+            # rate-less the main loop reports a deadlock.
+
+    def _rerate_single_constraint(self, cons: Constraint, users) -> None:
+        """Max-min over one constraint: bounded users below the fair share
+        keep their bound; the rest split what remains equally."""
+        now = self.now
+        for act in users:
+            rate = act.rate
+            if rate:
+                act.remaining -= (INF if rate == INF else
+                                  rate * (now - act.settled_at))
+                if act.remaining < 0.0:
+                    act.remaining = 0.0
+            act.settled_at = now
+        remaining_cap = cons.capacity
+        unfixed = sorted(
+            users,
+            key=lambda a: a.bound if a.bound is not None else INF,
+        )
+        n = len(unfixed)
+        idx = 0
+        while idx < n:
+            share = remaining_cap / (n - idx)
+            act = unfixed[idx]
+            if act.bound is not None and act.bound < share:
+                act.rate = act.bound
+                remaining_cap -= act.bound
+                idx += 1
+            else:
+                for j in range(idx, n):
+                    unfixed[j].rate = share
+                break
+        for act in users:
+            act.epoch += 1
+            rate = act.rate
+            if rate == INF or act.remaining <= 0.0:
+                self._push(now, act)
+            elif rate > 0.0:
+                self._push(now + act.remaining / rate, act)
+
+    @staticmethod
+    def _maxmin(acts: Set[Activity]) -> None:
+        """Equal-weight progressive filling with per-activity bounds."""
+        remaining_cap = {}
+        load = {}
+        for act in acts:
+            for cons in act.constraints:
+                if cons in load:
+                    load[cons] += 1
+                else:
+                    load[cons] = 1
+                    remaining_cap[cons] = cons.capacity
+        unfixed = set(acts)
+        while unfixed:
+            level = INF
+            for cons, weight in load.items():
+                if weight > 0:
+                    share = remaining_cap[cons] / weight
+                    if share < level:
+                        level = share
+            for act in unfixed:
+                if act.bound is not None and act.bound < level:
+                    level = act.bound
+            if level == INF:
+                for act in unfixed:
+                    act.rate = INF
+                break
+            threshold = level + 1e-12 * (level if level > 1.0 else 1.0)
+            fixed = []
+            for act in unfixed:
+                if act.bound is not None and act.bound <= threshold:
+                    fixed.append((act, act.bound))
+                    continue
+                for cons in act.constraints:
+                    weight = load[cons]
+                    if weight > 0 and remaining_cap[cons] / weight <= threshold:
+                        fixed.append((act, level))
+                        break
+            if not fixed:  # numerical corner: force progress
+                fixed = [(act, level) for act in unfixed]
+            for act, rate in fixed:
+                act.rate = rate
+                unfixed.discard(act)
+                for cons in act.constraints:
+                    cap = remaining_cap[cons] - rate
+                    remaining_cap[cons] = cap if cap > 0.0 else 0.0
+                    load[cons] -= 1
+
+    # ------------------------------------------------------------------
+    # Heap plumbing
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _push(self, time_: float, act: Activity) -> None:
+        heapq.heappush(self._heap, (time_, self._next_seq(), act.epoch, act))
+
+    def _maybe_compact(self) -> None:
+        """Drop stale heap entries once they dominate (lazy deletion).
+
+        Triggered when the heap doubles past the live count seen at the
+        previous compaction — amortised O(1) per event."""
+        heap = self._heap
+        if len(heap) > 2 * self._heap_floor:
+            live = [e for e in heap if not e[3].done and e[2] == e[3].epoch]
+            # In place: run() holds a reference to this very list.
+            heap[:] = live
+            heapq.heapify(heap)
+            self._heap_floor = max(4096, len(live))
+
+    # ------------------------------------------------------------------
+    # Completion and process scheduling
+    # ------------------------------------------------------------------
+    def complete_waitable(self, waitable: Waitable) -> None:
+        """Complete a derived waitable (e.g. an MPI request): fire its
+        callbacks and wake every process blocked on it.  Used by protocol
+        layers whose objects are not kernel activities."""
+        if waitable.done:
+            return
+        self._complete(waitable)
+
+    def _complete(self, waitable: Waitable) -> None:
+        waitable._fire()
+        waiters, waitable.waiters = waitable.waiters, []
+        for proc, token in waiters:
+            if proc.alive and proc._wait_token == token:
+                proc._wait_token += 1  # consume: ignore other WaitAny fires
+                self._ready.append((proc, waitable))
+
+    def _run_ready(self) -> None:
+        while self._ready:
+            proc, sendval = self._ready.popleft()
+            if not proc.alive:
+                continue
+            self._step(proc, sendval)
+
+    def _step(self, proc: Process, sendval) -> None:
+        while True:
+            try:
+                yielded = proc.generator.send(sendval)
+            except StopIteration as stop:
+                proc.alive = False
+                proc.result = stop.value
+                self._live_count -= 1
+                return
+            if isinstance(yielded, WaitAny):
+                done = next((w for w in yielded.waitables if w.done), None)
+                if done is not None:
+                    sendval = done
+                    continue
+                token = proc._wait_token
+                for w in yielded.waitables:
+                    w.waiters.append((proc, token))
+                return
+            if isinstance(yielded, Waitable):
+                if yielded.done:
+                    sendval = yielded
+                    continue
+                yielded.waiters.append((proc, proc._wait_token))
+                return
+            raise TypeError(
+                f"process {proc.name!r} yielded {yielded!r}; expected a "
+                "Waitable or WaitAny"
+            )

@@ -1,0 +1,269 @@
+"""Message matching and the eager/rendezvous transfer protocol.
+
+This layer turns the kernel's raw :class:`CommActivity` flows into
+MPI-style matched communications.  Both the simulated-MPI runtime
+(:mod:`repro.smpi`) and the trace replayer (:mod:`repro.core.replay`)
+speak to it.
+
+Protocol, mirroring the MPI-on-TCP behaviour the paper's piece-wise-linear
+model captures (§5):
+
+* **Eager** (size <= ``eager_threshold``): the payload leaves immediately;
+  the send request completes when the flow lands whether or not a receive
+  is posted, and a receive posted later completes at the flow's arrival
+  time (or immediately if it already landed).  This is MPI_Send's buffered
+  mode.
+* **Rendezvous** (size > ``eager_threshold``): the flow starts only once
+  both sides are posted; both requests complete when it finishes.  This is
+  MPI_Send's synchronous mode above the implementation threshold.
+
+Matching follows MPI rules: per-destination queues, first-in-first-out per
+(source, tag) pair, with ``ANY_SOURCE``/``ANY_TAG`` wildcards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from .activity import CommActivity, Waitable
+from .engine import Engine
+from .platform import Host, Platform
+from .pwl import PiecewiseLinearModel, DEFAULT_MPI_MODEL
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "CommRequest", "CommSystem"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Matches OpenMPI's default point-to-point eager limit for TCP (64 KiB),
+# which is also the upper boundary of the paper's third model segment.
+DEFAULT_EAGER_THRESHOLD = 65536
+
+
+class CommRequest(Waitable):
+    """One side (send or receive) of a matched communication."""
+
+    __slots__ = ("kind", "src", "dst", "tag", "size", "data", "comm")
+
+    def __init__(self, kind: str, src: int, dst: int, tag: int,
+                 size: float, data: Any = None) -> None:
+        super().__init__()
+        self.kind = kind  # "send" | "recv"
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.size = size
+        self.data = data
+        self.comm: Optional["_PendingComm"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CommRequest({self.kind} {self.src}->{self.dst} "
+                f"tag={self.tag} size={self.size:g} done={self.done})")
+
+
+class _PendingComm:
+    """A communication being matched and transferred."""
+
+    __slots__ = ("send_req", "recv_req", "activity", "arrived", "eager")
+
+    def __init__(self) -> None:
+        self.send_req: Optional[CommRequest] = None
+        self.recv_req: Optional[CommRequest] = None
+        self.activity: Optional[CommActivity] = None
+        self.arrived = False
+        self.eager = False
+
+
+class CommSystem:
+    """Matches sends with receives and drives flows over the platform.
+
+    ``rank_hosts`` maps integer ranks to the :class:`Host` each one runs on
+    (the deployment of Fig. 6); it can hold several ranks per host, which
+    is how the Folding acquisition mode is expressed.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        platform: Platform,
+        rank_hosts: Dict[int, Host],
+        comm_model: PiecewiseLinearModel = DEFAULT_MPI_MODEL,
+        eager_threshold: float = DEFAULT_EAGER_THRESHOLD,
+    ) -> None:
+        self.engine = engine
+        self.platform = platform
+        self.rank_hosts = dict(rank_hosts)
+        self.comm_model = comm_model
+        self.eager_threshold = eager_threshold
+        # Unmatched posted sends / receives, per destination rank.
+        self._pending_sends: Dict[int, Deque[_PendingComm]] = {}
+        self._pending_recvs: Dict[int, Deque[_PendingComm]] = {}
+        self.n_transfers = 0
+        self.bytes_transferred = 0.0
+        # Routes and model factors are static for a run: memoise them
+        # (regular MPI codes reuse a handful of peer pairs and sizes).
+        self._route_cache: Dict[tuple, tuple] = {}
+        self._factor_cache: Dict[float, tuple] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of ranks deployed (MPI_Comm_size of COMM_WORLD)."""
+        return len(self.rank_hosts)
+
+    def host_of(self, rank: int) -> Host:
+        try:
+            return self.rank_hosts[rank]
+        except KeyError:
+            raise KeyError(
+                f"rank {rank} not deployed (have ranks "
+                f"0..{len(self.rank_hosts) - 1})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Posting
+    # ------------------------------------------------------------------
+    def isend(self, src: int, dst: int, size: float, tag: int = 0,
+              data: Any = None) -> CommRequest:
+        """Post a non-blocking send of ``size`` bytes from rank ``src``."""
+        req = CommRequest("send", src, dst, tag, size, data)
+        queue = self._pending_recvs.get(dst)
+        comm = self._match(queue, src, tag) if queue else None
+        if comm is not None:
+            comm.send_req = req
+            req.comm = comm
+            comm.eager = size <= self.eager_threshold
+            self._start_transfer(comm)
+        else:
+            comm = _PendingComm()
+            comm.send_req = req
+            req.comm = comm
+            comm.eager = size <= self.eager_threshold
+            self._pending_sends.setdefault(dst, deque()).append(comm)
+            if comm.eager:
+                # Buffered mode: the payload flies now.
+                self._start_transfer(comm)
+        return req
+
+    def irecv(self, dst: int, src: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> CommRequest:
+        """Post a non-blocking receive at rank ``dst``."""
+        req = CommRequest("recv", src, dst, tag, 0.0)
+        queue = self._pending_sends.get(dst)
+        comm = self._match(queue, src, tag) if queue else None
+        if comm is not None:
+            comm.recv_req = req
+            req.comm = comm
+            req.size = comm.send_req.size
+            req.src = comm.send_req.src
+            req.data = comm.send_req.data
+            if comm.activity is None:
+                # Rendezvous: the sender was waiting for us.
+                self._start_transfer(comm)
+            elif comm.arrived:
+                # Eager payload already landed.
+                self.engine.complete_waitable(req)
+            # else: eager payload in flight; completion hooks in place.
+        else:
+            comm = _PendingComm()
+            comm.recv_req = req
+            req.comm = comm
+            self._pending_recvs.setdefault(dst, deque()).append(comm)
+        return req
+
+    # Blocking conveniences (generator style: ``yield from comms.send(...)``)
+    def send(self, src: int, dst: int, size: float, tag: int = 0,
+             data: Any = None):
+        req = self.isend(src, dst, size, tag=tag, data=data)
+        yield req
+        return req
+
+    def recv(self, dst: int, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        req = self.irecv(dst, src=src, tag=tag)
+        yield req
+        return req
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _match(queue: Optional[Deque[_PendingComm]], src_or_sender: int,
+               tag: int) -> Optional[_PendingComm]:
+        """Pop the first queue entry compatible with (src, tag).
+
+        When called from ``isend`` the queue holds receive-side entries and
+        ``src_or_sender`` is the sending rank (to match the receive's
+        source selector); from ``irecv`` it holds send-side entries and
+        the roles flip.  MPI's non-overtaking rule is preserved because the
+        scan is in posting order.
+        """
+        if not queue:
+            return None
+        for idx, comm in enumerate(queue):
+            if comm.recv_req is not None:  # entry posted by a receiver
+                want_src = comm.recv_req.src
+                want_tag = comm.recv_req.tag
+                if (want_src in (ANY_SOURCE, src_or_sender)
+                        and want_tag in (ANY_TAG, tag)):
+                    del queue[idx]
+                    return comm
+            else:  # entry posted by a sender
+                have_src = comm.send_req.src
+                have_tag = comm.send_req.tag
+                if (src_or_sender in (ANY_SOURCE, have_src)
+                        and tag in (ANY_TAG, have_tag)):
+                    del queue[idx]
+                    return comm
+        return None
+
+    def _start_transfer(self, comm: _PendingComm) -> None:
+        send_req = comm.send_req
+        src_host = self.host_of(send_req.src)
+        dst_host = self.host_of(send_req.dst)
+        route_key = (id(src_host), id(dst_host))
+        cached = self._route_cache.get(route_key)
+        if cached is None:
+            route = self.platform.route(src_host, dst_host)
+            cached = (route.links, route.latency)
+            self._route_cache[route_key] = cached
+        links, latency = cached
+        factors = self._factor_cache.get(send_req.size)
+        if factors is None:
+            factors = self.comm_model.factors(send_req.size)
+            self._factor_cache[send_req.size] = factors
+        lat_factor, bw_factor = factors
+        act = CommActivity(
+            links,
+            send_req.size,
+            latency=latency * lat_factor,
+            rate_factor=bw_factor,
+            name=f"{send_req.src}->{send_req.dst}/{send_req.tag}",
+        )
+        comm.activity = act
+        self.n_transfers += 1
+        self.bytes_transferred += send_req.size
+        act.on_complete(lambda _act, c=comm: self._on_arrival(c))
+        self.engine.start_activity(act)
+        if comm.eager and not send_req.done:
+            # Buffered mode: MPI_Send returns as soon as the payload is
+            # handed to the transport; only the receiver tracks arrival.
+            self.engine.complete_waitable(send_req)
+
+    def _on_arrival(self, comm: _PendingComm) -> None:
+        comm.arrived = True
+        if comm.send_req is not None:
+            self.engine.complete_waitable(comm.send_req)
+        if comm.recv_req is not None:
+            recv = comm.recv_req
+            recv.size = comm.send_req.size
+            recv.src = comm.send_req.src
+            recv.data = comm.send_req.data
+            self.engine.complete_waitable(recv)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by deadlock diagnostics and tests)
+    # ------------------------------------------------------------------
+    def unmatched_counts(self) -> Dict[str, int]:
+        sends = sum(len(q) for q in self._pending_sends.values())
+        recvs = sum(len(q) for q in self._pending_recvs.values())
+        return {"sends": sends, "recvs": recvs}

@@ -1,0 +1,351 @@
+"""Platform description: hosts, links, clusters, and routing.
+
+The platform model mirrors what the paper's SimGrid XML files describe
+(Fig. 5): compute clusters of homogeneous hosts, each host reaching a
+shared backbone through a private full-duplex link, optionally grouped in
+cabinets behind intermediate switches (the gdx cluster of §6.1), with
+dedicated wide-area links between clusters (the 10 Gb Grid'5000 backbone
+used by the Scattering acquisition mode).
+
+Routing is static: a route is the ordered list of link constraints a flow
+crosses plus the summed latency.  Same-host communication goes through a
+per-host loopback link so that folded-rank exchanges cost a little but do
+not contend with the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .lmm import Constraint
+
+__all__ = ["Link", "Host", "Route", "Cluster", "Platform"]
+
+
+class Link:
+    """A network link: a bandwidth constraint plus a latency figure."""
+
+    __slots__ = ("name", "bandwidth", "latency", "constraint", "fatpipe")
+
+    def __init__(self, name: str, bandwidth: float, latency: float,
+                 fatpipe: bool = False) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"link {name}: bandwidth must be > 0")
+        if latency < 0:
+            raise ValueError(f"link {name}: latency must be >= 0")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.fatpipe = fatpipe
+        self.constraint = Constraint(self.bandwidth, name=name,
+                                     fatpipe=fatpipe)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, bw={self.bandwidth:g}, lat={self.latency:g})"
+
+
+class Host:
+    """A compute node: ``cores`` cores at ``speed`` flops/s each.
+
+    The CPU is a single max-min constraint of capacity ``speed * cores``;
+    individual compute bursts are bounded at ``speed`` so one task can never
+    exceed one core while several tasks folded onto one core share fairly —
+    which is exactly what the Folding acquisition mode exercises.
+
+    ``efficiency_model``, when set, makes the host's achieved flop rate
+    depend on the computation: it maps ``(kind, flops)`` to a factor in
+    (0, 1] applied to the nominal rate.  Ground-truth platform variants use
+    it to model cache effects; calibrated variants leave it ``None``.
+    """
+
+    __slots__ = ("name", "speed", "cores", "cpu", "up", "down", "loopback",
+                 "cluster", "efficiency_model", "sharing_model",
+                 "resident_ranks")
+
+    def __init__(
+        self,
+        name: str,
+        speed: float,
+        cores: int = 1,
+        efficiency_model: Optional[Callable[[str, float], float]] = None,
+        sharing_model: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError(f"host {name}: speed must be > 0")
+        if cores < 1:
+            raise ValueError(f"host {name}: cores must be >= 1")
+        self.name = name
+        self.speed = float(speed)
+        self.cores = int(cores)
+        self.cpu = Constraint(self.speed * self.cores, name=f"{name}.cpu")
+        self.up: Optional[Link] = None
+        self.down: Optional[Link] = None
+        self.loopback: Optional[Link] = None
+        self.cluster: Optional["Cluster"] = None
+        self.efficiency_model = efficiency_model
+        # Resource-sharing penalty when several ranks reside on this host
+        # (cache and memory-bus pressure): maps resident-rank count to a
+        # factor in (0, 1].  ``resident_ranks`` is set by the runtime at
+        # deployment time.  This is what makes folded acquisitions slightly
+        # *more* than x times slower in Table 2.
+        self.sharing_model = sharing_model
+        self.resident_ranks = 1
+
+    def _efficiency_factor(self, kind: str, flops: float) -> float:
+        factor = 1.0
+        if self.efficiency_model is not None:
+            eff = self.efficiency_model(kind, flops)
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(
+                    f"efficiency model returned {eff!r} for kind={kind!r}; "
+                    "must be in (0, 1]"
+                )
+            factor *= eff
+        if self.sharing_model is not None and self.resident_ranks > 1:
+            shared = self.sharing_model(self.resident_ranks)
+            if not 0.0 < shared <= 1.0:
+                raise ValueError(
+                    f"sharing model returned {shared!r} for "
+                    f"{self.resident_ranks} ranks; must be in (0, 1]"
+                )
+            factor *= shared
+        return factor
+
+    def effective_rate_bound(self, kind: str, flops: float) -> float:
+        """Achieved flop rate of one burst running alone on one core,
+        after efficiency and sharing models (``speed`` when neither is
+        set — the calibrated-platform case)."""
+        return self.speed * self._efficiency_factor(kind, flops)
+
+    def work_inflation(self, kind: str, flops: float) -> float:
+        """Factor by which a burst's *amount* must be inflated so that the
+        efficiency/sharing losses apply at any CPU share.
+
+        Efficiency must not be a mere rate cap: a cap stops binding as
+        soon as co-scheduled tasks push the fair share below it, which
+        would make folded ranks (Table 2) run at full nominal efficiency.
+        Executing ``flops * inflation`` at nominal rates is exact in both
+        regimes: alone, duration = flops / (speed * eff); folded n ways,
+        duration = n * flops / (speed * eff).
+        """
+        return 1.0 / self._efficiency_factor(kind, flops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name}, {self.speed:g} flop/s x{self.cores})"
+
+
+@dataclass
+class Route:
+    """An end-to-end path: crossed link constraints + total latency."""
+
+    links: List[Constraint]
+    latency: float
+
+
+# Default loopback: fast enough to be negligible next to real links but
+# non-zero so same-host messages still take time (SimGrid clusters do the
+# same with their optional loopback link).
+_LOOPBACK_BW = 6e9
+_LOOPBACK_LAT = 1.5e-6
+
+
+class Cluster:
+    """A homogeneous cluster behind a backbone, optionally in cabinets."""
+
+    def __init__(
+        self,
+        name: str,
+        hosts: List[Host],
+        link_bw: float,
+        link_lat: float,
+        backbone_bw: float,
+        backbone_lat: float,
+        cabinet_size: Optional[int] = None,
+        cabinet_bw: Optional[float] = None,
+        cabinet_lat: Optional[float] = None,
+        backbone_sharing: str = "shared",
+    ) -> None:
+        if backbone_sharing not in ("shared", "fatpipe"):
+            raise ValueError(
+                f"backbone_sharing must be 'shared' or 'fatpipe', got "
+                f"{backbone_sharing!r}"
+            )
+        self.name = name
+        self.hosts = hosts
+        self.backbone = Link(f"{name}.bb", backbone_bw, backbone_lat,
+                             fatpipe=backbone_sharing == "fatpipe")
+        self._cabinet_of: Dict[str, int] = {}
+        self._cabinet_links: List[Tuple[Link, Link]] = []
+
+        for host in hosts:
+            host.cluster = self
+            host.up = Link(f"{host.name}.up", link_bw, link_lat)
+            host.down = Link(f"{host.name}.down", link_bw, link_lat)
+            host.loopback = Link(f"{host.name}.lo", _LOOPBACK_BW, _LOOPBACK_LAT)
+
+        if cabinet_size:
+            cab_bw = cabinet_bw if cabinet_bw is not None else backbone_bw
+            cab_lat = cabinet_lat if cabinet_lat is not None else backbone_lat
+            n_cab = (len(hosts) + cabinet_size - 1) // cabinet_size
+            for cab in range(n_cab):
+                self._cabinet_links.append(
+                    (
+                        Link(f"{name}.cab{cab}.up", cab_bw, cab_lat),
+                        Link(f"{name}.cab{cab}.down", cab_bw, cab_lat),
+                    )
+                )
+            for idx, host in enumerate(hosts):
+                self._cabinet_of[host.name] = idx // cabinet_size
+
+    @property
+    def has_cabinets(self) -> bool:
+        return bool(self._cabinet_links)
+
+    def cabinet_index(self, host: Host) -> Optional[int]:
+        return self._cabinet_of.get(host.name)
+
+    def internal_route(self, src: Host, dst: Host) -> Route:
+        """Route between two hosts of this cluster."""
+        if src is dst:
+            return Route([src.loopback.constraint], src.loopback.latency)
+        links = [src.up]
+        if self.has_cabinets:
+            cab_src = self._cabinet_of[src.name]
+            cab_dst = self._cabinet_of[dst.name]
+            if cab_src == cab_dst:
+                # One shared cabinet switch: up link + down link only.
+                links += [dst.down]
+                return Route(
+                    [l.constraint for l in links],
+                    sum(l.latency for l in links),
+                )
+            up_link = self._cabinet_links[cab_src][0]
+            down_link = self._cabinet_links[cab_dst][1]
+            links += [up_link, self.backbone, down_link, dst.down]
+        else:
+            links += [self.backbone, dst.down]
+        return Route([l.constraint for l in links], sum(l.latency for l in links))
+
+    def exit_links(self, host: Host) -> Tuple[List[Link], float]:
+        """Links from ``host`` to the cluster's gateway (for WAN routes)."""
+        links = [host.up]
+        if self.has_cabinets:
+            links.append(self._cabinet_links[self._cabinet_of[host.name]][0])
+        links.append(self.backbone)
+        return links, sum(l.latency for l in links)
+
+    def entry_links(self, host: Host) -> Tuple[List[Link], float]:
+        """Links from the cluster's gateway down to ``host``."""
+        links = [self.backbone]
+        if self.has_cabinets:
+            links.append(self._cabinet_links[self._cabinet_of[host.name]][1])
+        links.append(host.down)
+        return links, sum(l.latency for l in links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({self.name}, {len(self.hosts)} hosts)"
+
+
+class Platform:
+    """A set of clusters plus dedicated inter-cluster (WAN) links."""
+
+    def __init__(self, name: str = "platform") -> None:
+        self.name = name
+        self.clusters: Dict[str, Cluster] = {}
+        self.hosts: Dict[str, Host] = {}
+        self._wan: Dict[Tuple[str, str], Link] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_cluster(
+        self,
+        name: str,
+        n_hosts: int,
+        speed: float,
+        link_bw: float,
+        link_lat: float,
+        backbone_bw: float,
+        backbone_lat: float,
+        cores: int = 1,
+        prefix: Optional[str] = None,
+        suffix: str = "",
+        cabinet_size: Optional[int] = None,
+        cabinet_bw: Optional[float] = None,
+        cabinet_lat: Optional[float] = None,
+        backbone_sharing: str = "shared",
+        efficiency_model: Optional[Callable[[str, float], float]] = None,
+        sharing_model: Optional[Callable[[int], float]] = None,
+        first_index: int = 0,
+    ) -> Cluster:
+        if name in self.clusters:
+            raise ValueError(f"duplicate cluster name {name!r}")
+        prefix = prefix if prefix is not None else f"{name}-"
+        hosts = [
+            Host(f"{prefix}{i}{suffix}", speed, cores=cores,
+                 efficiency_model=efficiency_model,
+                 sharing_model=sharing_model)
+            for i in range(first_index, first_index + n_hosts)
+        ]
+        cluster = Cluster(
+            name, hosts, link_bw, link_lat, backbone_bw, backbone_lat,
+            cabinet_size=cabinet_size, cabinet_bw=cabinet_bw,
+            cabinet_lat=cabinet_lat, backbone_sharing=backbone_sharing,
+        )
+        self.clusters[name] = cluster
+        for host in hosts:
+            if host.name in self.hosts:
+                raise ValueError(f"duplicate host name {host.name!r}")
+            self.hosts[host.name] = host
+        return cluster
+
+    def connect(
+        self,
+        cluster_a: str,
+        cluster_b: str,
+        bandwidth: float,
+        latency: float,
+    ) -> Link:
+        """Add a dedicated WAN link between two clusters (both directions)."""
+        for cname in (cluster_a, cluster_b):
+            if cname not in self.clusters:
+                raise KeyError(f"unknown cluster {cname!r}")
+        key = tuple(sorted((cluster_a, cluster_b)))
+        link = Link(f"wan.{key[0]}-{key[1]}", bandwidth, latency)
+        self._wan[key] = link
+        return link
+
+    # -- lookup -----------------------------------------------------------
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown host {name!r} (platform has {len(self.hosts)} hosts)"
+            ) from None
+
+    def host_list(self) -> List[Host]:
+        """All hosts, cluster by cluster, in index order."""
+        out: List[Host] = []
+        for cluster in self.clusters.values():
+            out.extend(cluster.hosts)
+        return out
+
+    # -- routing ----------------------------------------------------------
+    def route(self, src: Host, dst: Host) -> Route:
+        if src.cluster is None or dst.cluster is None:
+            raise ValueError("hosts must belong to a cluster to be routed")
+        if src.cluster is dst.cluster:
+            return src.cluster.internal_route(src, dst)
+        key = tuple(sorted((src.cluster.name, dst.cluster.name)))
+        wan = self._wan.get(key)
+        if wan is None:
+            raise ValueError(
+                f"no WAN link between clusters {key[0]!r} and {key[1]!r}"
+            )
+        exit_links, exit_lat = src.cluster.exit_links(src)
+        entry_links, entry_lat = dst.cluster.entry_links(dst)
+        links = exit_links + [wan] + entry_links
+        return Route(
+            [l.constraint for l in links],
+            exit_lat + wan.latency + entry_lat,
+        )

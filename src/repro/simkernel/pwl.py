@@ -1,0 +1,161 @@
+"""Piece-wise-linear MPI communication model.
+
+Section 5 of the paper: on cluster interconnects running MPI over TCP,
+point-to-point communication time is not an affine function of message
+size — a message under ~1 KiB fits in one IP frame (higher achieved rate),
+and MPI_Send switches from buffered to synchronous mode above an
+implementation threshold.  SimGrid therefore specialises its flow model
+with a model that is *piece-wise linear in the message size*: 3 segments,
+hence 8 parameters (2 segment boundaries + a latency factor and a
+bandwidth factor per segment).
+
+For a message of ``size`` bytes falling in segment *i*:
+
+    time = lat_factor[i] * route_latency + size / (bw_factor[i] * route_bw)
+
+The kernel consumes the two factors: the latency factor scales the flow's
+latency phase, the bandwidth factor scales its achieved rate.
+
+:func:`fit` re-implements the calibration script shipped with SimGrid: a
+per-segment linear least-squares fit of ping-pong measurements, yielding
+the best-fit (lat_factor, bw_factor) pair for each segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Segment", "PiecewiseLinearModel", "fit", "DEFAULT_MPI_MODEL"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One size range of the model; ``upper`` is exclusive (inf for last)."""
+
+    lower: float
+    upper: float
+    lat_factor: float
+    bw_factor: float
+
+    def __post_init__(self) -> None:
+        if self.lower < 0 or self.upper <= self.lower:
+            raise ValueError(f"bad segment bounds [{self.lower}, {self.upper})")
+        if self.lat_factor <= 0 or self.bw_factor <= 0:
+            raise ValueError("segment factors must be > 0")
+
+
+class PiecewiseLinearModel:
+    """Three (or more) contiguous :class:`Segment`s covering [0, inf)."""
+
+    def __init__(self, segments: Sequence[Segment]) -> None:
+        segs = sorted(segments, key=lambda s: s.lower)
+        if not segs:
+            raise ValueError("need at least one segment")
+        if segs[0].lower != 0:
+            raise ValueError("first segment must start at size 0")
+        for a, b in zip(segs, segs[1:]):
+            if a.upper != b.lower:
+                raise ValueError(
+                    f"segments must be contiguous: [{a.lower},{a.upper}) then "
+                    f"[{b.lower},{b.upper})"
+                )
+        if segs[-1].upper != float("inf"):
+            raise ValueError("last segment must extend to infinity")
+        self.segments: List[Segment] = segs
+
+    def segment_for(self, size: float) -> Segment:
+        for seg in self.segments:
+            if seg.lower <= size < seg.upper:
+                return seg
+        return self.segments[-1]  # pragma: no cover - unreachable
+
+    def factors(self, size: float) -> Tuple[float, float]:
+        """(latency factor, bandwidth factor) for a message of ``size`` B."""
+        seg = self.segment_for(size)
+        return seg.lat_factor, seg.bw_factor
+
+    def predict(self, size: float, latency: float, bandwidth: float) -> float:
+        """Point-to-point time on an uncontended route."""
+        lat_f, bw_f = self.factors(size)
+        return lat_f * latency + (size / (bw_f * bandwidth) if size else 0.0)
+
+    @property
+    def boundaries(self) -> List[float]:
+        return [seg.upper for seg in self.segments[:-1]]
+
+    def n_parameters(self) -> int:
+        """8 for the canonical 3-segment model of the paper."""
+        return len(self.segments) - 1 + 2 * len(self.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"[{s.lower:g},{s.upper:g}):lat*{s.lat_factor:.3g},bw*{s.bw_factor:.3g}"
+            for s in self.segments
+        )
+        return f"PiecewiseLinearModel({parts})"
+
+
+IDENTITY_MODEL = PiecewiseLinearModel(
+    [Segment(0.0, float("inf"), 1.0, 1.0)]
+)
+
+
+# Canonical 3-segment instantiation: small messages (< 1 KiB) enjoy a low
+# effective latency and near-wire rate (single IP frame); medium messages
+# pay MPI buffering; large messages (>= 64 KiB) run in synchronous
+# (rendezvous) mode with an extra handshake folded into the latency factor.
+DEFAULT_MPI_MODEL = PiecewiseLinearModel(
+    [
+        Segment(0.0, 1024.0, 1.0, 0.97),
+        Segment(1024.0, 65536.0, 1.9, 0.92),
+        Segment(65536.0, float("inf"), 3.2, 0.95),
+    ]
+)
+
+
+def fit(
+    sizes: Sequence[float],
+    times: Sequence[float],
+    latency: float,
+    bandwidth: float,
+    boundaries: Sequence[float] = (1024.0, 65536.0),
+) -> PiecewiseLinearModel:
+    """Best-fit a piece-wise-linear model to ping-pong measurements.
+
+    ``sizes``/``times`` are one-way message sizes (bytes) and times (s);
+    ``latency``/``bandwidth`` are the base route parameters determined as in
+    Section 5 (1-byte ping-pong / 6, nominal link rate).  Within each
+    segment we solve, in the least-squares sense,
+
+        t_k = a * latency + c * (size_k / bandwidth)
+
+    for ``a`` (the latency factor) and ``c = 1/bw_factor``.
+    """
+    sizes_arr = np.asarray(sizes, dtype=float)
+    times_arr = np.asarray(times, dtype=float)
+    if sizes_arr.shape != times_arr.shape or sizes_arr.ndim != 1:
+        raise ValueError("sizes and times must be 1-D arrays of equal length")
+    if latency <= 0 or bandwidth <= 0:
+        raise ValueError("latency and bandwidth must be > 0")
+
+    edges = [0.0] + sorted(float(b) for b in boundaries) + [float("inf")]
+    segments = []
+    for lo, hi in zip(edges, edges[1:]):
+        mask = (sizes_arr >= lo) & (sizes_arr < hi)
+        seg_sizes = sizes_arr[mask]
+        seg_times = times_arr[mask]
+        if seg_sizes.size < 2:
+            # Too few points to fit: fall back to the identity factors.
+            segments.append(Segment(lo, hi, 1.0, 1.0))
+            continue
+        design = np.column_stack(
+            [np.full(seg_sizes.size, latency), seg_sizes / bandwidth]
+        )
+        (a, c), *_ = np.linalg.lstsq(design, seg_times, rcond=None)
+        lat_factor = float(a) if a > 0 else 1.0
+        bw_factor = 1.0 / float(c) if c > 0 else 1.0
+        segments.append(Segment(lo, hi, lat_factor, bw_factor))
+    return PiecewiseLinearModel(segments)

@@ -1,0 +1,15 @@
+"""Simulated-MPI runtime: executes rank programs on the simulation kernel.
+
+This package stands in for "running the real MPI application": the same
+application skeletons can be run uninstrumented (application time), or
+instrumented with a :class:`~repro.tracer.instrument.Tracer` (acquisition),
+under any deployment — Regular, Folding, Scattering, or both (§4.2).
+"""
+
+from .api import ANY_SOURCE, ANY_TAG, MpiProcess
+from .runtime import MpiRuntime, RunResult, round_robin_deployment
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "MpiProcess", "MpiRuntime", "RunResult",
+    "round_robin_deployment",
+]

@@ -1,0 +1,133 @@
+"""Binomial-tree collective algorithms.
+
+The runtime (and the trace replayer) decompose collectives into
+point-to-point messages over binomial trees, the standard MPICH-style
+algorithms — the paper's kernel simulates collectives "as sets of
+point-to-point communications" rather than with monolithic performance
+models (§2 discusses why monolithic models are the *simplification* other
+simulators settle for; an ablation bench quantifies the difference).
+
+All collectives are rooted at process 0 in the trace format (§3), but the
+algorithms below accept any root for completeness of the MPI runtime.
+
+The functions are generators over an object exposing the small protocol
+``isend(dst, nbytes, tag, data) -> req``, ``recv(src, tag) -> req
+(generator)``, ``wait(req) (generator)`` and ``compute(flops, kind)
+(generator)`` — satisfied by :class:`repro.smpi.api.MpiProcess` and by the
+replayer's per-rank contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "bcast_plan",
+    "reduce_plan",
+    "binomial_bcast",
+    "binomial_reduce",
+    "reduce_then_bcast_allreduce",
+    "barrier",
+]
+
+#: Byte size of the token messages used by barrier synchronisation.
+BARRIER_TOKEN_BYTES = 1
+
+
+def bcast_plan(rank: int, size: int, root: int = 0
+               ) -> Tuple[Optional[int], List[int]]:
+    """(parent, children) of ``rank`` in the binomial broadcast tree.
+
+    The root has no parent.  Children are returned in sending order
+    (highest stride first, as MPICH sends them).
+    """
+    if size < 1:
+        raise ValueError(f"communicator size must be >= 1, got {size}")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range for size {size}")
+    relative = (rank - root) % size
+
+    parent = None
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = ((relative & ~mask) + root) % size
+            break
+        mask <<= 1
+    # ``mask`` now is the first set bit of ``relative`` (or >= size for the
+    # root); children are at strides below it.
+    mask >>= 1
+    children = []
+    while mask > 0:
+        if relative + mask < size:
+            children.append((relative + mask + root) % size)
+        mask >>= 1
+    return parent, children
+
+
+def reduce_plan(rank: int, size: int, root: int = 0
+                ) -> Tuple[List[int], Optional[int]]:
+    """(children-to-receive-from, parent-to-send-to) for binomial reduce.
+
+    The reduce tree is the mirror of the broadcast tree: every rank first
+    receives partial results from its broadcast children (lowest stride
+    first), then forwards to its broadcast parent.
+    """
+    parent, children = bcast_plan(rank, size, root)
+    return list(reversed(children)), parent
+
+
+def binomial_bcast(proc, nbytes: float, root: int = 0, tag: int = 0,
+                   data=None) -> Iterator:
+    """Broadcast ``nbytes`` from ``root``; returns the payload."""
+    parent, children = bcast_plan(proc.rank, proc.size, root)
+    payload = data
+    if parent is not None:
+        req = yield from proc.recv(src=parent, tag=tag)
+        payload = req.data
+    reqs = [proc.isend(dst, nbytes, tag=tag, data=payload) for dst in children]
+    for req in reqs:
+        yield req
+    return payload
+
+
+def binomial_reduce(proc, nbytes: float, flops: float = 0.0, root: int = 0,
+                    tag: int = 0, data=None, op=None) -> Iterator:
+    """Reduce ``nbytes`` partial results to ``root``.
+
+    ``flops`` is the cost of applying the reduction operator once, charged
+    for every received contribution (the ``<vcomp>`` volume of the trace
+    format's ``reduce`` action).  ``op``, if given, folds received payloads
+    into the local one (two-argument callable).
+    """
+    children, parent = reduce_plan(proc.rank, proc.size, root)
+    acc = data
+    for child in children:
+        req = yield from proc.recv(src=child, tag=tag)
+        if flops:
+            yield from proc.compute(flops, kind="reduce_op")
+        if op is not None:
+            acc = op(acc, req.data)
+    if parent is not None:
+        yield from proc.send(parent, nbytes, tag=tag, data=acc)
+        return None
+    return acc
+
+
+def reduce_then_bcast_allreduce(proc, nbytes: float, flops: float = 0.0,
+                                tag: int = 0, data=None, op=None) -> Iterator:
+    """Allreduce as reduce-to-0 followed by broadcast-from-0 (§3: the
+    replay roots every collective at process 0)."""
+    acc = yield from binomial_reduce(proc, nbytes, flops=flops, root=0,
+                                     tag=tag, data=data, op=op)
+    result = yield from binomial_bcast(proc, nbytes, root=0, tag=tag,
+                                       data=acc)
+    return result
+
+
+def barrier(proc, tag: int = 0) -> Iterator:
+    """Barrier = 1-byte reduce to 0, then 1-byte broadcast from 0."""
+    yield from binomial_reduce(proc, BARRIER_TOKEN_BYTES, root=0, tag=tag)
+    yield from binomial_bcast(proc, BARRIER_TOKEN_BYTES, root=0, tag=tag)

@@ -1,0 +1,25 @@
+"""TAU-like tracing substrate: timed traces, event files, virtual PAPI."""
+
+from .edf import EventDef, read_edf, write_edf
+from .events import (
+    ENTRY, EXIT, EV_RECV_MESSAGE, EV_SEND_MESSAGE,
+    KIND_ENTRY_EXIT, KIND_TRIGGER, TraceRecord,
+    pack_message, unpack_message,
+)
+from .instrument import (
+    DEFAULT_COUNTERS, DEFAULT_PER_RECORD_OVERHEAD, TauArchive, Tracer,
+)
+from .papi import VirtualCounterBank
+from .tracefile import (
+    HEADER_BYTES, RECORD_BYTES, TraceFileWriter,
+    edf_file_name, read_records, record_count, trc_file_name,
+)
+
+__all__ = [
+    "DEFAULT_COUNTERS", "DEFAULT_PER_RECORD_OVERHEAD", "ENTRY", "EXIT",
+    "EV_RECV_MESSAGE", "EV_SEND_MESSAGE", "EventDef", "HEADER_BYTES",
+    "KIND_ENTRY_EXIT", "KIND_TRIGGER", "RECORD_BYTES", "TauArchive",
+    "TraceFileWriter", "TraceRecord", "Tracer", "VirtualCounterBank",
+    "edf_file_name", "pack_message", "read_edf", "read_records",
+    "record_count", "trc_file_name", "unpack_message", "write_edf",
+]

@@ -1,0 +1,81 @@
+"""Event definition files (``events.<node>.edf``).
+
+TAU factors event metadata out of the per-record stream: trace records
+carry a numeric event id, and the .edf file maps ids to descriptions
+(§4.3 credits this factoring for part of TAU's size efficiency).  The
+text format follows TAU's:
+
+    <n_events> dynamic_trace_events
+    # FunctionId Group Tag "Name" Parameters
+    49 MPI 0 "MPI_Send() " EntryExit
+    1 TAUEVENT 1 "PAPI_FP_OPS" TriggerValue
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .events import KIND_ENTRY_EXIT, KIND_TRIGGER
+
+__all__ = ["EventDef", "write_edf", "read_edf"]
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """One traced event kind: id, group, tag, display name, parameter kind."""
+
+    event_id: int
+    group: str       # "MPI", "TAU_USER", "TAUEVENT", "TAU_MESSAGE", ...
+    tag: int
+    name: str        # e.g. 'MPI_Send() ' or 'PAPI_FP_OPS'
+    kind: str        # EntryExit | TriggerValue
+
+    def __post_init__(self) -> None:
+        if self.event_id < 0:
+            raise ValueError(f"event id must be >= 0, got {self.event_id}")
+        if self.kind not in (KIND_ENTRY_EXIT, KIND_TRIGGER):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if '"' in self.name:
+            raise ValueError("event names cannot contain double quotes")
+
+
+def write_edf(defs: List[EventDef], path: str) -> None:
+    lines = [f"{len(defs)} dynamic_trace_events"]
+    lines.append('# FunctionId Group Tag "Name" Parameters')
+    for d in sorted(defs, key=lambda d: d.event_id):
+        lines.append(f'{d.event_id} {d.group} {d.tag} "{d.name}" {d.kind}')
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def read_edf(path: str) -> Dict[int, EventDef]:
+    """Parse an event file into ``{event_id: EventDef}``."""
+    defs: Dict[int, EventDef] = {}
+    with open(path, "r", encoding="ascii") as handle:
+        header = handle.readline().split()
+        if len(header) != 2 or header[1] != "dynamic_trace_events":
+            raise ValueError(f"{path}: bad edf header")
+        declared = int(header[0])
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            head, _, rest = line.partition('"')
+            name, _, kind = rest.rpartition('"')
+            fields = head.split()
+            if len(fields) != 3 or not kind.strip():
+                raise ValueError(f"{path}: malformed edf line {line!r}")
+            event_id = int(fields[0])
+            defs[event_id] = EventDef(
+                event_id=event_id,
+                group=fields[1],
+                tag=int(fields[2]),
+                name=name,
+                kind=kind.strip(),
+            )
+    if len(defs) != declared:
+        raise ValueError(
+            f"{path}: header declares {declared} events, found {len(defs)}"
+        )
+    return defs

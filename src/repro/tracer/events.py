@@ -1,0 +1,82 @@
+"""Event model of the TAU-like timed trace format.
+
+Two families of events exist, as in TAU (§4.3):
+
+* ``EntryExit`` events bracket a traced function: one record with
+  ``param=+1`` at entry, one with ``param=-1`` at exit.
+* ``TriggerValue`` events sample a monotone counter: ``param`` carries the
+  counter value (e.g. ``PAPI_FP_OPS``) or a one-off quantity (message
+  size, collective volumes).
+
+Message records (``SendMessage`` / ``RecvMessage``) use two reserved event
+ids and pack *(peer rank, tag, size)* into the 64-bit ``param`` field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "ENTRY", "EXIT",
+    "EV_SEND_MESSAGE", "EV_RECV_MESSAGE",
+    "KIND_ENTRY_EXIT", "KIND_TRIGGER",
+    "pack_message", "unpack_message",
+    "TraceRecord",
+]
+
+ENTRY = 1
+EXIT = -1
+
+# Reserved event ids for message records (declared in every .edf).
+EV_SEND_MESSAGE = 60000
+EV_RECV_MESSAGE = 60001
+
+KIND_ENTRY_EXIT = "EntryExit"
+KIND_TRIGGER = "TriggerValue"
+
+_PEER_BITS = 20          # up to ~1M ranks
+_TAG_BITS = 20
+_SIZE_BITS = 63 - _PEER_BITS - _TAG_BITS  # 23 bits left for... too small
+
+# Layout: size needs the most room.  param (i64, non-negative here) is
+# packed as  peer:20 | tag:20 | size:24?  A 24-bit size caps at 16 MiB,
+# too small for big collectives.  Use peer:20 | tag:8 | size:35 instead:
+# 35 bits of size = 32 GiB per message, 8-bit wrapped tag (the extractor
+# only needs tags to disambiguate interleavings, never exact values).
+_PEER_SHIFT = 43
+_TAG_SHIFT = 35
+_TAG_MASK = (1 << 8) - 1
+_SIZE_MASK = (1 << 35) - 1
+
+
+def pack_message(peer: int, tag: int, size: float) -> int:
+    """Pack a message descriptor into the record's i64 ``param`` field."""
+    if not 0 <= peer < (1 << 20):
+        raise ValueError(f"peer rank {peer} out of packable range")
+    nbytes = int(size)
+    if nbytes != size or nbytes < 0:
+        raise ValueError(f"message size must be a non-negative integer "
+                         f"byte count, got {size}")
+    if nbytes > _SIZE_MASK:
+        raise ValueError(f"message size {nbytes} exceeds packable 32 GiB")
+    return (peer << _PEER_SHIFT) | ((tag & _TAG_MASK) << _TAG_SHIFT) | nbytes
+
+
+def unpack_message(param: int) -> Tuple[int, int, int]:
+    """Inverse of :func:`pack_message`: (peer, wrapped tag, size bytes)."""
+    peer = param >> _PEER_SHIFT
+    tag = (param >> _TAG_SHIFT) & _TAG_MASK
+    size = param & _SIZE_MASK
+    return peer, tag, size
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One 24-byte record of a TAU-like trace file."""
+
+    event_id: int
+    nid: int        # MPI rank
+    tid: int        # thread id (always 0 here: single-threaded ranks)
+    param: int      # +1/-1, counter value, or packed message descriptor
+    time_us: float  # simulated time in microseconds

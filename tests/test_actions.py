@@ -1,0 +1,133 @@
+"""Unit tests for the Table 1 action format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import (
+    ACTION_NAMES,
+    Action,
+    AllReduce,
+    Barrier,
+    Bcast,
+    CommSize,
+    Compute,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+    format_action,
+    format_volume,
+    parse_action,
+)
+
+
+def test_fig1_trace_lines():
+    """The exact trace of the paper's Fig. 1 (right-hand side)."""
+    assert format_action(Compute(0, 1e6)) == "p0 compute 1000000"
+    assert format_action(Send(0, 1, 1e6)) == "p0 send p1 1000000"
+    assert format_action(Recv(0, 3, 1e6)) == "p0 recv p3 1000000"
+
+
+def test_table1_entries():
+    """One formatted example per Table 1 row."""
+    cases = [
+        (Compute(1, 5e8), "p1 compute 500000000"),
+        (Send(1, 0, 163840), "p1 send p0 163840"),
+        (Isend(2, 3, 1024), "p2 Isend p3 1024"),
+        (Recv(3, 2, 512), "p3 recv p2 512"),
+        (Irecv(0, 1, 64), "p0 Irecv p1 64"),
+        (Bcast(0, 40), "p0 bcast 40"),
+        (Reduce(0, 40, 10), "p0 reduce 40 10"),
+        (AllReduce(5, 40, 10), "p5 allReduce 40 10"),
+        (Barrier(7), "p7 barrier"),
+        (CommSize(0, 64), "p0 comm_size 64"),
+        (Wait(4), "p4 wait"),
+    ]
+    for action, expected in cases:
+        assert format_action(action) == expected
+
+
+def test_roundtrip_all_action_kinds():
+    actions = [
+        Compute(0, 123.5), Send(1, 2, 10), Isend(2, 0, 99), Recv(0, 1, 10),
+        Irecv(3, 0, 7), Bcast(0, 1), Reduce(1, 2, 3), AllReduce(2, 4, 5),
+        Barrier(3), CommSize(0, 8), Wait(1),
+    ]
+    for action in actions:
+        assert parse_action(format_action(action)) == action
+
+
+def test_format_volume():
+    assert format_volume(1e6) == "1000000"
+    assert format_volume(163840.0) == "163840"
+    assert format_volume(0) == "0"
+    assert format_volume(1.5) == "1.5"
+    assert format_volume(2.5e20) == "2.5e+20"
+
+
+def test_parse_rejects_garbage():
+    for bad in [
+        "",                       # empty
+        "p0",                     # no action
+        "q0 compute 5",           # bad process id
+        "p0 teleport 5",          # unknown action
+        "p0 compute",             # missing volume
+        "p0 compute x",           # non-numeric volume
+        "p0 send p1",             # missing volume
+        "p0 send 1 5",            # peer without p prefix
+        "p0 barrier now",         # extra arg
+        "p0 wait 3",              # extra arg
+        "p0 reduce 5",            # missing vcomp
+        "p-1 compute 5",          # negative rank
+    ]:
+        with pytest.raises(ValueError):
+            parse_action(bad)
+
+
+def test_validation_rejects_negative_volumes():
+    with pytest.raises(ValueError):
+        Compute(0, -1.0)
+    with pytest.raises(ValueError):
+        Send(0, 1, -5)
+    with pytest.raises(ValueError):
+        Send(0, -1, 5)
+    with pytest.raises(ValueError):
+        CommSize(0, 0)
+    with pytest.raises(ValueError):
+        Reduce(0, -1, 0)
+
+
+def test_action_names_table_is_complete():
+    assert set(ACTION_NAMES) == {
+        "compute", "send", "Isend", "recv", "Irecv", "bcast", "reduce",
+        "allReduce", "barrier", "comm_size", "wait",
+    }
+    for name, cls in ACTION_NAMES.items():
+        assert cls.name == name
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    rank=st.integers(min_value=0, max_value=10 ** 6),
+    peer=st.integers(min_value=0, max_value=10 ** 6),
+    volume=st.one_of(
+        st.integers(min_value=0, max_value=10 ** 15).map(float),
+        st.floats(min_value=0, max_value=1e18, allow_nan=False),
+    ),
+    kind=st.sampled_from(["compute", "send", "Isend", "recv", "Irecv",
+                          "bcast", "reduce", "allReduce"]),
+)
+def test_property_roundtrip(rank, peer, volume, kind):
+    """Format -> parse is the identity for every action and volume."""
+    if kind == "compute":
+        action = Compute(rank, volume)
+    elif kind in ("send", "Isend", "recv", "Irecv"):
+        action = ACTION_NAMES[kind](rank, peer, volume)
+    elif kind == "bcast":
+        action = Bcast(rank, volume)
+    else:
+        action = ACTION_NAMES[kind](rank, volume, volume / 2 + 1)
+    assert parse_action(format_action(action)) == action

@@ -1,0 +1,175 @@
+"""Tests for the workloads (NPB LU skeleton, ring, stencil, microbenches)."""
+
+import pytest
+
+from repro.apps import (
+    LU_CLASSES,
+    LuGrid,
+    LuWorkload,
+    StencilConfig,
+    lu_class,
+    ring_program,
+    stencil_dims,
+    stencil_program,
+)
+from repro.apps.bisection import bisection_program, pingpong_program
+from repro.platforms import bordereau
+from repro.simkernel import Platform
+from repro.simkernel.pwl import IDENTITY_MODEL
+from repro.smpi import MpiRuntime, round_robin_deployment
+
+
+def run(program, n_ranks, speed=1e9):
+    platform = Platform("t")
+    platform.add_cluster("c", n_ranks, speed=speed, link_bw=1.25e8,
+                         link_lat=1e-5, backbone_bw=1.25e9, backbone_lat=1e-5)
+    runtime = MpiRuntime(platform, round_robin_deployment(platform, n_ranks),
+                         comm_model=IDENTITY_MODEL)
+    return runtime.run(program)
+
+
+# ---------------------------------------------------------------------------
+# Problem classes
+# ---------------------------------------------------------------------------
+
+def test_npb_class_table():
+    assert lu_class("S").nx == 12
+    assert lu_class("A").nx == 64 and lu_class("A").itmax == 250
+    assert lu_class("B").nx == 102
+    assert lu_class("C").nx == 162
+    assert lu_class("D").nx == 408 and lu_class("D").itmax == 300
+    assert lu_class("E").nx == 1020
+    assert lu_class("b").name == "B"  # case-insensitive
+    with pytest.raises(KeyError):
+        lu_class("Z")
+
+
+def test_class_d_vs_c_scaling():
+    """§6.1: class D is ~20x the work and ~16x the data of class C."""
+    c, d = lu_class("C"), lu_class("D")
+    data_ratio = d.points / c.points
+    work_ratio = data_ratio * d.itmax / c.itmax
+    assert 15 < data_ratio < 17
+    assert 18 < work_ratio < 22
+
+
+# ---------------------------------------------------------------------------
+# LU decomposition
+# ---------------------------------------------------------------------------
+
+def test_lu_grid_dims_power_of_two():
+    assert LuGrid.dims(1) == (1, 1)
+    assert LuGrid.dims(2) == (2, 1)
+    assert LuGrid.dims(8) == (4, 2)
+    assert LuGrid.dims(64) == (8, 8)
+    assert LuGrid.dims(1024) == (32, 32)
+    with pytest.raises(ValueError):
+        LuGrid.dims(12)
+    with pytest.raises(ValueError):
+        LuGrid.dims(0)
+
+
+def test_lu_grid_neighbours():
+    cfg = lu_class("B")
+    # 8 procs -> 4x2 grid; rank = row * xdim + col.
+    g0 = LuGrid.build(cfg, 8, 0)      # NW corner
+    assert g0.north is None and g0.west is None
+    assert g0.south == 4 and g0.east == 1
+    g5 = LuGrid.build(cfg, 8, 5)      # south row, interior column
+    assert g5.north == 1 and g5.west == 4 and g5.east == 6
+    assert g5.south is None
+
+
+def test_lu_grid_splits_cover_domain():
+    cfg = lu_class("B")  # 102 points over 4 columns -> 26,26,25,25
+    widths = [LuGrid.build(cfg, 8, rank).sub_nx for rank in range(4)]
+    assert sum(widths) == cfg.nx
+    assert max(widths) - min(widths) <= 1
+
+
+def test_lu_message_sizes_match_npb_formulas():
+    cfg = lu_class("A")
+    grid = LuGrid.build(cfg, 8, 5)
+    # Wavefront plane exchange: 5 doubles per boundary point.
+    assert grid.ns_plane_bytes == 40 * grid.sub_nx
+    assert grid.ew_plane_bytes == 40 * grid.sub_ny
+    # The paper's Fig. 3 example: 163840 B = 2 ghost layers x 40 B x
+    # nz x width for class A with a 32-point face width.
+    g = LuGrid.build(cfg, 4, 0)   # 2x2 grid: sub_nx = 32
+    assert g.ns_face_bytes == 163840
+
+
+def test_lu_workload_runs_all_ranks(capsys):
+    wl = LuWorkload("S", 4)
+    result = run(wl.program, 4)
+    assert result.time > 0
+    assert result.n_transfers > 1000  # wavefront traffic
+    assert all(t > 0 for t in result.per_rank_time)
+
+
+def test_lu_single_rank_has_no_comm():
+    wl = LuWorkload("S", 1)
+    result = run(wl.program, 1)
+    # Collectives degenerate to nothing; only loopback-free compute.
+    assert result.n_transfers == 0
+    assert result.time > 0
+
+
+def test_lu_work_scales_with_class():
+    t_s = run(LuWorkload("S", 4).program, 4).time
+    t_w = run(LuWorkload("W", 4).program, 4).time
+    # W is 33^3 x 300 vs S 12^3 x 50: ~125x the work.
+    assert t_w > 20 * t_s
+
+
+def test_lu_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        LuWorkload("S", 6)
+
+
+# ---------------------------------------------------------------------------
+# Ring / stencil / microbenches
+# ---------------------------------------------------------------------------
+
+def test_ring_program_total_bytes():
+    result = run(ring_program, 4)
+    assert result.n_transfers == 16
+    assert result.bytes_transferred == pytest.approx(16e6)
+
+
+def test_stencil_dims():
+    assert stencil_dims(1) == (1, 1)
+    assert stencil_dims(6) == (3, 2)
+    assert stencil_dims(16) == (4, 4)
+    assert stencil_dims(7) == (7, 1)
+    with pytest.raises(ValueError):
+        stencil_dims(0)
+
+
+def test_stencil_program_runs():
+    config = StencilConfig(nx=64, ny=64, iterations=20, norm_period=5)
+    result = run(lambda mpi: stencil_program(mpi, config), 4)
+    assert result.time > 0
+    assert result.n_transfers > 4 * 20  # halos every iteration
+
+
+def test_stencil_validation():
+    with pytest.raises(ValueError):
+        StencilConfig(nx=0, ny=4, iterations=1)
+    with pytest.raises(ValueError):
+        StencilConfig(nx=4, ny=4, iterations=1, norm_period=0)
+
+
+def test_pingpong_measures_round_trips():
+    results = {}
+    run(lambda mpi: pingpong_program(mpi, [1, 1024, 1 << 20], 3, results), 2)
+    assert set(results) == {1, 1024, 1 << 20}
+    assert results[1] < results[1024] < results[1 << 20]
+
+
+def test_bisection_program_pairs_exchange():
+    result = run(lambda mpi: bisection_program(mpi, 1e6), 8)
+    assert result.n_transfers == 8
+    assert result.bytes_transferred == pytest.approx(8e6)
+    with pytest.raises(ValueError):
+        run(lambda mpi: bisection_program(mpi, 1e6), 3)

@@ -1,0 +1,97 @@
+"""Tests for the binary time-independent trace format (§7 future work)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import (
+    ACTION_NAMES, AllReduce, Barrier, Bcast, CommSize, Compute, Irecv,
+    Isend, Recv, Reduce, Send, Wait, format_action,
+)
+from repro.core.binfmt import (
+    binary_trace_file_name,
+    decode_actions,
+    encode_actions,
+    read_binary_trace,
+    write_binary_trace,
+)
+
+
+ALL_KINDS = [
+    Compute(3, 27648000), Send(3, 4, 520), Isend(3, 2, 163840),
+    Recv(3, 1, 520), Irecv(3, 5, 1040), Bcast(3, 40),
+    Reduce(3, 40, 10), AllReduce(3, 40, 10), Barrier(3), CommSize(3, 64),
+    Wait(3),
+]
+
+
+def test_roundtrip_every_action_kind(tmp_path):
+    path = str(tmp_path / binary_trace_file_name(3))
+    nbytes = write_binary_trace(ALL_KINDS, 3, path)
+    assert nbytes == os.path.getsize(path)
+    assert list(read_binary_trace(path)) == ALL_KINDS
+
+
+def test_float_volumes_roundtrip_exactly():
+    weird = [Compute(0, 1234.5678), Send(0, 1, 0.25),
+             Reduce(0, 40.5, 10.125), Bcast(0, 3.14159)]
+    decoded = list(decode_actions(encode_actions(weird), 0))
+    assert decoded == weird
+
+
+def test_binary_is_much_smaller_than_text():
+    actions = []
+    for i in range(1000):
+        actions.append(Compute(12, 27648000 + i))
+        actions.append(Send(12, 13, 520))
+        actions.append(Recv(12, 11, 520))
+    text_bytes = sum(len(format_action(a)) + 1 for a in actions)
+    binary_bytes = len(encode_actions(actions))
+    assert binary_bytes < text_bytes / 3  # the paper hoped for "reduction"
+
+
+def test_corrupt_input_rejected(tmp_path):
+    path = str(tmp_path / "x.btrace")
+    with open(path, "wb") as handle:
+        handle.write(b"garbage!")
+    with pytest.raises(ValueError):
+        list(read_binary_trace(path))
+    # Unknown opcode.
+    with pytest.raises(ValueError):
+        list(decode_actions(bytes([0x7F]), 0))
+    # Truncated varint.
+    with pytest.raises(ValueError):
+        list(decode_actions(bytes([0x01, 0x80]), 0))
+    # Truncated float.
+    with pytest.raises(ValueError):
+        list(decode_actions(bytes([0x81, 0x01, 0x02]), 0))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    kind=st.sampled_from(list(ACTION_NAMES)),
+    rank=st.integers(min_value=0, max_value=2 ** 20 - 1),
+    peer=st.integers(min_value=0, max_value=2 ** 20 - 1),
+    volume=st.one_of(
+        st.integers(min_value=0, max_value=2 ** 60).map(float),
+        st.floats(min_value=0, max_value=1e300, allow_nan=False),
+    ),
+)
+def test_property_roundtrip(kind, rank, peer, volume):
+    cls = ACTION_NAMES[kind]
+    if kind == "compute":
+        action = Compute(rank, volume)
+    elif kind in ("send", "Isend", "recv", "Irecv"):
+        action = cls(rank, peer, volume)
+    elif kind == "bcast":
+        action = Bcast(rank, volume)
+    elif kind in ("reduce", "allReduce"):
+        action = cls(rank, volume, volume / 3 if volume else 0.0)
+    elif kind == "comm_size":
+        action = CommSize(rank, peer + 1)
+    else:
+        action = cls(rank)
+    (decoded,) = decode_actions(encode_actions([action]), rank)
+    assert decoded == action

@@ -1,0 +1,165 @@
+"""Tests for the command-line tools."""
+
+import os
+
+import pytest
+
+from repro.cli import main_acquire, main_calibrate, main_replay, main_tau2ti
+
+
+def test_cli_acquire_and_replay_roundtrip(tmp_path, capsys):
+    workdir = str(tmp_path / "acq")
+    rc = main_acquire([
+        "--app", "ring", "--ranks", "4", "--platform", "bordereau",
+        "--hosts", "4", "--workdir", workdir,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "execution time" in out
+    assert "TI trace size" in out
+    ti_dir = os.path.join(workdir, "ti")
+    assert os.path.exists(os.path.join(ti_dir, "SG_process0.trace"))
+
+    # Calibrate, writing a platform XML, then replay from pure files.
+    platform_xml = str(tmp_path / "calibrated.xml")
+    rc = main_calibrate([
+        "--app", "ring", "--ranks", "4", "--platform", "bordereau",
+        "--hosts", "4", "--runs", "2", "--output", platform_xml,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "flop rate" in out
+    assert os.path.exists(platform_xml)
+
+    timed = str(tmp_path / "timed.txt")
+    rc = main_replay([
+        ti_dir, "--platform-xml", platform_xml, "--ranks", "4",
+        "--timed-trace", timed,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Simulated execution time:" in out
+    with open(timed) as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 48  # 4 ranks x 12 actions
+    assert lines[0].startswith("p0 ")
+
+
+def test_cli_tau2ti(tmp_path, capsys):
+    workdir = str(tmp_path / "acq")
+    main_acquire([
+        "--app", "ring", "--ranks", "2", "--platform", "bordereau",
+        "--hosts", "2", "--workdir", workdir, "--skip-application-run",
+    ])
+    capsys.readouterr()
+    out_dir = str(tmp_path / "ti2")
+    rc = main_tau2ti([os.path.join(workdir, "tau"), "2", out_dir])
+    assert rc == 0
+    assert "extracted" in capsys.readouterr().out
+    assert os.path.exists(os.path.join(out_dir, "SG_process1.trace"))
+
+
+def test_cli_acquire_modes_and_lu(tmp_path, capsys):
+    rc = main_acquire([
+        "--app", "lu", "--class", "S", "--ranks", "4",
+        "--platform", "grid5000", "--hosts", "8",
+        "--mode", "SF-(2,2)", "--workdir", str(tmp_path),
+        "--skip-application-run",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mode:                SF-(2,2)" in out
+
+
+def test_cli_replay_flat_collectives(tmp_path, capsys):
+    workdir = str(tmp_path / "acq")
+    main_acquire([
+        "--app", "lu", "--class", "S", "--ranks", "4",
+        "--platform", "bordereau", "--hosts", "4",
+        "--workdir", workdir, "--skip-application-run",
+    ])
+    platform_xml = str(tmp_path / "p.xml")
+    main_calibrate([
+        "--app", "ring", "--ranks", "2", "--platform", "bordereau",
+        "--hosts", "4", "--runs", "1", "--output", platform_xml,
+    ])
+    capsys.readouterr()
+    rc = main_replay([
+        os.path.join(workdir, "ti"), "--platform-xml", platform_xml,
+        "--ranks", "4", "--collectives", "flat",
+    ])
+    assert rc == 0
+    assert "Simulated execution time:" in capsys.readouterr().out
+
+
+def test_cli_bad_platform_rejected():
+    with pytest.raises(SystemExit):
+        main_acquire(["--platform", "nonexistent", "--workdir", "/tmp/x"])
+
+
+def test_cli_convert_roundtrip(tmp_path, capsys):
+    workdir = str(tmp_path / "acq")
+    main_acquire([
+        "--app", "ring", "--ranks", "2", "--platform", "bordereau",
+        "--hosts", "2", "--workdir", workdir, "--skip-application-run",
+    ])
+    capsys.readouterr()
+    from repro.cli import main_convert
+    ti = os.path.join(workdir, "ti")
+    bin_dir = str(tmp_path / "bin")
+    rc = main_convert([ti, bin_dir, "--to", "binary"])
+    assert rc == 0
+    assert "converted 2 ranks" in capsys.readouterr().out
+    back = str(tmp_path / "text")
+    rc = main_convert([bin_dir, back, "--to", "text"])
+    assert rc == 0
+    original = open(os.path.join(ti, "SG_process0.trace")).read()
+    restored = open(os.path.join(back, "SG_process0.trace")).read()
+    assert original == restored
+
+
+def test_cli_validate(tmp_path, capsys):
+    workdir = str(tmp_path / "acq")
+    main_acquire([
+        "--app", "ring", "--ranks", "2", "--platform", "bordereau",
+        "--hosts", "2", "--workdir", workdir, "--skip-application-run",
+    ])
+    capsys.readouterr()
+    from repro.cli import main_validate
+    rc = main_validate([os.path.join(workdir, "ti")])
+    assert rc == 0
+    assert "OK" in capsys.readouterr().out
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / "SG_process0.trace").write_text("p0 wait\n")
+    rc = main_validate([str(bad)])
+    assert rc == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_cli_acquire_cg_and_mg(tmp_path, capsys):
+    for app in ("cg", "mg"):
+        rc = main_acquire([
+            "--app", app, "--class", "S", "--ranks", "4",
+            "--platform", "bordereau", "--hosts", "4",
+            "--workdir", str(tmp_path / app), "--skip-application-run",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TI trace size" in out
+
+
+def test_cli_stats(tmp_path, capsys):
+    workdir = str(tmp_path / "acq")
+    main_acquire([
+        "--app", "lu", "--class", "S", "--ranks", "4",
+        "--platform", "bordereau", "--hosts", "4",
+        "--workdir", workdir, "--skip-application-run",
+    ])
+    capsys.readouterr()
+    from repro.cli import main_stats
+    rc = main_stats([os.path.join(workdir, "ti")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Trace statistics" in out
+    assert "point-to-point" in out

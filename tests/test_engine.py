@@ -1,0 +1,262 @@
+"""Unit tests for the fluid discrete-event engine."""
+
+import pytest
+
+from repro.simkernel import (
+    Constraint,
+    DeadlockError,
+    Engine,
+    WaitAny,
+)
+
+
+def test_single_exec_duration():
+    engine = Engine()
+    cpu = Constraint(1e9, "cpu")
+    times = {}
+
+    def proc():
+        act = engine.exec_activity(cpu, 2e9)
+        yield act
+        times["end"] = engine.now
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert times["end"] == pytest.approx(2.0)
+
+
+def test_two_execs_share_cpu():
+    engine = Engine()
+    cpu = Constraint(1e9, "cpu")
+    ends = {}
+
+    def proc(name, flops):
+        yield engine.exec_activity(cpu, flops)
+        ends[name] = engine.now
+
+    engine.add_process("a", proc("a", 1e9))
+    engine.add_process("b", proc("b", 1e9))
+    engine.run()
+    # Each gets 0.5 Gflop/s while both run: both end at t=2.
+    assert ends["a"] == pytest.approx(2.0)
+    assert ends["b"] == pytest.approx(2.0)
+
+
+def test_shorter_task_releases_capacity():
+    engine = Engine()
+    cpu = Constraint(1e9, "cpu")
+    ends = {}
+
+    def proc(name, flops):
+        yield engine.exec_activity(cpu, flops)
+        ends[name] = engine.now
+
+    engine.add_process("short", proc("short", 1e9))
+    engine.add_process("long", proc("long", 3e9))
+    engine.run()
+    # Shared until t=2 (short done: 1e9 at 0.5e9/s); long then has
+    # 2e9 left at full speed -> ends at t=4.
+    assert ends["short"] == pytest.approx(2.0)
+    assert ends["long"] == pytest.approx(4.0)
+
+
+def test_exec_bound_limits_rate():
+    engine = Engine()
+    cpu = Constraint(4e9, "cpu")  # 4-core host
+    ends = {}
+
+    def proc():
+        yield engine.exec_activity(cpu, 1e9, bound=1e9)  # one core max
+        ends["t"] = engine.now
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert ends["t"] == pytest.approx(1.0)
+
+
+def test_timer():
+    engine = Engine()
+    ends = {}
+
+    def proc():
+        yield engine.timer(2.5)
+        ends["t"] = engine.now
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert ends["t"] == pytest.approx(2.5)
+
+
+def test_comm_latency_plus_bandwidth():
+    engine = Engine()
+    link = Constraint(1e8, "link")
+    ends = {}
+
+    def proc():
+        act = engine.comm_activity([link], size=1e8, latency=0.5)
+        yield act
+        ends["t"] = engine.now
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert ends["t"] == pytest.approx(1.5)  # 0.5 latency + 1.0 transfer
+
+
+def test_comm_rate_factor_scales_throughput():
+    engine = Engine()
+    link = Constraint(1e8, "link")
+    ends = {}
+
+    def proc():
+        yield engine.comm_activity([link], size=1e8, latency=0.0,
+                                   rate_factor=0.5)
+        ends["t"] = engine.now
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert ends["t"] == pytest.approx(2.0)
+
+
+def test_two_flows_share_link():
+    engine = Engine()
+    link = Constraint(1e8, "link")
+    ends = {}
+
+    def proc(name):
+        yield engine.comm_activity([link], size=1e8, latency=0.0)
+        ends[name] = engine.now
+
+    engine.add_process("a", proc("a"))
+    engine.add_process("b", proc("b"))
+    engine.run()
+    assert ends["a"] == pytest.approx(2.0)
+    assert ends["b"] == pytest.approx(2.0)
+
+
+def test_zero_size_comm_costs_latency_only():
+    engine = Engine()
+    link = Constraint(1e8, "link")
+    ends = {}
+
+    def proc():
+        yield engine.comm_activity([link], size=0.0, latency=0.25)
+        ends["t"] = engine.now
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert ends["t"] == pytest.approx(0.25)
+
+
+def test_wait_any_returns_first_completion():
+    engine = Engine()
+    winner = {}
+
+    def proc():
+        slow = engine.timer(5.0, name="slow")
+        fast = engine.timer(1.0, name="fast")
+        done = yield WaitAny([slow, fast])
+        winner["name"] = done.name
+        winner["t"] = engine.now
+        yield slow  # drain the other
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert winner["name"] == "fast"
+    assert winner["t"] == pytest.approx(1.0)
+
+
+def test_wait_on_already_done_activity_resumes_immediately():
+    engine = Engine()
+    order = []
+
+    def proc():
+        act = engine.timer(1.0)
+        yield act
+        order.append(("first", engine.now))
+        yield act  # already done: no extra time
+        order.append(("second", engine.now))
+
+    engine.add_process("p", proc())
+    engine.run()
+    assert order == [("first", 1.0), ("second", 1.0)]
+
+
+def test_deadlock_detection():
+    engine = Engine()
+
+    def proc():
+        from repro.simkernel.activity import Waitable
+        never = Waitable()
+        yield never
+
+    engine.add_process("stuck", proc())
+    with pytest.raises(DeadlockError) as err:
+        engine.run()
+    assert "stuck" in str(err.value)
+
+
+def test_run_until_pauses_clock():
+    engine = Engine()
+
+    def proc():
+        yield engine.timer(10.0)
+
+    engine.add_process("p", proc())
+    t = engine.run(until=3.0)
+    assert t == pytest.approx(3.0)
+    t = engine.run()
+    assert t == pytest.approx(10.0)
+
+
+def test_process_result_captured():
+    engine = Engine()
+
+    def proc():
+        yield engine.timer(1.0)
+        return 42
+
+    handle = engine.add_process("p", proc())
+    engine.run()
+    assert handle.result == 42
+    assert not handle.alive
+
+
+def test_bad_yield_type_raises():
+    engine = Engine()
+
+    def proc():
+        yield "nonsense"
+
+    engine.add_process("p", proc())
+    with pytest.raises(TypeError):
+        engine.run()
+
+
+def test_sequential_chain_of_processes():
+    """A -> B -> C message-free handoff via shared waitables."""
+    engine = Engine()
+    from repro.simkernel.activity import Waitable
+    token_ab = Waitable()
+    token_bc = Waitable()
+    log = []
+
+    def a():
+        yield engine.timer(1.0)
+        log.append(("a", engine.now))
+        engine.complete_waitable(token_ab)
+
+    def b():
+        yield token_ab
+        yield engine.timer(1.0)
+        log.append(("b", engine.now))
+        engine.complete_waitable(token_bc)
+
+    def c():
+        yield token_bc
+        log.append(("c", engine.now))
+
+    engine.add_process("a", a())
+    engine.add_process("b", b())
+    engine.add_process("c", c())
+    engine.run()
+    assert log == [("a", 1.0), ("b", 2.0), ("c", 2.0)]

@@ -1,0 +1,103 @@
+"""Failure injection: corrupted inputs must fail loudly, never silently.
+
+An off-line simulation pipeline lives or dies by trusting its artefacts;
+every reader in the stack is attacked here with truncated, mismatched,
+and corrupted inputs.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.apps import ring_program
+from repro.core.acquisition import acquire
+from repro.extract import tau2simgrid
+from repro.extract.tfr import read_trace
+from repro.platforms import bordereau
+from repro.tracer import read_edf, read_records, trc_file_name
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    """A real 2-rank TAU archive to corrupt."""
+    result = acquire(ring_program, bordereau(2), 2,
+                     workdir=str(tmp_path), measure_application=False)
+    return os.path.join(str(tmp_path), "tau")
+
+
+def test_truncated_trace_file_detected(archive, tmp_path):
+    path = os.path.join(archive, trc_file_name(0))
+    blob = open(path, "rb").read()
+    open(path, "wb").write(blob[:len(blob) - 7])  # cut mid-record
+    with pytest.raises(ValueError) as err:
+        list(read_records(path))
+    assert "truncated" in str(err.value)
+
+
+def test_truncated_header_detected(archive):
+    path = os.path.join(archive, trc_file_name(0))
+    open(path, "wb").write(b"TAUTRC01\x01")
+    with pytest.raises(ValueError):
+        list(read_records(path))
+
+
+def test_trace_edf_mismatch_detected(archive):
+    """Records referencing undeclared event ids mean gathering shipped
+    inconsistent files; extraction must refuse."""
+    edf0 = os.path.join(archive, "events.0.edf")
+    defs = open(edf0).read().splitlines()
+    # Drop the MPI_Send declaration (keep the header count consistent).
+    kept = [l for l in defs if "MPI_Send" not in l]
+    kept[0] = f"{len(kept) - 2} dynamic_trace_events"
+    open(edf0, "w").write("\n".join(kept) + "\n")
+    with pytest.raises(ValueError) as err:
+        tau2simgrid(archive, 2, out_dir=None)
+    assert "not declared" in str(err.value)
+
+
+def test_corrupted_event_order_detected(archive):
+    """A LeaveState without its EnterState is a corrupt trace."""
+    from repro.tracer.tracefile import (
+        HEADER_BYTES, RECORD_BYTES, TraceFileWriter,
+    )
+    from repro.tracer.events import ENTRY, EXIT
+
+    path = os.path.join(archive, trc_file_name(0))
+    edf = os.path.join(archive, "events.0.edf")
+    defs = read_edf(edf)
+    send_id = next(i for i, d in defs.items()
+                   if d.name.startswith("MPI_Send"))
+    writer = TraceFileWriter(path)
+    writer.write(send_id, 0, 0, EXIT, 1.0)  # exit before any entry
+    writer.close()
+    with pytest.raises(ValueError):
+        tau2simgrid(archive, 2, out_dir=None)
+
+
+def test_missing_rank_file_detected(archive):
+    os.remove(os.path.join(archive, trc_file_name(1)))
+    with pytest.raises(FileNotFoundError):
+        tau2simgrid(archive, 2, out_dir=None)
+
+
+def test_recv_message_outside_mpi_state_detected(archive):
+    from repro.tracer.events import EV_RECV_MESSAGE, pack_message
+    from repro.tracer.tracefile import TraceFileWriter
+
+    path = os.path.join(archive, trc_file_name(0))
+    writer = TraceFileWriter(path)
+    writer.write(EV_RECV_MESSAGE, 0, 0, pack_message(1, 0, 100), 1.0)
+    writer.close()
+    with pytest.raises(ValueError) as err:
+        tau2simgrid(archive, 2, out_dir=None)
+    assert "RecvMessage" in str(err.value)
+
+
+def test_tfr_reports_exact_record_count(archive):
+    from repro.extract.tfr import TfrCallbacks
+
+    path = os.path.join(archive, trc_file_name(0))
+    expected = (os.path.getsize(path) - 16) // 24
+    assert read_trace(path, os.path.join(archive, "events.0.edf"),
+                      TfrCallbacks()) == expected

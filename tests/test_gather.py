@@ -1,0 +1,143 @@
+"""Unit tests for K-nomial tree gathering."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gather import (
+    gather_files,
+    knomial_rounds,
+    knomial_schedule,
+    simulate_gather,
+)
+from repro.simkernel import Platform
+
+
+def test_knomial_rounds():
+    assert knomial_rounds(1, 4) == 0
+    assert knomial_rounds(5, 4) == 1
+    assert knomial_rounds(25, 4) == 2
+    assert knomial_rounds(64, 4) == 3   # log_5(64) -> 3 rounds
+    assert knomial_rounds(64, 1) == 6   # binomial: log_2(64)
+    with pytest.raises(ValueError):
+        knomial_rounds(0, 4)
+    with pytest.raises(ValueError):
+        knomial_rounds(4, 0)
+
+
+def test_knomial_schedule_covers_every_node_once():
+    for n in (1, 2, 5, 16, 64, 100):
+        for arity in (1, 2, 4):
+            schedule = knomial_schedule(n, arity)
+            assert len(schedule) == knomial_rounds(n, arity)
+            senders = [s for round_pairs in schedule for (s, _) in round_pairs]
+            # Everyone but node 0 sends exactly once.
+            assert sorted(senders) == list(range(1, n))
+            # A node never sends before it finished receiving: senders of
+            # round r only receive in rounds < r.
+            sent_at = {s: i for i, round_pairs in enumerate(schedule)
+                       for (s, _) in round_pairs}
+            for i, round_pairs in enumerate(schedule):
+                for (_, recv) in round_pairs:
+                    assert sent_at.get(recv, len(schedule)) > i
+
+
+def flat_platform(n):
+    platform = Platform("p")
+    platform.add_cluster("c", n, speed=1e9, link_bw=1.25e8, link_lat=1e-5,
+                         backbone_bw=1.25e9, backbone_lat=1e-5)
+    return platform
+
+
+def test_simulate_gather_single_node_is_free():
+    platform = flat_platform(1)
+    result = simulate_gather(platform, platform.host_list(), [1e6])
+    assert result.time == 0.0
+    assert result.n_rounds == 0
+
+
+def test_simulate_gather_two_nodes_is_one_transfer():
+    platform = flat_platform(2)
+    result = simulate_gather(platform, platform.host_list(), [1e6, 1e8])
+    # Node 1 ships its 1e8 bytes over the 1.25e8 B/s route.
+    assert result.time == pytest.approx(3e-5 + 1e8 / 1.25e8, rel=1e-3)
+    assert result.n_rounds == 1
+    assert result.total_bytes == pytest.approx(1e6 + 1e8)
+
+
+def test_simulate_gather_grows_with_depth():
+    """More nodes -> more rounds -> longer gather (Fig. 7's growth)."""
+    times = []
+    for n in (5, 25, 125):
+        platform = flat_platform(n)
+        result = simulate_gather(platform, platform.host_list(), [1e7] * n)
+        times.append(result.time)
+    assert times[0] < times[1] < times[2]
+
+
+def test_simulate_gather_arity_tradeoff():
+    """Higher arity -> fewer rounds but more contention at receivers."""
+    platform = flat_platform(64)
+    deep = simulate_gather(platform, platform.host_list(), [1e6] * 64, arity=1)
+    wide = simulate_gather(platform, platform.host_list(), [1e6] * 64, arity=8)
+    assert deep.n_rounds == 6
+    assert wide.n_rounds == 2
+    assert deep.time != wide.time
+
+
+def test_simulate_gather_validation():
+    platform = flat_platform(2)
+    with pytest.raises(ValueError):
+        simulate_gather(platform, platform.host_list(), [1.0])  # length
+
+
+def test_gather_files_moves_everything(tmp_path):
+    node_dirs = []
+    for node in range(3):
+        directory = tmp_path / f"node{node}"
+        directory.mkdir()
+        for rank in (2 * node, 2 * node + 1):
+            (directory / f"SG_process{rank}.trace").write_text(
+                f"p{rank} compute 1\n"
+            )
+        node_dirs.append(str(directory))
+    dest = str(tmp_path / "gathered")
+    moved = gather_files(node_dirs, dest)
+    assert moved == 6
+    assert sorted(os.listdir(dest)) == [
+        f"SG_process{r}.trace" for r in range(6)
+    ]
+
+
+def test_gather_files_rejects_duplicates(tmp_path):
+    for node in range(2):
+        directory = tmp_path / f"node{node}"
+        directory.mkdir()
+        (directory / "SG_process0.trace").write_text("p0 compute 1\n")
+    with pytest.raises(ValueError):
+        gather_files([str(tmp_path / "node0"), str(tmp_path / "node1")],
+                     str(tmp_path / "dest"))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    arity=st.integers(min_value=1, max_value=6),
+)
+def test_property_schedule_is_a_tree_to_zero(n, arity):
+    schedule = knomial_schedule(n, arity)
+    parent = {}
+    for round_pairs in schedule:
+        for sender, receiver in round_pairs:
+            assert sender not in parent  # sends once
+            parent[sender] = receiver
+    # Every node reaches 0 by following parents.
+    for node in range(1, n):
+        seen = set()
+        current = node
+        while current != 0:
+            assert current not in seen
+            seen.add(current)
+            current = parent[current]

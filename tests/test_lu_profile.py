@@ -1,0 +1,82 @@
+"""Pinning tests: the analytic LU trace profiler vs the real pipeline.
+
+The benches use :mod:`repro.apps.lu_profile` for paper-scale rows of
+Table 3 and §6.5; these tests guarantee the profiler agrees *exactly*
+with instrument -> execute -> extract on instances small enough to run.
+"""
+
+import tempfile
+
+import pytest
+
+from repro.apps import LuWorkload
+from repro.apps.lu_profile import (
+    lu_instance_profile,
+    lu_rank_profile,
+    sample_rank_lines,
+)
+from repro.core.acquisition import acquire
+from repro.core.trace import estimate_gzip_ratio
+from repro.platforms import bordereau
+
+
+@pytest.mark.parametrize("cls,n_ranks", [("S", 1), ("S", 2), ("S", 4),
+                                         ("S", 8), ("W", 4)])
+def test_profile_matches_real_pipeline_exactly(cls, n_ranks, tmp_path):
+    profile = lu_instance_profile(cls, n_ranks)
+    result = acquire(LuWorkload(cls, n_ranks).program, bordereau(8),
+                     n_ranks, workdir=str(tmp_path),
+                     measure_application=False)
+    assert profile.ti_actions == result.extraction.n_actions
+    assert profile.ti_bytes == result.extraction.n_bytes
+    assert profile.tau_records == result.tau_archive.n_records
+    assert profile.tau_bytes == result.tau_archive.n_bytes
+
+
+def test_rank_profile_affine_decomposition_is_exact():
+    """The itmax-affine shortcut equals a brute-force full walk."""
+    from dataclasses import replace
+    from repro.apps.classes import lu_class
+    from repro.apps.lu_profile import _DryMpi
+
+    config = replace(lu_class("S"), itmax=7, inorm=3)
+    fast = lu_rank_profile(config, 4, 2)
+    dry = _DryMpi(config, 4, 2)
+    dry.run(config)
+    assert (fast.ti_actions, fast.ti_bytes, fast.tau_records) == (
+        dry.ti_actions, dry.ti_bytes, dry.tau_records
+    )
+
+
+def test_instance_profile_rank_symmetry_cache_is_sound():
+    """The symmetry cache must not change totals: compare a cached
+    instance sum against the plain per-rank sum."""
+    total = sum(
+        lu_rank_profile("S", 8, rank).ti_bytes for rank in range(8)
+    )
+    assert lu_instance_profile("S", 8).ti_bytes == total
+
+
+def test_paper_scale_table3_shape():
+    """Table 3's structural facts, at the paper's own scales."""
+    b8 = lu_instance_profile("B", 8)
+    b64 = lu_instance_profile("B", 64)
+    c8 = lu_instance_profile("C", 8)
+    # Timed traces are ~an order of magnitude bigger than TI traces...
+    assert 8 < b8.ratio < 14
+    # ...the ratio decreases as the process count grows...
+    assert b64.ratio < b8.ratio
+    # ...sizes grow roughly linearly with processes...
+    assert 8 < b64.ti_bytes / b8.ti_bytes < 14
+    # ...and class C is ~1.6x class B (the paper's constant factor).
+    assert 1.4 < c8.ti_actions / b8.ti_actions < 1.8
+    # Absolute action counts in the paper's ballpark (2.03M for B/8).
+    assert 1.5e6 < b8.ti_actions < 2.5e6
+
+
+def test_sample_rank_lines_compress_like_the_paper():
+    """§6.5: the class-D trace gzips from 32.5 GiB to 1.2 GiB (~27x).
+    Our sampled estimate must land in that regime."""
+    lines = sample_rank_lines("C", 64, rank=27, max_iters=2)
+    ratio = estimate_gzip_ratio(lines)
+    assert 10 < ratio < 60

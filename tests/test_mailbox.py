@@ -1,0 +1,221 @@
+"""Unit tests for message matching and the eager/rendezvous protocol."""
+
+import pytest
+
+from repro.simkernel import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommSystem,
+    Engine,
+    Platform,
+)
+from repro.simkernel.pwl import IDENTITY_MODEL
+
+
+def make_world(n_ranks=2, speed=1e9, bw=1.25e8, lat=1e-4, ranks_per_host=1,
+               eager_threshold=65536, comm_model=IDENTITY_MODEL):
+    engine = Engine()
+    platform = Platform("test")
+    n_hosts = (n_ranks + ranks_per_host - 1) // ranks_per_host
+    platform.add_cluster(
+        "c", n_hosts, speed=speed, link_bw=bw, link_lat=lat,
+        backbone_bw=bw * 10, backbone_lat=lat,
+    )
+    hosts = platform.host_list()
+    rank_hosts = {r: hosts[r // ranks_per_host] for r in range(n_ranks)}
+    comms = CommSystem(engine, platform, rank_hosts,
+                       comm_model=comm_model, eager_threshold=eager_threshold)
+    return engine, platform, comms
+
+
+def test_blocking_send_recv_delivers_data():
+    engine, _, comms = make_world()
+    seen = {}
+
+    def sender():
+        yield from comms.send(0, 1, 100.0, tag=7, data="payload")
+
+    def receiver():
+        req = yield from comms.recv(1, src=0, tag=7)
+        seen["data"] = req.data
+        seen["size"] = req.size
+        seen["src"] = req.src
+        seen["t"] = engine.now
+
+    engine.add_process("s", sender())
+    engine.add_process("r", receiver())
+    engine.run()
+    assert seen["data"] == "payload"
+    assert seen["size"] == 100.0
+    assert seen["src"] == 0
+    assert seen["t"] > 0
+
+
+def test_transfer_time_matches_route_model():
+    # Route: up link + backbone + down link; identity comm model.
+    bw, lat = 1.25e8, 1e-4
+    engine, platform, comms = make_world(bw=bw, lat=lat)
+    ends = {}
+    size = 1.25e8  # exactly 1 second at link bandwidth
+
+    def sender():
+        yield from comms.send(0, 1, size)
+
+    def receiver():
+        yield from comms.recv(1)
+        ends["t"] = engine.now
+
+    engine.add_process("s", sender())
+    engine.add_process("r", receiver())
+    engine.run()
+    # latency: up + backbone + down = 3e-4; bandwidth: min(link, bb) = link.
+    assert ends["t"] == pytest.approx(3 * lat + size / bw, rel=1e-6)
+
+
+def test_eager_send_completes_without_receiver():
+    engine, _, comms = make_world(eager_threshold=1024)
+    ends = {}
+
+    def sender():
+        yield from comms.send(0, 1, 512.0)  # below threshold: eager
+        ends["send_done"] = engine.now
+
+    def receiver():
+        yield engine.timer(5.0)  # receiver shows up late
+        yield from comms.recv(1)
+        ends["recv_done"] = engine.now
+
+    engine.add_process("s", sender())
+    engine.add_process("r", receiver())
+    engine.run()
+    assert ends["send_done"] < 1.0  # sender did not wait for the receiver
+    assert ends["recv_done"] == pytest.approx(5.0)  # payload already landed
+
+
+def test_rendezvous_send_blocks_until_receiver_posts():
+    engine, _, comms = make_world(eager_threshold=1024)
+    ends = {}
+
+    def sender():
+        yield from comms.send(0, 1, 1e6)  # above threshold: synchronous
+        ends["send_done"] = engine.now
+
+    def receiver():
+        yield engine.timer(5.0)
+        yield from comms.recv(1)
+        ends["recv_done"] = engine.now
+
+    engine.add_process("s", sender())
+    engine.add_process("r", receiver())
+    engine.run()
+    assert ends["send_done"] > 5.0  # waited for the rendezvous
+    assert ends["recv_done"] == pytest.approx(ends["send_done"])
+
+
+def test_message_ordering_same_source_tag():
+    """MPI non-overtaking: two same-tag messages arrive in posting order."""
+    engine, _, comms = make_world()
+    received = []
+
+    def sender():
+        yield from comms.send(0, 1, 100.0, tag=0, data="first")
+        yield from comms.send(0, 1, 100.0, tag=0, data="second")
+
+    def receiver():
+        a = yield from comms.recv(1, src=0, tag=0)
+        b = yield from comms.recv(1, src=0, tag=0)
+        received.extend([a.data, b.data])
+
+    engine.add_process("s", sender())
+    engine.add_process("r", receiver())
+    engine.run()
+    assert received == ["first", "second"]
+
+
+def test_tag_selectivity():
+    engine, _, comms = make_world()
+    received = []
+
+    def sender():
+        yield from comms.send(0, 1, 10.0, tag=1, data="one")
+        yield from comms.send(0, 1, 10.0, tag=2, data="two")
+
+    def receiver():
+        b = yield from comms.recv(1, src=0, tag=2)
+        a = yield from comms.recv(1, src=0, tag=1)
+        received.extend([b.data, a.data])
+
+    engine.add_process("s", sender())
+    engine.add_process("r", receiver())
+    engine.run()
+    assert received == ["two", "one"]
+
+
+def test_any_source_any_tag_wildcards():
+    engine, _, comms = make_world(n_ranks=3)
+    received = []
+
+    def sender(rank):
+        yield from comms.send(rank, 2, 10.0, tag=rank, data=f"from{rank}")
+
+    def receiver():
+        a = yield from comms.recv(2, src=ANY_SOURCE, tag=ANY_TAG)
+        b = yield from comms.recv(2, src=ANY_SOURCE, tag=ANY_TAG)
+        received.extend(sorted([a.data, b.data]))
+
+    engine.add_process("s0", sender(0))
+    engine.add_process("s1", sender(1))
+    engine.add_process("r", receiver())
+    engine.run()
+    assert received == ["from0", "from1"]
+
+
+def test_same_host_communication_uses_loopback():
+    engine, platform, comms = make_world(n_ranks=2, ranks_per_host=2)
+    assert comms.host_of(0) is comms.host_of(1)
+    ends = {}
+
+    def sender():
+        yield from comms.send(0, 1, 1e6)
+
+    def receiver():
+        yield from comms.recv(1)
+        ends["t"] = engine.now
+
+    engine.add_process("s", sender())
+    engine.add_process("r", receiver())
+    engine.run()
+    # Loopback is far faster than the network: < network-only lower bound.
+    assert 0 < ends["t"] < 1e6 / 1.25e8
+
+
+def test_unknown_rank_raises():
+    engine, _, comms = make_world()
+    with pytest.raises(KeyError):
+        comms.host_of(99)
+
+
+def test_unmatched_counts_diagnostics():
+    engine, _, comms = make_world()
+    comms.isend(0, 1, 1e6)  # rendezvous, no recv -> stays pending
+    assert comms.unmatched_counts() == {"sends": 1, "recvs": 0}
+    comms.irecv(0, src=1)
+    assert comms.unmatched_counts() == {"sends": 1, "recvs": 1}
+
+
+def test_bidirectional_exchange_no_deadlock():
+    """Both ranks send-then-recv large messages: classic deadlock pattern
+    under pure rendezvous; resolved here using isend + recv + wait."""
+    engine, _, comms = make_world(eager_threshold=0)
+    done = []
+
+    def rank(me, other):
+        sreq = comms.isend(me, other, 1e6)
+        yield from comms.recv(me, src=other)
+        yield sreq
+        done.append(me)
+
+    engine.add_process("r0", rank(0, 1))
+    engine.add_process("r1", rank(1, 0))
+    engine.run()
+    assert sorted(done) == [0, 1]

@@ -1,0 +1,84 @@
+"""Tests for the NPB MG skeleton."""
+
+import pytest
+
+from repro.apps import MgWorkload, mg_class, mg_grid
+from repro.apps.mg import _neighbours
+from repro.core.acquisition import acquire
+from repro.core.trace import read_trace_dir
+from repro.core.validate import validate_trace
+from repro.platforms import bordereau
+from repro.simkernel import Platform
+from repro.simkernel.pwl import IDENTITY_MODEL
+from repro.smpi import MpiRuntime, round_robin_deployment
+
+
+def run(program, n_ranks):
+    platform = Platform("t")
+    platform.add_cluster("c", n_ranks, speed=1e9, link_bw=1.25e8,
+                         link_lat=1e-5, backbone_bw=1.25e9, backbone_lat=1e-5)
+    runtime = MpiRuntime(platform, round_robin_deployment(platform, n_ranks),
+                         comm_model=IDENTITY_MODEL)
+    return runtime.run(program)
+
+
+def test_mg_class_table():
+    assert mg_class("S").side == 32
+    assert mg_class("B").side == 256 and mg_class("B").nit == 20
+    assert mg_class("D").side == 1024
+    with pytest.raises(KeyError):
+        mg_class("Z")
+
+
+def test_mg_grid_layouts():
+    assert mg_grid(1) == (1, 1, 1)
+    assert mg_grid(2) == (2, 1, 1)
+    assert mg_grid(8) == (2, 2, 2)
+    assert mg_grid(64) == (4, 4, 4)
+    assert mg_grid(32) == (4, 4, 2)
+    with pytest.raises(ValueError):
+        mg_grid(12)
+
+
+def test_mg_neighbours_are_mutual():
+    dims = (2, 2, 2)
+    for rank in range(8):
+        for _, peer in _neighbours(rank, dims):
+            back_peers = [p for _, p in _neighbours(peer, dims)]
+            assert rank in back_peers
+
+
+def test_mg_rejects_oversized_process_grid():
+    with pytest.raises(ValueError):
+        MgWorkload("S", 32768)  # 32^3 grid cannot feed 32^3 procs
+
+
+def test_mg_runs_on_various_grids():
+    for n in (1, 2, 4, 8):
+        result = run(MgWorkload("S", n).program, n)
+        assert result.time > 0
+        if n > 1:
+            assert result.n_transfers > 0
+
+
+def test_mg_message_sizes_span_levels(tmp_path):
+    """V-cycles touch several levels: message sizes must span a wide
+    range (the property that exercises all pwl segments at once)."""
+    result = acquire(MgWorkload("W", 8).program, bordereau(8), 8,
+                     workdir=str(tmp_path), measure_application=False)
+    trace = read_trace_dir(result.trace_dir)
+    sizes = set()
+    for rank in trace.ranks():
+        for action in trace.actions_of(rank):
+            if action.name == "send":
+                sizes.add(action.volume)
+    assert len(sizes) >= 4  # several distinct levels
+    assert max(sizes) / min(sizes) >= 8
+    report = validate_trace(trace)
+    assert report.ok, report.summary()
+
+
+def test_mg_work_scales_with_class():
+    t_s = run(MgWorkload("S", 4).program, 4).time
+    t_a = run(MgWorkload("A", 4).program, 4).time
+    assert t_a > 10 * t_s

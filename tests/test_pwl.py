@@ -1,0 +1,134 @@
+"""Unit tests for the piece-wise-linear MPI communication model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel.pwl import (
+    DEFAULT_MPI_MODEL,
+    PiecewiseLinearModel,
+    Segment,
+    fit,
+)
+
+
+def test_default_model_has_8_parameters_3_segments():
+    assert len(DEFAULT_MPI_MODEL.segments) == 3
+    assert DEFAULT_MPI_MODEL.n_parameters() == 8
+    assert DEFAULT_MPI_MODEL.boundaries == [1024.0, 65536.0]
+
+
+def test_segment_selection():
+    model = DEFAULT_MPI_MODEL
+    assert model.segment_for(0).lower == 0.0
+    assert model.segment_for(1023).upper == 1024.0
+    assert model.segment_for(1024).lower == 1024.0
+    assert model.segment_for(10 ** 9).upper == float("inf")
+
+
+def test_small_messages_get_better_effective_latency():
+    lat_small, _ = DEFAULT_MPI_MODEL.factors(100)
+    lat_large, _ = DEFAULT_MPI_MODEL.factors(10 ** 6)
+    assert lat_small < lat_large  # sync-mode handshake costs latency
+
+
+def test_predict_is_piecewise_affine_in_size():
+    model = DEFAULT_MPI_MODEL
+    lat, bw = 1e-5, 1.25e8
+    t1 = model.predict(2048, lat, bw)
+    t2 = model.predict(4096, lat, bw)
+    t3 = model.predict(6144, lat, bw)
+    # Same segment: equal increments.
+    assert (t2 - t1) == pytest.approx(t3 - t2)
+    # Zero-size message costs exactly the effective latency.
+    assert model.predict(0, lat, bw) == pytest.approx(
+        model.segments[0].lat_factor * lat
+    )
+
+
+def test_validation_rejects_bad_segments():
+    with pytest.raises(ValueError):
+        Segment(0.0, 0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        Segment(0.0, 10.0, -1.0, 1.0)
+    with pytest.raises(ValueError):
+        PiecewiseLinearModel([])  # no segments
+    with pytest.raises(ValueError):
+        PiecewiseLinearModel([Segment(1.0, float("inf"), 1.0, 1.0)])
+    with pytest.raises(ValueError):  # gap between segments
+        PiecewiseLinearModel([
+            Segment(0.0, 10.0, 1.0, 1.0),
+            Segment(20.0, float("inf"), 1.0, 1.0),
+        ])
+    with pytest.raises(ValueError):  # does not reach infinity
+        PiecewiseLinearModel([Segment(0.0, 10.0, 1.0, 1.0)])
+
+
+def test_fit_recovers_known_factors():
+    """Generate exact measurements from a known model; fit must recover it."""
+    truth = PiecewiseLinearModel([
+        Segment(0.0, 1024.0, 1.2, 0.9),
+        Segment(1024.0, 65536.0, 2.0, 0.8),
+        Segment(65536.0, float("inf"), 3.5, 0.95),
+    ])
+    lat, bw = 2e-5, 1.25e8
+    sizes = np.logspace(1, 7, 60)
+    times = np.array([truth.predict(s, lat, bw) for s in sizes])
+    fitted = fit(sizes, times, lat, bw)
+    for seg_truth, seg_fit in zip(truth.segments, fitted.segments):
+        assert seg_fit.lat_factor == pytest.approx(seg_truth.lat_factor, rel=1e-6)
+        assert seg_fit.bw_factor == pytest.approx(seg_truth.bw_factor, rel=1e-6)
+
+
+def test_fit_with_noise_is_close():
+    truth = DEFAULT_MPI_MODEL
+    lat, bw = 1e-5, 1.25e8
+    rng = np.random.default_rng(42)
+    sizes = np.logspace(1, 7, 200)
+    times = np.array([truth.predict(s, lat, bw) for s in sizes])
+    times *= 1 + rng.normal(0, 0.02, times.shape)
+    fitted = fit(sizes, times, lat, bw)
+    for seg_truth, seg_fit in zip(truth.segments, fitted.segments):
+        assert seg_fit.bw_factor == pytest.approx(seg_truth.bw_factor, rel=0.1)
+
+
+def test_fit_sparse_segment_falls_back_to_identity():
+    # Only large-message points: first two segments lack data.
+    sizes = np.array([1e6, 2e6, 4e6])
+    times = sizes / 1e8 + 3e-5
+    model = fit(sizes, times, 1e-5, 1e8)
+    assert model.segments[0].lat_factor == 1.0
+    assert model.segments[0].bw_factor == 1.0
+
+
+def test_fit_input_validation():
+    with pytest.raises(ValueError):
+        fit([1, 2], [1.0], 1e-5, 1e8)
+    with pytest.raises(ValueError):
+        fit([1, 2], [1.0, 2.0], 0.0, 1e8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(size=st.floats(min_value=0, max_value=1e12))
+def test_factors_always_defined_and_positive(size):
+    lat_f, bw_f = DEFAULT_MPI_MODEL.factors(size)
+    assert lat_f > 0
+    assert bw_f > 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    size=st.floats(min_value=1.0, max_value=1e9),
+    lat=st.floats(min_value=1e-7, max_value=1e-2),
+    bw=st.floats(min_value=1e6, max_value=1e11),
+)
+def test_predict_monotone_in_size_within_segment(size, lat, bw):
+    seg = DEFAULT_MPI_MODEL.segment_for(size)
+    bigger = min(size * 1.5, (seg.upper - 1) if seg.upper != float("inf")
+                 else size * 1.5)
+    if bigger <= size:
+        return
+    assert DEFAULT_MPI_MODEL.predict(bigger, lat, bw) >= DEFAULT_MPI_MODEL.predict(
+        size, lat, bw
+    )

@@ -1,0 +1,216 @@
+"""Unit/integration tests for the trace replay tool."""
+
+import os
+
+import pytest
+
+from repro.core.actions import (
+    AllReduce, Barrier, Bcast, CommSize, Compute, Irecv, Isend, Recv,
+    Send, Wait, format_action,
+)
+from repro.core.replay import TraceReplayer
+from repro.core.trace import InMemoryTrace
+from repro.simkernel import DeadlockError, Platform
+from repro.simkernel.pwl import IDENTITY_MODEL
+from repro.smpi import round_robin_deployment
+
+
+def make_replayer(n_ranks, speed=1e9, **kw):
+    platform = Platform("t")
+    platform.add_cluster("c", n_ranks, speed=speed, link_bw=1.25e8,
+                         link_lat=1e-5, backbone_bw=1.25e9, backbone_lat=1e-5)
+    kw.setdefault("comm_model", IDENTITY_MODEL)
+    return TraceReplayer(platform, round_robin_deployment(platform, n_ranks),
+                         **kw)
+
+
+def trace_of(actions):
+    trace = InMemoryTrace()
+    for action in actions:
+        trace.emit(action)
+    return trace
+
+
+def fig1_trace():
+    """The exact time-independent trace of the paper's Fig. 1 (one loop
+    turn): a 4-process ring, 1 Mflop and 1 MB per process."""
+    return trace_of([
+        Compute(0, 1e6), Send(0, 1, 1e6), Recv(0, 3, 1e6),
+        Recv(1, 0, 1e6), Compute(1, 1e6), Send(1, 2, 1e6),
+        Recv(2, 1, 1e6), Compute(2, 1e6), Send(2, 3, 1e6),
+        Recv(3, 2, 1e6), Compute(3, 1e6), Send(3, 0, 1e6),
+    ])
+
+
+def test_fig1_ring_replay_time():
+    replayer = make_replayer(4)
+    result = replayer.replay(fig1_trace())
+    # Critical path: 4 x (1 Mflop at 1 Gflop/s + 1 MB over 125 MB/s route).
+    compute = 1e6 / 1e9
+    transfer = 3e-5 + 1e6 / 1.25e8
+    assert result.simulated_time == pytest.approx(4 * (compute + transfer),
+                                                  rel=0.01)
+    assert result.n_actions == 12
+    assert result.n_ranks == 4
+
+
+def test_replay_compute_scales_with_platform_speed():
+    trace = trace_of([Compute(0, 2e9)])
+    slow = make_replayer(1, speed=1e9).replay(trace)
+    fast = make_replayer(1, speed=4e9).replay(trace)
+    assert slow.simulated_time == pytest.approx(2.0)
+    assert fast.simulated_time == pytest.approx(0.5)
+
+
+def test_replay_isend_is_detached():
+    """An Isend never blocks the sender, even with no wait."""
+    trace = trace_of([
+        Isend(0, 1, 1e6), Compute(0, 1e9),
+        Recv(1, 0, 1e6),
+    ])
+    result = make_replayer(2).replay(trace)
+    # Rank 0's critical path is its compute (1s), overlapped with the send.
+    assert result.per_rank_time[0] == pytest.approx(1.0, rel=0.01)
+
+
+def test_replay_irecv_wait_overlap():
+    trace = trace_of([
+        Irecv(0, 1, 8e6), Compute(0, 1e9), Wait(0),
+        Compute(1, 1e9), Send(1, 0, 8e6),
+    ])
+    result = make_replayer(2).replay(trace)
+    # Receive overlaps rank 0's compute; total ~ max(compute, compute+xfer).
+    expected = 1.0 + 8e6 / 1.25e8
+    assert result.simulated_time == pytest.approx(expected, rel=0.05)
+
+
+def test_replay_wait_without_irecv_rejected():
+    trace = trace_of([Wait(0)])
+    with pytest.raises(ValueError):
+        make_replayer(1).replay(trace)
+
+
+def test_replay_collective_requires_comm_size():
+    trace = trace_of([Bcast(0, 100), Bcast(1, 100)])
+    with pytest.raises(ValueError) as err:
+        make_replayer(2).replay(trace)
+    assert "comm_size" in str(err.value)
+
+
+def collective_trace(n, body):
+    actions = []
+    for rank in range(n):
+        actions.append(CommSize(rank, n))
+        actions.extend(body(rank))
+    return trace_of(actions)
+
+
+def test_replay_bcast_binomial():
+    trace = collective_trace(8, lambda r: [Bcast(r, 1e6)])
+    result = make_replayer(8).replay(trace)
+    transfer = 3e-5 + 1e6 / 1.25e8
+    # Binomial tree: 3 rounds for 8 ranks; the root's link serialises some
+    # sends, so allow the range [3, 7] transfers on the critical path.
+    assert result.simulated_time >= 3 * transfer * 0.9
+    assert result.simulated_time <= 7 * transfer * 1.1
+
+
+def test_replay_reduce_and_allreduce():
+    trace = collective_trace(4, lambda r: [AllReduce(r, 1000, 500)])
+    result = make_replayer(4).replay(trace)
+    assert result.simulated_time > 0
+    trace = collective_trace(4, lambda r: [
+        Compute(r, 1e6), AllReduce(r, 1000, 0), Compute(r, 1e6),
+    ])
+    result2 = make_replayer(4).replay(trace)
+    assert result2.simulated_time > result.simulated_time
+
+
+def test_replay_barrier_synchronises():
+    trace = collective_trace(
+        4, lambda r: ([Compute(r, 1e9)] if r == 0 else []) + [Barrier(r)]
+    )
+    result = make_replayer(4).replay(trace)
+    assert result.simulated_time >= 1.0
+    for t in result.per_rank_time:
+        assert t >= 1.0
+
+
+def test_replay_flat_vs_binomial_collectives():
+    """The flat tree costs more rounds at the root for large rank counts —
+    this is the ablation of the §2 'monolithic collective' simplification."""
+    def body(r):
+        return [Bcast(r, 1e6)]
+
+    binom = make_replayer(16).replay(collective_trace(16, body))
+    flat = make_replayer(16, collective_algorithm="flat").replay(
+        collective_trace(16, body)
+    )
+    # Root pushes 15 copies through its own uplink in the flat tree.
+    assert flat.simulated_time > binom.simulated_time
+
+
+def test_replay_from_directory_and_merged_file(tmp_path):
+    trace = fig1_trace()
+    # Directory layout.
+    tdir = tmp_path / "traces"
+    tdir.mkdir()
+    for rank in trace.ranks():
+        with open(tdir / f"SG_process{rank}.trace", "w") as handle:
+            for line in trace.lines_of(rank):
+                handle.write(line + "\n")
+    from_dir = make_replayer(4).replay(str(tdir))
+    # Merged layout.
+    merged = tmp_path / "merged.trace"
+    with open(merged, "w") as handle:
+        for rank in trace.ranks():
+            for line in trace.lines_of(rank):
+                handle.write(line + "\n")
+    from_file = make_replayer(4).replay(str(merged))
+    in_memory = make_replayer(4).replay(trace)
+    assert from_dir.simulated_time == pytest.approx(in_memory.simulated_time)
+    assert from_file.simulated_time == pytest.approx(in_memory.simulated_time)
+
+
+def test_replay_unknown_action_from_file(tmp_path):
+    path = tmp_path / "SG_process0.trace"
+    path.write_text("p0 warp 99\n")
+    with pytest.raises(ValueError) as err:
+        make_replayer(1).replay(str(tmp_path))
+    assert "warp" in str(err.value)
+
+
+def test_register_custom_action(tmp_path):
+    """MSG_action_register analogue: user-defined trace keywords."""
+    path = tmp_path / "SG_process0.trace"
+    path.write_text("p0 nap 0.5\np0 compute 1000000\n")
+    replayer = make_replayer(1)
+
+    def nap(ctx, tokens):
+        yield replayer.engine.timer(float(tokens[2]))
+
+    replayer.register_action("nap", nap)
+    result = replayer.replay(str(tmp_path))
+    assert result.simulated_time == pytest.approx(0.5 + 1e-3, rel=0.01)
+
+
+def test_replay_deadlocked_trace_detected():
+    trace = trace_of([Recv(0, 1, 100), Recv(1, 0, 100)])
+    with pytest.raises(DeadlockError):
+        make_replayer(2).replay(trace)
+
+
+def test_replay_timed_trace_output():
+    replayer = make_replayer(4, record_timed_trace=True)
+    result = replayer.replay(fig1_trace())
+    assert len(result.timed_trace) == 12
+    for rank, name, start, end in result.timed_trace:
+        assert 0 <= start <= end <= result.simulated_time
+    p0 = [entry for entry in result.timed_trace if entry[0] == 0]
+    assert [entry[1] for entry in p0] == ["compute", "send", "recv"]
+
+
+def test_replay_too_many_trace_ranks_rejected():
+    trace = fig1_trace()
+    with pytest.raises(ValueError):
+        make_replayer(2).replay(trace)

@@ -1,0 +1,292 @@
+"""Integration tests for the simulated-MPI runtime."""
+
+import pytest
+
+from repro.simkernel import Platform
+from repro.simkernel.pwl import IDENTITY_MODEL
+from repro.smpi import MpiRuntime, round_robin_deployment
+from repro.smpi.collectives import bcast_plan, reduce_plan
+
+
+def make_runtime(n_ranks, ranks_per_host=1, speed=1e9, **kw):
+    platform = Platform("t")
+    n_hosts = (n_ranks + ranks_per_host - 1) // ranks_per_host
+    platform.add_cluster(
+        "c", n_hosts, speed=speed, link_bw=1.25e8, link_lat=1e-5,
+        backbone_bw=1.25e9, backbone_lat=1e-5,
+    )
+    deployment = round_robin_deployment(platform, n_ranks,
+                                        ranks_per_host=ranks_per_host)
+    kw.setdefault("comm_model", IDENTITY_MODEL)
+    return MpiRuntime(platform, deployment, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Binomial tree plans
+# ---------------------------------------------------------------------------
+
+def test_bcast_plan_is_a_spanning_tree():
+    for size in (1, 2, 3, 5, 8, 16, 17, 64):
+        reached = {0}
+        edges = []
+        for rank in range(size):
+            parent, children = bcast_plan(rank, size, root=0)
+            if rank == 0:
+                assert parent is None
+            else:
+                assert parent is not None
+            edges.extend((rank, c) for c in children)
+        for src, dst in edges:
+            assert dst not in reached or True
+            reached.add(dst)
+        assert reached == set(range(size))
+        assert len(edges) == size - 1  # tree property
+
+
+def test_bcast_plan_parent_child_symmetry():
+    size = 13
+    for rank in range(size):
+        parent, _ = bcast_plan(rank, size)
+        if parent is not None:
+            _, children = bcast_plan(parent, size)
+            assert rank in children
+
+
+def test_bcast_plan_nonzero_root():
+    size, root = 8, 3
+    for rank in range(size):
+        parent, children = bcast_plan(rank, size, root=root)
+        if rank == root:
+            assert parent is None
+        else:
+            assert parent is not None
+
+
+def test_reduce_plan_mirrors_bcast():
+    size = 16
+    for rank in range(size):
+        parent, children = bcast_plan(rank, size)
+        recv_from, send_to = reduce_plan(rank, size)
+        assert send_to == parent
+        assert sorted(recv_from) == sorted(children)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        bcast_plan(0, 0)
+    with pytest.raises(ValueError):
+        bcast_plan(5, 4)
+    with pytest.raises(ValueError):
+        bcast_plan(0, 4, root=9)
+
+
+# ---------------------------------------------------------------------------
+# Runtime behaviour
+# ---------------------------------------------------------------------------
+
+def test_ring_program_runs_and_times_make_sense():
+    """The paper's Fig. 1 pattern: compute 1 Mflop, send 1 MB around a ring,
+    four iterations."""
+    n = 4
+
+    def ring(mpi):
+        for _ in range(4):
+            if mpi.rank == 0:
+                yield from mpi.compute(1e6)
+                yield from mpi.send((mpi.rank + 1) % n, 1e6)
+                yield from mpi.recv(src=(mpi.rank - 1) % n)
+            else:
+                yield from mpi.recv(src=(mpi.rank - 1) % n)
+                yield from mpi.compute(1e6)
+                yield from mpi.send((mpi.rank + 1) % n, 1e6)
+
+    runtime = make_runtime(n)
+    result = runtime.run(ring)
+    # Lower bound: 4 rounds x (compute 1e-3 s + transfer 1e6/1.25e8 s) x n.
+    per_hop = 1e-3 + 1e6 / 1.25e8
+    assert result.time >= 4 * n * per_hop * 0.9
+    assert result.n_transfers == 4 * n
+    assert result.bytes_transferred == pytest.approx(16e6)
+
+
+def test_compute_scales_with_host_speed():
+    def prog(mpi):
+        yield from mpi.compute(2e9)
+
+    slow = make_runtime(1, speed=1e9).run(prog)
+    fast = make_runtime(1, speed=2e9).run(prog)
+    assert slow.time == pytest.approx(2.0)
+    assert fast.time == pytest.approx(1.0)
+
+
+def test_folding_shares_cpu_linearly():
+    """Table 2's key mechanism: x ranks folded on one CPU run ~x times
+    slower on the compute-bound part."""
+    def prog(mpi):
+        yield from mpi.compute(1e9)
+
+    regular = make_runtime(4, ranks_per_host=1).run(prog)
+    folded = make_runtime(4, ranks_per_host=4).run(prog)
+    assert folded.time / regular.time == pytest.approx(4.0, rel=0.01)
+
+
+def test_sendrecv_pingpong_time():
+    size = 1e6
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, size)
+            yield from mpi.recv(src=1)
+        else:
+            yield from mpi.recv(src=0)
+            yield from mpi.send(0, size)
+
+    result = make_runtime(2).run(prog)
+    one_way = 3e-5 + size / 1.25e8  # 3 links of latency + bw-limited
+    assert result.time == pytest.approx(2 * one_way, rel=1e-3)
+
+
+def test_bcast_reaches_all_ranks():
+    payloads = {}
+
+    def prog(mpi):
+        data = "hello" if mpi.rank == 0 else None
+        got = yield from mpi.bcast(1024, root=0, data=data)
+        payloads[mpi.rank] = got
+
+    result = make_runtime(8).run(prog)
+    assert payloads == {r: "hello" for r in range(8)}
+    assert result.time > 0
+
+
+def test_reduce_collects_at_root():
+    totals = {}
+
+    def prog(mpi):
+        got = yield from mpi.reduce(8, flops=1.0, root=0, data=mpi.rank + 1,
+                                    op=lambda a, b: a + b)
+        totals[mpi.rank] = got
+
+    make_runtime(8).run(prog)
+    assert totals[0] == sum(range(1, 9))
+    assert all(totals[r] is None for r in range(1, 8))
+
+
+def test_allreduce_gives_everyone_the_result():
+    totals = {}
+
+    def prog(mpi):
+        got = yield from mpi.allreduce(8, data=mpi.rank, op=lambda a, b: a + b)
+        totals[mpi.rank] = got
+
+    make_runtime(5).run(prog)
+    assert totals == {r: sum(range(5)) for r in range(5)}
+
+
+def test_barrier_synchronises():
+    after = {}
+
+    def prog(mpi):
+        # Rank 0 is slow before the barrier; everyone leaves after it.
+        if mpi.rank == 0:
+            yield from mpi.compute(1e9)  # 1 s
+        yield from mpi.barrier()
+        after[mpi.rank] = mpi.wtime()
+
+    make_runtime(4).run(prog)
+    assert all(t >= 1.0 for t in after.values())
+
+
+def test_isend_irecv_wait():
+    order = []
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            req = mpi.isend(1, 1e5, tag=3, data="x")
+            yield from mpi.compute(1e6)  # overlap
+            yield from mpi.wait(req)
+            order.append("send done")
+        else:
+            req = mpi.irecv(src=0, tag=3)
+            yield from mpi.compute(1e6)
+            done = yield from mpi.wait(req)
+            order.append(f"got {done.data}")
+
+    make_runtime(2).run(prog)
+    assert "got x" in order
+
+
+def test_comm_size_traced_call():
+    seen = {}
+
+    def prog(mpi):
+        seen[mpi.rank] = (yield from mpi.comm_size())
+
+    make_runtime(3).run(prog)
+    assert seen == {0: 3, 1: 3, 2: 3}
+
+
+def test_scattering_adds_wan_latency():
+    """The Scattering mode costs WAN latency on cross-site messages."""
+    def build(scattered):
+        platform = Platform("t")
+        platform.add_cluster("a", 2, speed=1e9, link_bw=1.25e8, link_lat=1e-5,
+                             backbone_bw=1.25e9, backbone_lat=1e-5)
+        platform.add_cluster("b", 2, speed=1e9, link_bw=1.25e8, link_lat=1e-5,
+                             backbone_bw=1.25e9, backbone_lat=1e-5)
+        platform.connect("a", "b", bandwidth=1.25e9, latency=5e-3)
+        if scattered:
+            hosts = [platform.host("a-0"), platform.host("b-0")]
+        else:
+            hosts = [platform.host("a-0"), platform.host("a-1")]
+        from repro.simkernel.pwl import IDENTITY_MODEL
+        return MpiRuntime(platform, hosts, comm_model=IDENTITY_MODEL)
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, 1000)
+        else:
+            yield from mpi.recv(src=0)
+
+    local = build(False).run(prog)
+    remote = build(True).run(prog)
+    assert remote.time > local.time + 4e-3  # the 5 ms WAN latency dominates
+
+
+def test_deployment_helper_validation():
+    platform = Platform("t")
+    platform.add_cluster("c", 2, speed=1e9, link_bw=1e8, link_lat=1e-5,
+                         backbone_bw=1e9, backbone_lat=1e-5)
+    with pytest.raises(ValueError):
+        round_robin_deployment(platform, 8, ranks_per_host=1)  # too few hosts
+    with pytest.raises(ValueError):
+        round_robin_deployment(platform, 2, ranks_per_host=0)
+    deployment = round_robin_deployment(platform, 4, ranks_per_host=2)
+    assert deployment[0] is deployment[1]
+    assert deployment[2] is deployment[3]
+
+
+def test_folded_compute_pays_efficiency_losses():
+    """Efficiency must bind under folding too: with eff=0.5, four folded
+    ranks on one core take 4x the single-rank time at half rate — i.e.
+    8x the nominal single-task time (the Table 2 mechanism)."""
+    platform = Platform("t")
+    platform.add_cluster(
+        "c", 4, speed=1e9, link_bw=1.25e8, link_lat=1e-5,
+        backbone_bw=1.25e9, backbone_lat=1e-5,
+        efficiency_model=lambda kind, flops: 0.5,
+    )
+
+    def prog(mpi):
+        yield from mpi.compute(1e9)
+
+    regular = MpiRuntime(
+        platform, round_robin_deployment(platform, 4, ranks_per_host=1),
+        comm_model=IDENTITY_MODEL,
+    ).run(prog)
+    folded = MpiRuntime(
+        platform, round_robin_deployment(platform, 4, ranks_per_host=4),
+        comm_model=IDENTITY_MODEL,
+    ).run(prog)
+    assert regular.time == pytest.approx(2.0)   # 1e9 at 5e8 effective
+    assert folded.time == pytest.approx(8.0)    # shared 4 ways, still 0.5

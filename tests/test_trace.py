@@ -1,0 +1,158 @@
+"""Unit tests for trace containers, file I/O, and size accounting."""
+
+import gzip
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Compute, Recv, Send, format_action
+from repro.core.trace import (
+    FileTraceWriter,
+    InMemoryTrace,
+    SizeAccountant,
+    TeeSink,
+    estimate_gzip_ratio,
+    read_merged_trace,
+    read_trace_dir,
+    read_trace_file,
+    trace_file_name,
+    write_merged_trace,
+)
+
+
+def ring_actions(n=4):
+    out = []
+    for rank in range(n):
+        out.append(Compute(rank, 1e6))
+        out.append(Send(rank, (rank + 1) % n, 1e6))
+        out.append(Recv(rank, (rank - 1) % n, 1e6))
+    return out
+
+
+def test_trace_file_naming():
+    assert trace_file_name(0) == "SG_process0.trace"
+    assert trace_file_name(63) == "SG_process63.trace"
+
+
+def test_in_memory_trace_accumulates():
+    trace = InMemoryTrace()
+    for action in ring_actions():
+        trace.emit(action)
+    assert trace.ranks() == [0, 1, 2, 3]
+    assert trace.n_actions() == 12
+    assert trace.lines_of(0)[0] == "p0 compute 1000000"
+
+
+def test_file_writer_roundtrip(tmp_path):
+    writer = FileTraceWriter(str(tmp_path))
+    actions = ring_actions()
+    for action in actions:
+        writer.emit(action)
+    writer.close()
+    loaded = read_trace_dir(str(tmp_path))
+    assert loaded.n_actions() == len(actions)
+    assert loaded.actions_of(2) == [a for a in actions if a.rank == 2]
+
+
+def test_size_accountant_matches_real_files_exactly(tmp_path):
+    """The estimator must agree with os.stat byte-for-byte — that is what
+    legitimises computing Table 3's paper-scale rows without writing."""
+    writer = FileTraceWriter(str(tmp_path))
+    accountant = SizeAccountant()
+    sink = TeeSink(writer, accountant)
+    for action in ring_actions(8):
+        sink.emit(action)
+    sink.close()
+    for rank in range(8):
+        real = os.path.getsize(os.path.join(str(tmp_path), trace_file_name(rank)))
+        assert accountant.report.per_rank_bytes[rank] == real
+    total = sum(
+        os.path.getsize(os.path.join(str(tmp_path), trace_file_name(r)))
+        for r in range(8)
+    )
+    assert accountant.report.n_bytes == total
+    assert writer.report.n_bytes == total
+
+
+def test_compressed_writer_roundtrip(tmp_path):
+    writer = FileTraceWriter(str(tmp_path), compress=True)
+    for action in ring_actions():
+        writer.emit(action)
+    writer.close()
+    assert os.path.exists(os.path.join(str(tmp_path), "SG_process0.trace.gz"))
+    loaded = read_trace_dir(str(tmp_path))
+    assert loaded.n_actions() == 12
+
+
+def test_merged_trace_roundtrip(tmp_path):
+    trace = InMemoryTrace()
+    for action in ring_actions():
+        trace.emit(action)
+    path = str(tmp_path / "merged.trace")
+    nbytes = write_merged_trace(trace, path)
+    assert nbytes == os.path.getsize(path)
+    loaded = read_merged_trace(path)
+    assert loaded.by_rank == trace.by_rank
+
+
+def test_read_trace_file_skips_comments_and_blanks(tmp_path):
+    path = str(tmp_path / trace_file_name(0))
+    with open(path, "w") as handle:
+        handle.write("# header comment\n\np0 compute 5\n")
+    actions = list(read_trace_file(path))
+    assert actions == [Compute(0, 5.0)]
+
+
+def test_read_trace_file_rank_check(tmp_path):
+    path = str(tmp_path / trace_file_name(0))
+    with open(path, "w") as handle:
+        handle.write("p1 compute 5\n")
+    with pytest.raises(ValueError):
+        list(read_trace_file(path, expect_rank=0))
+
+
+def test_read_trace_dir_missing(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_trace_dir(str(tmp_path))
+
+
+def test_estimate_gzip_ratio_close_to_real():
+    # Realistic traces have varying volumes (compression ratio ~10-30,
+    # like the paper's ~27 in §6.5), not a single repeated block.
+    lines = []
+    for i in range(20000):
+        rank = i % 64
+        lines.append(format_action(Compute(rank, float(1000 + (i * 7919) % 99991))))
+        lines.append(format_action(Send(rank, (rank + 1) % 64,
+                                        float(40 * (1 + (i * 31) % 50)))))
+    blob = ("\n".join(lines) + "\n").encode()
+    real_ratio = len(blob) / len(gzip.compress(blob, compresslevel=6))
+    est = estimate_gzip_ratio(lines, sample_limit=len(lines))
+    assert est == pytest.approx(real_ratio, rel=1e-6)
+    # A half sample stays close on realistic traces.
+    sampled = estimate_gzip_ratio(lines, sample_limit=len(lines) // 2)
+    assert sampled == pytest.approx(real_ratio, rel=0.15)
+
+
+def test_estimate_gzip_ratio_empty():
+    with pytest.raises(ValueError):
+        estimate_gzip_ratio([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    volumes=st.lists(st.integers(min_value=0, max_value=10 ** 12),
+                     min_size=1, max_size=50),
+    n_ranks=st.integers(min_value=1, max_value=8),
+)
+def test_property_accountant_equals_line_lengths(volumes, n_ranks):
+    accountant = SizeAccountant()
+    expected = 0
+    for i, volume in enumerate(volumes):
+        action = Compute(i % n_ranks, float(volume))
+        accountant.emit(action)
+        expected += len(format_action(action)) + 1
+    assert accountant.report.n_bytes == expected
+    assert accountant.report.n_actions == len(volumes)

@@ -1,0 +1,144 @@
+"""Tests for the static trace validator."""
+
+import pytest
+
+from repro.core.actions import (
+    AllReduce, Barrier, Bcast, CommSize, Compute, Irecv, Isend, Recv,
+    Send, Wait,
+)
+from repro.core.trace import InMemoryTrace
+from repro.core.validate import validate_trace
+
+
+def trace_of(actions):
+    trace = InMemoryTrace()
+    for action in actions:
+        trace.emit(action)
+    return trace
+
+
+def assert_error(report, fragment):
+    assert not report.ok
+    assert any(fragment in f.message for f in report.errors()), \
+        report.summary()
+
+
+def test_valid_ring_trace_passes():
+    trace = trace_of([
+        Compute(0, 1e6), Send(0, 1, 100), Recv(0, 1, 50),
+        Recv(1, 0, 100), Compute(1, 1e6), Send(1, 0, 50),
+    ])
+    report = validate_trace(trace)
+    assert report.ok, report.summary()
+    assert report.n_actions == 6
+    assert "OK" in report.summary()
+
+
+def test_valid_collectives_pass():
+    actions = []
+    for rank in range(4):
+        actions += [
+            CommSize(rank, 4), Bcast(rank, 100),
+            AllReduce(rank, 40, 10), Barrier(rank),
+        ]
+    assert validate_trace(trace_of(actions)).ok
+
+
+def test_volume_mismatch_detected():
+    trace = trace_of([
+        Send(0, 1, 100),
+        Recv(1, 0, 999),
+    ])
+    assert_error(validate_trace(trace), "sent 100 B but received 999 B")
+
+
+def test_count_mismatch_detected():
+    trace = trace_of([
+        Send(0, 1, 100), Send(0, 1, 100),
+        Recv(1, 0, 100),
+    ])
+    assert_error(validate_trace(trace), "2 message(s) sent but 1 received")
+
+
+def test_wait_without_irecv_detected():
+    trace = trace_of([Wait(0)])
+    assert_error(validate_trace(trace), "wait with no pending Irecv")
+
+
+def test_unwaited_irecv_detected():
+    trace = trace_of([Irecv(0, 1, 10), Send(1, 0, 10)])
+    assert_error(validate_trace(trace), "never waited on")
+
+
+def test_irecv_wait_resolves_matching():
+    trace = trace_of([
+        Irecv(0, 1, 10), Compute(0, 1.0), Wait(0),
+        Send(1, 0, 10),
+    ])
+    assert validate_trace(trace).ok
+
+
+def test_collective_before_comm_size_detected():
+    trace = trace_of([Bcast(0, 10), CommSize(1, 2), Bcast(1, 10)])
+    assert_error(validate_trace(trace), "precedes comm_size")
+
+
+def test_collective_sequence_mismatch_detected():
+    trace = trace_of([
+        CommSize(0, 2), Bcast(0, 100), Barrier(0),
+        CommSize(1, 2), Bcast(1, 100),  # p1 misses the barrier
+    ])
+    assert_error(validate_trace(trace), "collective sequence differs")
+
+
+def test_collective_volume_mismatch_detected():
+    trace = trace_of([
+        CommSize(0, 2), Bcast(0, 100),
+        CommSize(1, 2), Bcast(1, 200),
+    ])
+    assert_error(validate_trace(trace), "collective sequence differs")
+
+
+def test_missing_collective_participant_detected():
+    trace = trace_of([
+        CommSize(0, 2), Barrier(0),
+        CommSize(1, 2),  # p1 never reaches the barrier
+        Compute(1, 1.0),
+    ])
+    assert_error(validate_trace(trace), "issue no collectives")
+
+
+def test_self_send_detected():
+    trace = trace_of([Send(0, 0, 10)])
+    assert_error(validate_trace(trace), "sends to itself")
+
+
+def test_out_of_range_peer_detected():
+    trace = trace_of([Send(0, 5, 10), Compute(1, 1.0)])
+    assert_error(validate_trace(trace), "non-existent p5")
+
+
+def test_comm_size_disagreement_detected():
+    trace = trace_of([CommSize(0, 2), CommSize(1, 4)])
+    assert_error(validate_trace(trace), "disagree on comm_size")
+
+
+def test_isend_participates_in_matching():
+    trace = trace_of([
+        Isend(0, 1, 77),
+        Recv(1, 0, 77),
+    ])
+    assert validate_trace(trace).ok
+
+
+def test_real_acquired_trace_validates(tmp_path):
+    """The full pipeline must of course produce valid traces."""
+    from repro.apps import LuWorkload
+    from repro.core.acquisition import acquire
+    from repro.core.trace import read_trace_dir
+    from repro.platforms import bordereau
+
+    result = acquire(LuWorkload("S", 4).program, bordereau(4), 4,
+                     workdir=str(tmp_path), measure_application=False)
+    report = validate_trace(read_trace_dir(result.trace_dir))
+    assert report.ok, report.summary()
