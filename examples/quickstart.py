@@ -13,6 +13,7 @@ Run:  python examples/quickstart.py
 import os
 import tempfile
 
+from repro.analysis import format_metrics_report
 from repro.apps import ring_program
 from repro.core.acquisition import acquire
 from repro.core.replay import TraceReplayer
@@ -47,12 +48,17 @@ def main() -> None:
             backbone_bw=1.25e9, backbone_lat=16.67e-6,
             prefix="mycluster-", suffix=".mysite.fr",
         )
-        replayer = TraceReplayer(target, round_robin_deployment(target, 4))
+        replayer = TraceReplayer(target, round_robin_deployment(target, 4),
+                                 collect_metrics=True)
         replay = replayer.replay(result.trace_dir)
         print("\n=== replay on the Fig. 5 'mycluster' platform ===")
         print(f"simulated execution time: {replay.simulated_time:.4f} s "
               f"({replay.n_actions} actions replayed in "
               f"{replay.wall_seconds:.3f} s)")
+
+        # --- replay telemetry (docs/observability.md) --------------------
+        print("\n=== replay telemetry ===")
+        print(format_metrics_report(replay.metrics))
 
 
 if __name__ == "__main__":

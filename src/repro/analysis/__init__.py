@@ -4,6 +4,7 @@ The third output of Fig. 4 ("derive a profile of the application from
 this timed trace"), which the paper defers to TAU/Scalasca-class tools.
 """
 
+from .metrics_report import format_metrics_report
 from .paje import export_paje
 from .profile import ApplicationProfile, RankProfile, build_profile
 from .trace_stats import TraceStats, compute_trace_stats
@@ -12,5 +13,5 @@ from .wait_states import WaitStateReport, diagnose_wait_states
 __all__ = [
     "ApplicationProfile", "RankProfile", "WaitStateReport",
     "TraceStats", "build_profile", "compute_trace_stats",
-    "diagnose_wait_states", "export_paje",
+    "diagnose_wait_states", "export_paje", "format_metrics_report",
 ]

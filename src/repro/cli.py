@@ -305,6 +305,11 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--eager-threshold", type=float, default=65536)
     parser.add_argument("--timed-trace", default=None,
                         help="write the simulated timed trace here")
+    parser.add_argument("--metrics", nargs="?", const="-", default=None,
+                        metavar="JSON_PATH",
+                        help="collect replay telemetry and emit it as a "
+                             "JSON document (to stdout, or to JSON_PATH "
+                             "when given)")
     args = parser.parse_args(argv)
 
     platform = load_platform(args.platform_xml)
@@ -320,6 +325,7 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
         eager_threshold=args.eager_threshold,
         collective_algorithm=args.collectives,
         record_timed_trace=args.timed_trace is not None,
+        collect_metrics=args.metrics is not None,
     )
     result = replayer.replay(args.trace)
     print(f"Simulated execution time: {result.simulated_time:.6f} s")
@@ -330,6 +336,16 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
             for rank, name, start, end in result.timed_trace:
                 handle.write(f"p{rank} {name} {start:.9f} {end:.9f}\n")
         print(f"timed trace written to {args.timed_trace}")
+    if args.metrics is not None:
+        import json
+
+        document = json.dumps(result.metrics, indent=2, sort_keys=True)
+        if args.metrics == "-":
+            print(document)
+        else:
+            with open(args.metrics, "w", encoding="ascii") as handle:
+                handle.write(document + "\n")
+            print(f"metrics written to {args.metrics}")
     return 0
 
 

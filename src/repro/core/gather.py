@@ -105,8 +105,12 @@ def simulate_gather(
                 (_, dst) = sends[0]
                 yield from comms.send(idx, dst, accumulated[idx])
                 return  # a sender is done after forwarding its subtree
-            for (src, _) in recvs:
-                req = yield from comms.recv(idx, src=src)
+            # Post every receive of the round before waiting on any:
+            # same-round uploads run concurrently and contend on the
+            # links (serialising them inflates the Fig. 7 gathering bars).
+            reqs = [comms.irecv(idx, src=src) for (src, _) in recvs]
+            for req in reqs:
+                yield req
                 accumulated[idx] += req.size
 
     for idx in range(n):
@@ -121,8 +125,10 @@ def simulate_gather(
 
 
 def gather_files(node_dirs: Sequence[str], dest_dir: str) -> int:
-    """Physically collect ``SG_process*.trace`` files into ``dest_dir``.
+    """Physically collect per-rank trace files into ``dest_dir``.
 
+    All three representations the replayer accepts are gathered: plain
+    ``SG_process*.trace``, gzipped ``.trace.gz``, and binary ``.btrace``.
     Returns the number of files moved.  Duplicated rank files across
     source directories are an error — each rank's trace must live on
     exactly one acquisition node.
@@ -133,7 +139,7 @@ def gather_files(node_dirs: Sequence[str], dest_dir: str) -> int:
     for directory in node_dirs:
         for name in sorted(os.listdir(directory)):
             if not (name.startswith("SG_process")
-                    and name.endswith((".trace", ".trace.gz"))):
+                    and name.endswith((".trace", ".trace.gz", ".btrace"))):
                 continue
             if name in seen:
                 raise ValueError(

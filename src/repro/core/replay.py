@@ -39,7 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
-from ..simkernel import CommSystem, Engine, Host, Platform
+from ..simkernel import CommSystem, Engine, Host, Platform, Telemetry
 from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
 from ..smpi import collectives
 from .trace import InMemoryTrace, trace_file_name
@@ -57,6 +57,9 @@ class ReplayResult:
     n_actions: int
     wall_seconds: float          # how long the replay itself took (Fig. 9)
     timed_trace: List[tuple] = field(default_factory=list)
+    # Telemetry document (engine / comm / replay / per_rank sections);
+    # None unless the replayer was built with collect_metrics=True.
+    metrics: Optional[Dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (f"ReplayResult(simulated={self.simulated_time:.4f}s, "
@@ -68,7 +71,7 @@ class _RankContext:
     """Per-rank replay state handed to action handlers."""
 
     __slots__ = ("rank", "host", "pending_irecvs", "declared_size",
-                 "coll_seq", "n_actions")
+                 "coll_seq", "n_actions", "current_action")
 
     def __init__(self, rank: int, host: Host) -> None:
         self.rank = rank
@@ -77,6 +80,9 @@ class _RankContext:
         self.declared_size: Optional[int] = None
         self.coll_seq = 0
         self.n_actions = 0
+        # Raw token list of the action being replayed; what the deadlock
+        # report names when this rank is stuck.
+        self.current_action: Optional[List[str]] = None
 
     # Adapter protocol for the collective algorithms ---------------------
     @property
@@ -95,6 +101,7 @@ class TraceReplayer:
         eager_threshold: float = 65536,
         collective_algorithm: str = "binomial",
         record_timed_trace: bool = False,
+        collect_metrics: bool = False,
     ) -> None:
         if not deployment:
             raise ValueError("deployment must map at least one rank")
@@ -105,13 +112,17 @@ class TraceReplayer:
             )
         self.platform = platform
         self.deployment = list(deployment)
-        self.engine = Engine()
+        self.telemetry = Telemetry() if collect_metrics else None
+        self.engine = Engine(
+            metrics=self.telemetry.engine if collect_metrics else None,
+        )
         self.comms = CommSystem(
             self.engine,
             platform,
             dict(enumerate(self.deployment)),
             comm_model=comm_model,
             eager_threshold=eager_threshold,
+            metrics=self.telemetry.comm if collect_metrics else None,
         )
         self.collective_algorithm = collective_algorithm
         self.record_timed_trace = record_timed_trace
@@ -157,30 +168,111 @@ class TraceReplayer:
             _RankContext(rank, self.deployment[rank]) for rank in range(n_ranks)
         ]
         finish = [0.0] * n_ranks
+        # Fresh output per call: a second replay() on the same instance
+        # must not return the first run's tuples.
+        self.timed_trace = []
+        telemetry = self.telemetry
+        replay_metrics = telemetry.replay if telemetry is not None else None
+        if telemetry is not None:
+            # Per-replay counters: zero the engine/replay groups and open
+            # the comm layer's snapshot window.
+            telemetry.engine.reset()
+            telemetry.comm.begin(self.comms.cache_stats())
+            replay_metrics.reset(n_ranks)
+        self.engine.deadlock_hook = lambda blocked: self._deadlock_report(
+            contexts, blocked
+        )
 
         def rank_process(ctx: _RankContext, stream):
             handlers = self._handlers
+            engine = self.engine
             record = self.record_timed_trace
-            for tokens in stream:
-                try:
-                    handler = handlers[tokens[1]]
-                except KeyError:
-                    raise ValueError(
-                        f"p{ctx.rank}: unregistered action {tokens[1]!r}"
-                    ) from None
-                except IndexError:
-                    raise ValueError(
-                        f"p{ctx.rank}: malformed trace line {' '.join(tokens)!r}"
-                    ) from None
-                ctx.n_actions += 1
-                if record:
-                    start = self.engine.now
-                    yield from handler(ctx, tokens)
-                    self.timed_trace.append(
-                        (ctx.rank, tokens[1], start, self.engine.now)
-                    )
-                else:
-                    yield from handler(ctx, tokens)
+            timed_trace = self.timed_trace
+            # The clock never advances between the end of one action and
+            # the start of the next within a rank (this generator only
+            # yields inside handlers), so one clock read per action covers
+            # both boundaries.
+            start = engine.now
+            if replay_metrics is not None:
+                # Metering path.  The baseline already performs one dict
+                # lookup per action (the handler dispatch); the counting
+                # cell IS the dispatch entry — ``[handler, count, volume,
+                # time, vol_idx]`` — so metering adds no lookup and
+                # touches a single extra object per action (see
+                # ReplayMetrics).
+                new_cell = replay_metrics.new_cell
+                cells_get = replay_metrics.rank_cells[ctx.rank].get
+                for tokens in stream:
+                    ctx.n_actions += 1
+                    ctx.current_action = tokens
+                    try:
+                        cell = cells_get(tokens[1])
+                    except IndexError:
+                        raise ValueError(
+                            f"p{ctx.rank}: malformed trace line "
+                            f"{' '.join(tokens)!r}"
+                        ) from None
+                    if cell is None:
+                        name = tokens[1]
+                        try:
+                            handler = handlers[name]
+                        except KeyError:
+                            raise ValueError(
+                                f"p{ctx.rank}: unregistered action {name!r}"
+                            ) from None
+                        cell = new_cell(ctx.rank, name)
+                        cell[0] = handler
+                    handler = cell[0]
+                    # Handlers return the volume they parsed anyway (or
+                    # None), carried for free by the StopIteration that
+                    # ends the delegation — no token re-parse here.
+                    volume = yield from handler(ctx, tokens)
+                    end = engine.now
+                    cell[1] += 1
+                    if volume is not None:
+                        cell[2] += volume
+                    elif cell[4] >= 0:
+                        # Fallback for handlers that do not report a
+                        # volume (Irecv posts, custom actions): parse
+                        # the trace token.  try/except is free until it
+                        # fires (and a malformed or truncated volume
+                        # token just contributes nothing).
+                        try:
+                            cell[2] += float(tokens[cell[4]])
+                        except (ValueError, IndexError):
+                            pass
+                    if end is not start:
+                        # The clock only ever advances by rebinding
+                        # ``now``, so identity == "no time passed":
+                        # skip the float work for instantaneous actions
+                        # (Isend/Irecv posts and the like).
+                        cell[3] += end - start
+                    if record:
+                        timed_trace.append((ctx.rank, tokens[1], start, end))
+                    start = end
+            else:
+                for tokens in stream:
+                    try:
+                        handler = handlers[tokens[1]]
+                    except KeyError:
+                        raise ValueError(
+                            f"p{ctx.rank}: unregistered action {tokens[1]!r}"
+                        ) from None
+                    except IndexError:
+                        raise ValueError(
+                            f"p{ctx.rank}: malformed trace line "
+                            f"{' '.join(tokens)!r}"
+                        ) from None
+                    ctx.n_actions += 1
+                    ctx.current_action = tokens
+                    if record:
+                        yield from handler(ctx, tokens)
+                        end = engine.now
+                        timed_trace.append((ctx.rank, tokens[1], start, end))
+                        start = end
+                    else:
+                        yield from handler(ctx, tokens)
+            ctx.current_action = None
             finish[ctx.rank] = self.engine.now
 
         wall_start = time.perf_counter()
@@ -188,6 +280,8 @@ class TraceReplayer:
             self.engine.add_process(f"p{ctx.rank}", rank_process(ctx, stream))
         simulated = self.engine.run()
         wall = time.perf_counter() - wall_start
+        if telemetry is not None:
+            telemetry.comm.finish(self.comms.cache_stats())
         return ReplayResult(
             simulated_time=simulated,
             per_rank_time=finish,
@@ -195,7 +289,60 @@ class TraceReplayer:
             n_actions=sum(c.n_actions for c in contexts),
             wall_seconds=wall,
             timed_trace=self.timed_trace,
+            metrics=telemetry.as_dict() if telemetry is not None else None,
         )
+
+    # ------------------------------------------------------------------
+    # Failure diagnostics
+    # ------------------------------------------------------------------
+    def _deadlock_report(self, contexts, blocked_procs):
+        """Engine deadlock hook: name each blocked rank's current action
+        and pending Irecvs, then list the unmatched communications by
+        (src, dst, tag) — enough to pin an inconsistent trace in one read.
+        Returns ``(report text, details dict)`` for :class:`DeadlockError`.
+        """
+        def fmt_end(rank: int) -> str:
+            return "any" if rank < 0 else f"p{rank}"
+
+        def fmt_key(key) -> str:
+            src, dst, tag = key
+            tag_txt = "any" if tag == -1 else str(tag)
+            return f"{fmt_end(src)}->{fmt_end(dst)} tag={tag_txt}"
+
+        blocked_names = {proc.name for proc in blocked_procs}
+        lines = ["replay deadlock diagnostics:"]
+        rank_details = {}
+        for ctx in contexts:
+            if f"p{ctx.rank}" not in blocked_names:
+                continue
+            action = (" ".join(ctx.current_action)
+                      if ctx.current_action else "<before first action>")
+            pending = [
+                f"{fmt_end(req.src)} tag="
+                f"{'any' if req.tag == -1 else req.tag}"
+                for req in ctx.pending_irecvs
+            ]
+            line = f"  p{ctx.rank}: blocked in {action!r}"
+            if pending:
+                line += f"; pending Irecv from: {', '.join(pending)}"
+            lines.append(line)
+            rank_details[ctx.rank] = {
+                "action": action,
+                "pending_irecvs": pending,
+            }
+        unmatched = self.comms.unmatched_counts(by_key=True)
+        unmatched_str = {
+            side: {fmt_key(key): count for key, count in keyed.items()}
+            for side, keyed in unmatched.items()
+        }
+        for side, label in (("sends", "send posted, no matching recv"),
+                            ("recvs", "recv posted, no matching send")):
+            for text, count in sorted(unmatched_str[side].items()):
+                lines.append(f"  {label}: {text} x{count}")
+        return "\n".join(lines), {
+            "ranks": rank_details,
+            "unmatched": unmatched_str,
+        }
 
     # ------------------------------------------------------------------
     # Action handlers (each one is the analogue of a registered MSG
@@ -208,22 +355,29 @@ class TraceReplayer:
             yield self.engine.exec_activity(
                 ctx.host.cpu, amount, bound=ctx.host.speed,
             )
+        return volume
 
     def _do_send(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
         dst = int(tokens[2][1:])
-        req = self.comms.isend(ctx.rank, dst, float(tokens[3]))
+        size = float(tokens[3])
+        req = self.comms.isend(ctx.rank, dst, size)
         yield req
+        return size
 
     def _do_isend(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
         dst = int(tokens[2][1:])
-        self.comms.isend(ctx.rank, dst, float(tokens[3]))
-        return
+        size = float(tokens[3])
+        self.comms.isend(ctx.rank, dst, size)
+        return size
         yield  # pragma: no cover - makes this a generator
 
     def _do_recv(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
         src = int(tokens[2][1:])
         req = self.comms.irecv(ctx.rank, src=src)
         yield req
+        # The matched sender's size == the trace volume for consistent
+        # traces; returning it spares the metering a token re-parse.
+        return req.size
 
     def _do_irecv(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
         src = int(tokens[2][1:])
@@ -271,6 +425,7 @@ class TraceReplayer:
                                                   tag=ops.tag)
         else:
             yield from _flat_bcast(ops, volume)
+        return volume
 
     def _do_reduce(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
         self._require_comm_size(ctx, "reduce")
@@ -281,6 +436,7 @@ class TraceReplayer:
                                                    root=0, tag=ops.tag)
         else:
             yield from _flat_reduce(ops, vcomm, vcomp)
+        return vcomm
 
     def _do_allreduce(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
         self._require_comm_size(ctx, "allReduce")
@@ -293,6 +449,7 @@ class TraceReplayer:
         else:
             yield from _flat_reduce(ops, vcomm, vcomp)
             yield from _flat_bcast(ops, vcomm)
+        return vcomm
 
     def _do_barrier(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
         self._require_comm_size(ctx, "barrier")
@@ -370,7 +527,9 @@ class TraceReplayer:
 
     def _merged_stream(self, path: str) -> List[Iterable[List[str]]]:
         by_rank: Dict[int, List[List[str]]] = {}
-        with open(path, "r", encoding="ascii") as handle:
+        # Merged traces may be gzipped just like per-rank ones.
+        opener = gzip.open if path.endswith(".gz") else open
+        with opener(path, "rt", encoding="ascii") as handle:
             for line in handle:
                 tokens = line.split()
                 if not tokens or tokens[0].startswith("#"):

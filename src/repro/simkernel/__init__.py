@@ -16,6 +16,7 @@ from .lmm import Constraint, Variable
 from .mailbox import ANY_SOURCE, ANY_TAG, CommRequest, CommSystem
 from .platform import Cluster, Host, Link, Platform, Route
 from .pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel, Segment, fit
+from .telemetry import CommMetrics, EngineMetrics, ReplayMetrics, Telemetry
 from .xmlio import (
     ProcessDeployment,
     dump_deployment,
@@ -26,10 +27,12 @@ from .xmlio import (
 )
 
 __all__ = [
-    "ANY_SOURCE", "ANY_TAG", "Cluster", "CommActivity", "CommRequest",
-    "CommSystem", "Constraint", "DEFAULT_MPI_MODEL", "DeadlockError",
-    "Engine", "ExecActivity", "Host", "Link", "PiecewiseLinearModel",
-    "Platform", "Process", "ProcessDeployment", "Route", "Segment", "Timer",
-    "Variable", "WaitAny", "Waitable", "dump_deployment", "dump_platform",
-    "fit", "load_deployment", "load_platform", "parse_radical",
+    "ANY_SOURCE", "ANY_TAG", "Cluster", "CommActivity", "CommMetrics",
+    "CommRequest", "CommSystem", "Constraint", "DEFAULT_MPI_MODEL",
+    "DeadlockError", "Engine", "EngineMetrics", "ExecActivity", "Host",
+    "Link", "PiecewiseLinearModel", "Platform", "Process",
+    "ProcessDeployment", "ReplayMetrics", "Route", "Segment", "Telemetry",
+    "Timer", "Variable", "WaitAny", "Waitable", "dump_deployment",
+    "dump_platform", "fit", "load_deployment", "load_platform",
+    "parse_radical",
 ]

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Generator, List, Optional, Sequence, Set
+from typing import Callable, Generator, List, Optional, Sequence, Set, Tuple
 
 from .activity import Activity, CommActivity, ExecActivity, Timer, Waitable
 from .lmm import Constraint
+from .telemetry import EngineMetrics
 
 __all__ = ["Engine", "Process", "WaitAny", "DeadlockError"]
 
@@ -31,7 +32,20 @@ INF = float("inf")
 
 
 class DeadlockError(RuntimeError):
-    """Raised when live processes remain but nothing can make progress."""
+    """Raised when live processes remain but nothing can make progress.
+
+    Besides the human-readable message, carries the structured state the
+    diagnostics layers need: ``blocked`` (names of the stuck processes)
+    and ``details`` (a dict filled in by the engine's ``deadlock_hook``
+    — the replayer reports each rank's current action, pending Irecvs,
+    and the unmatched (src, dst, tag) communication counts there).
+    """
+
+    def __init__(self, message: str, blocked: Sequence[str] = (),
+                 details: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.blocked = list(blocked)
+        self.details = details if details is not None else {}
 
 
 class WaitAny:
@@ -65,7 +79,7 @@ class Process:
 class Engine:
     """Owns the simulated clock, the processes, and the active activities."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[EngineMetrics] = None) -> None:
         self.now = 0.0
         self._processes: List[Process] = []
         self._ready: deque = deque()
@@ -76,6 +90,18 @@ class Engine:
         # Heap-compaction watermark: compact when the heap doubles past
         # the live-entry count observed at the previous compaction.
         self._heap_floor = 4096
+        # Progressive-filling levels, accumulated unconditionally (one
+        # integer add per filling) and windowed into the metrics by run().
+        self._maxmin_iters = 0
+        # Optional telemetry; the counters themselves are loop-locals or
+        # plain integer accumulators, so enabling metrics never changes
+        # the arithmetic the hot paths execute.
+        self.metrics = metrics
+        # Optional diagnostics callback, called with the blocked processes
+        # when a deadlock is detected; returns (extra message, details).
+        self.deadlock_hook: Optional[
+            Callable[[List[Process]], Tuple[str, dict]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Process management
@@ -136,36 +162,82 @@ class Engine:
         """Run until all processes finish (or ``until`` seconds of simulated
         time elapse).  Returns the final simulated time."""
         heap = self._heap
-        while True:
-            self._run_ready()
-            if self._dirty:
-                self._recompute_dirty()
-            if self._live_count == 0:
-                return self.now
-            # Pop the next valid completion event.
-            act = None
-            while heap:
-                time_, _, epoch, candidate = heapq.heappop(heap)
-                if candidate.done or epoch != candidate.epoch:
-                    continue
-                act = candidate
-                break
-            if act is None:
-                blocked = [p.name for p in self._processes if p.alive]
-                raise DeadlockError(
-                    f"t={self.now:g}: no activity can progress; blocked "
-                    f"processes: {blocked[:20]}"
-                    + ("..." if len(blocked) > 20 else "")
-                )
-            if until is not None and time_ > until:
-                # Re-arm the event and pause the clock at the horizon.
-                heapq.heappush(heap, (time_, self._next_seq(), epoch, act))
-                self.now = until
-                return self.now
-            if time_ > self.now:
-                self.now = time_
-            self._end_phase(act)
-            self._maybe_compact()
+        metrics = self.metrics
+        # Telemetry accumulates unconditionally in loop-locals — a few
+        # integer increments per event, immeasurable next to the event
+        # processing itself, and branchless so the loop executes the
+        # exact same bytecode whether metrics are on or off.  Only the
+        # flush (in the finally below, so it also runs on deadlock) is
+        # guarded.
+        popped = stale = fast = generic = comp_total = comp_max = 0
+        maxmin_iters0 = self._maxmin_iters
+        try:
+            while True:
+                self._run_ready()
+                if self._dirty:
+                    size = self._recompute_dirty()
+                    if size:
+                        if size < 0:  # single-constraint fast path
+                            fast += 1
+                            size = -size
+                        else:
+                            generic += 1
+                        comp_total += size
+                        if size > comp_max:
+                            comp_max = size
+                if self._live_count == 0:
+                    return self.now
+                # Pop the next valid completion event.
+                act = None
+                while heap:
+                    time_, _, epoch, candidate = heapq.heappop(heap)
+                    if candidate.done or epoch != candidate.epoch:
+                        stale += 1
+                        continue
+                    act = candidate
+                    break
+                if act is None:
+                    raise self._deadlock()
+                popped += 1
+                if until is not None and time_ > until:
+                    # Re-arm the event and pause the clock at the horizon.
+                    heapq.heappush(heap,
+                                   (time_, self._next_seq(), epoch, act))
+                    self.now = until
+                    return self.now
+                if time_ > self.now:
+                    self.now = time_
+                self._end_phase(act)
+                self._maybe_compact()
+        finally:
+            if metrics is not None:
+                metrics.events_popped += popped
+                metrics.stale_skipped += stale
+                metrics.fastpath_recomputes += fast
+                metrics.generic_recomputes += generic
+                metrics.component_acts += comp_total
+                metrics.maxmin_iterations += (self._maxmin_iters
+                                              - maxmin_iters0)
+                if comp_max > metrics.max_component_acts:
+                    metrics.max_component_acts = comp_max
+
+    def _deadlock(self) -> DeadlockError:
+        """Build the structured no-progress error, consulting the
+        diagnostics hook (the replayer installs one) for layer-specific
+        context — which action each rank is stuck in, what is unmatched."""
+        blocked_procs = [p for p in self._processes if p.alive]
+        blocked = [p.name for p in blocked_procs]
+        message = (
+            f"t={self.now:g}: no activity can progress; blocked "
+            f"processes: {blocked[:20]}"
+            + ("..." if len(blocked) > 20 else "")
+        )
+        details: dict = {}
+        if self.deadlock_hook is not None:
+            extra, details = self.deadlock_hook(blocked_procs)
+            if extra:
+                message += "\n" + extra
+        return DeadlockError(message, blocked=blocked, details=details)
 
     # ------------------------------------------------------------------
     # Phase transitions
@@ -186,11 +258,17 @@ class Engine:
                 self._dirty.add(cons)
             act.registered = True
             if not act.constraints:
-                # Unconstrained: bound-only or infinite rate.
+                # Unconstrained: bound-only or infinite rate.  A zero
+                # bound means the activity is stalled (e.g. a flow over a
+                # zero-capacity fatpipe): no completion event is armed, so
+                # it only ends if something re-rates it — otherwise the
+                # main loop reports the deadlock.
                 act.epoch += 1
-                act.rate = act.bound if act.bound else INF
-                duration = (act.remaining / act.rate) if act.rate != INF else 0.0
-                self._push(self.now + duration, act)
+                act.rate = act.bound if act.bound is not None else INF
+                if act.rate == INF:
+                    self._push(self.now, act)
+                elif act.rate > 0.0:
+                    self._push(self.now + act.remaining / act.rate, act)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown activity phase {phase!r}")
 
@@ -206,8 +284,14 @@ class Engine:
     # ------------------------------------------------------------------
     # Lazy sharing updates
     # ------------------------------------------------------------------
-    def _recompute_dirty(self) -> None:
-        """Settle and re-rate every activity affected by pending changes."""
+    def _recompute_dirty(self) -> int:
+        """Settle and re-rate every activity affected by pending changes.
+
+        Returns the sharing-component size for ``run()``'s telemetry
+        locals: 0 when nothing needed re-rating, ``-n`` when the
+        single-constraint fast path re-rated ``n`` activities, ``+n``
+        when the generic solver handled ``n``.
+        """
         seeds, self._dirty = self._dirty, set()
         # Fast path for the overwhelmingly common case — one dirty
         # constraint whose (at most one) user touches nothing else, e.g. a
@@ -216,13 +300,13 @@ class Engine:
             (cons,) = seeds
             users = cons.users
             if not users:
-                return
+                return 0
             if all(len(act.constraints) == 1 for act in users):
                 # The whole component is this one constraint (e.g. a CPU
                 # with its folded compute bursts): equal shares with
                 # bounds, no BFS and no generic filling needed.
                 self._rerate_single_constraint(cons, users)
-                return
+                return -len(users)
         # BFS over the bipartite activity/constraint graph.  Disjoint
         # components may be swept together: max-min allocations are
         # independent across components, so one filling pass is equivalent.
@@ -240,7 +324,7 @@ class Engine:
                             comp_cons.add(other)
                             stack.append(other)
         if not comp_acts:
-            return
+            return 0
         now = self.now
         # Settle progress at the old rates.
         for act in comp_acts:
@@ -252,7 +336,7 @@ class Engine:
                     act.remaining = 0.0
             act.settled_at = now
 
-        self._maxmin(comp_acts)
+        self._maxmin_iters += self._maxmin(comp_acts)
 
         # Re-arm completion events at the new rates.
         for act in comp_acts:
@@ -264,6 +348,7 @@ class Engine:
                 self._push(now + act.remaining / rate, act)
             # rate == 0: saturated at zero — no event; if everyone ends up
             # rate-less the main loop reports a deadlock.
+        return len(comp_acts)
 
     def _rerate_single_constraint(self, cons: Constraint, users) -> None:
         """Max-min over one constraint: bounded users below the fair share
@@ -304,8 +389,9 @@ class Engine:
                 self._push(now + act.remaining / rate, act)
 
     @staticmethod
-    def _maxmin(acts: Set[Activity]) -> None:
-        """Equal-weight progressive filling with per-activity bounds."""
+    def _maxmin(acts: Set[Activity]) -> int:
+        """Equal-weight progressive filling with per-activity bounds.
+        Returns the number of filling levels (telemetry)."""
         remaining_cap = {}
         load = {}
         for act in acts:
@@ -316,7 +402,9 @@ class Engine:
                     load[cons] = 1
                     remaining_cap[cons] = cons.capacity
         unfixed = set(acts)
+        iterations = 0
         while unfixed:
+            iterations += 1
             level = INF
             for cons, weight in load.items():
                 if weight > 0:
@@ -350,6 +438,7 @@ class Engine:
                     cap = remaining_cap[cons] - rate
                     remaining_cap[cons] = cap if cap > 0.0 else 0.0
                     load[cons] -= 1
+        return iterations
 
     # ------------------------------------------------------------------
     # Heap plumbing
@@ -369,6 +458,9 @@ class Engine:
         heap = self._heap
         if len(heap) > 2 * self._heap_floor:
             live = [e for e in heap if not e[3].done and e[2] == e[3].epoch]
+            if self.metrics is not None:
+                self.metrics.compactions += 1
+                self.metrics.stale_skipped += len(heap) - len(live)
             # In place: run() holds a reference to this very list.
             heap[:] = live
             heapq.heapify(heap)

@@ -30,6 +30,7 @@ from .activity import CommActivity, Waitable
 from .engine import Engine
 from .platform import Host, Platform
 from .pwl import PiecewiseLinearModel, DEFAULT_MPI_MODEL
+from .telemetry import CommMetrics
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "CommRequest", "CommSystem"]
 
@@ -90,6 +91,7 @@ class CommSystem:
         rank_hosts: Dict[int, Host],
         comm_model: PiecewiseLinearModel = DEFAULT_MPI_MODEL,
         eager_threshold: float = DEFAULT_EAGER_THRESHOLD,
+        metrics: Optional[CommMetrics] = None,
     ) -> None:
         self.engine = engine
         self.platform = platform
@@ -101,6 +103,8 @@ class CommSystem:
         self._pending_recvs: Dict[int, Deque[_PendingComm]] = {}
         self.n_transfers = 0
         self.bytes_transferred = 0.0
+        # Optional telemetry; None keeps the posting paths increment-free.
+        self.metrics = metrics
         # Routes and model factors are static for a run: memoise them
         # (regular MPI codes reuse a handful of peer pairs and sizes).
         self._route_cache: Dict[tuple, tuple] = {}
@@ -139,7 +143,11 @@ class CommSystem:
             comm.send_req = req
             req.comm = comm
             comm.eager = size <= self.eager_threshold
-            self._pending_sends.setdefault(dst, deque()).append(comm)
+            queue = self._pending_sends.setdefault(dst, deque())
+            queue.append(comm)
+            metrics = self.metrics
+            if metrics is not None and len(queue) > metrics.max_pending_sends:
+                metrics.max_pending_sends = len(queue)
             if comm.eager:
                 # Buffered mode: the payload flies now.
                 self._start_transfer(comm)
@@ -168,7 +176,11 @@ class CommSystem:
             comm = _PendingComm()
             comm.recv_req = req
             req.comm = comm
-            self._pending_recvs.setdefault(dst, deque()).append(comm)
+            queue = self._pending_recvs.setdefault(dst, deque())
+            queue.append(comm)
+            metrics = self.metrics
+            if metrics is not None and len(queue) > metrics.max_pending_recvs:
+                metrics.max_pending_recvs = len(queue)
         return req
 
     # Blocking conveniences (generator style: ``yield from comms.send(...)``)
@@ -242,6 +254,11 @@ class CommSystem:
         comm.activity = act
         self.n_transfers += 1
         self.bytes_transferred += send_req.size
+        # Transfer/byte/cache-rate telemetry is derived from cache_stats()
+        # snapshots; only the eager split needs a live counter.
+        metrics = self.metrics
+        if metrics is not None and comm.eager:
+            metrics.eager_transfers += 1
         act.on_complete(lambda _act, c=comm: self._on_arrival(c))
         self.engine.start_activity(act)
         if comm.eager and not send_req.done:
@@ -263,7 +280,43 @@ class CommSystem:
     # ------------------------------------------------------------------
     # Introspection (used by deadlock diagnostics and tests)
     # ------------------------------------------------------------------
-    def unmatched_counts(self) -> Dict[str, int]:
-        sends = sum(len(q) for q in self._pending_sends.values())
-        recvs = sum(len(q) for q in self._pending_recvs.values())
-        return {"sends": sends, "recvs": recvs}
+    def cache_stats(self) -> Dict[str, float]:
+        """Snapshot of the counters the kernel maintains anyway; telemetry
+        (:class:`CommMetrics`) takes begin/finish deltas of this instead
+        of counting per transfer.  Each transfer performs exactly one
+        route lookup and one model-factor lookup, so cache hit counts
+        follow as ``transfers - misses``."""
+        return {
+            "n_transfers": self.n_transfers,
+            "bytes_transferred": self.bytes_transferred,
+            "route_cache_entries": len(self._route_cache),
+            "factor_cache_entries": len(self._factor_cache),
+        }
+
+    def unmatched_counts(self, by_key: bool = False) -> Dict[str, object]:
+        """Unmatched posted sends and receives.
+
+        With ``by_key=False`` (default) returns total counts,
+        ``{"sends": n, "recvs": m}``.  With ``by_key=True`` each side is
+        broken down by ``(src, dst, tag)`` — wildcards appear as -1 —
+        which is what the deadlock report prints so an inconsistent trace
+        (e.g. a recv whose matching send was truncated away) is
+        attributable to a specific pair in one read.
+        """
+        if not by_key:
+            sends = sum(len(q) for q in self._pending_sends.values())
+            recvs = sum(len(q) for q in self._pending_recvs.values())
+            return {"sends": sends, "recvs": recvs}
+        send_keys: Dict[tuple, int] = {}
+        recv_keys: Dict[tuple, int] = {}
+        for queue in self._pending_sends.values():
+            for comm in queue:
+                req = comm.send_req
+                key = (req.src, req.dst, req.tag)
+                send_keys[key] = send_keys.get(key, 0) + 1
+        for queue in self._pending_recvs.values():
+            for comm in queue:
+                req = comm.recv_req
+                key = (req.src, req.dst, req.tag)
+                recv_keys[key] = recv_keys.get(key, 0) + 1
+        return {"sends": send_keys, "recvs": recv_keys}

@@ -1,0 +1,287 @@
+"""Replay observability: cheap, always-consistent counters.
+
+Telemetry is *opt-in*: the kernel objects carry a ``metrics`` attribute
+that is ``None`` by default, and every instrumentation site is guarded by
+a single ``is not None`` test — replays with metrics disabled execute the
+exact same arithmetic as before this module existed.  With metrics
+enabled the design keeps the per-event cost to a few local-variable
+increments, which holds the Fig. 9 replay-time overhead under the 5%
+budget (``benchmarks/bench_fig9_replay_time.py::test_fig9_metrics_overhead``):
+
+* the engine counts events unconditionally in ``run()``-local integers
+  (branchless — the loop executes identical bytecode either way) and
+  flushes them into :class:`EngineMetrics` once, when the loop exits;
+* the communication layer derives almost everything (transfers, bytes,
+  cache hit rates) from counters and cache sizes the kernel maintains
+  anyway, via begin/finish snapshots — only the eager count and the
+  match-queue high-water marks are tracked live;
+* the replayer aggregates into a per-(rank, action-name) *cell*
+  ``[handler, count, volume, time, vol_idx]`` that doubles as the
+  dispatch entry, so the same dict lookup that finds the action's
+  handler also yields its counters.
+
+Three counter groups mirror the three layers of the replay pipeline:
+
+* :class:`EngineMetrics` — the discrete-event loop: events popped, stale
+  heap entries skipped, heap compactions, sharing-component sizes, and
+  max-min filling iterations.
+* :class:`CommMetrics` — the matching/transfer layer: transfers and
+  bytes split by eager vs. rendezvous protocol, match-queue depths, and
+  route/model-factor cache hit rates.
+* :class:`ReplayMetrics` — the action layer: per-rank and per-action-type
+  counts and volumes, plus simulated-time attribution (compute vs. comm
+  vs. wait).
+
+:class:`Telemetry` bundles one of each and renders the JSON-friendly
+document surfaced as ``ReplayResult.metrics`` and by
+``repro-replay --metrics``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["EngineMetrics", "CommMetrics", "ReplayMetrics", "Telemetry",
+           "ACTION_CATEGORIES", "action_category"]
+
+# Simulated-time attribution buckets for the standard action set; any
+# action not listed here (e.g. user-registered ones) is charged to
+# "other".  ``wait`` is pure waiting; collectives and point-to-point are
+# communication (their embedded reduction flops are negligible next to
+# the transfers they synchronise on).
+ACTION_CATEGORIES: Dict[str, str] = {
+    "compute": "compute",
+    "wait": "wait",
+    "send": "comm", "Isend": "comm", "recv": "comm", "Irecv": "comm",
+    "bcast": "comm", "reduce": "comm", "allReduce": "comm",
+    "barrier": "comm",
+    "comm_size": "other",
+}
+
+_CATEGORY_KEYS = ("compute", "comm", "wait", "other")
+
+# Which token of a trace line carries the action's volume (flops for
+# compute, bytes otherwise).  Token 0 is the process id, token 1 the
+# action keyword; -1 means the action has no volume.
+_VOLUME_TOKEN: Dict[str, int] = {
+    "compute": 2,
+    "send": 3, "Isend": 3, "recv": 3, "Irecv": 3,
+    "bcast": 2, "reduce": 2, "allReduce": 2,
+}
+
+
+def action_category(name: str) -> str:
+    """The attribution bucket of a trace action keyword."""
+    return ACTION_CATEGORIES.get(name, "other")
+
+
+class EngineMetrics:
+    """Counters for the lazy discrete-event loop.
+
+    The engine's main loop accumulates into plain locals and adds them
+    here when it exits (including on deadlock), so a mid-run snapshot of
+    this object only reflects completed ``run()`` calls.
+    """
+
+    __slots__ = ("events_popped", "stale_skipped", "compactions",
+                 "fastpath_recomputes", "generic_recomputes",
+                 "component_acts", "max_component_acts",
+                 "maxmin_iterations")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.events_popped = 0        # valid completion events processed
+        self.stale_skipped = 0        # lazy-deleted heap entries discarded
+        self.compactions = 0          # heap compaction sweeps
+        self.fastpath_recomputes = 0  # single-constraint fast path taken
+        self.generic_recomputes = 0   # BFS + progressive-filling path
+        self.component_acts = 0       # total activities settled+re-rated
+        self.max_component_acts = 0   # largest sharing component seen
+        self.maxmin_iterations = 0    # filling levels across all fillings
+
+    def as_dict(self) -> Dict[str, float]:
+        fast = self.fastpath_recomputes
+        generic = self.generic_recomputes
+        recomputes = fast + generic
+        return {
+            "events_popped": self.events_popped,
+            "stale_heap_entries_skipped": self.stale_skipped,
+            "heap_compactions": self.compactions,
+            "sharing_recomputes": recomputes,
+            "fastpath_recomputes": fast,
+            "component_activities_total": self.component_acts,
+            "component_activities_max": self.max_component_acts,
+            "component_activities_mean": (
+                self.component_acts / recomputes if recomputes else 0.0
+            ),
+            # The generic path runs one progressive filling per recompute.
+            "maxmin_calls": generic,
+            "maxmin_iterations": self.maxmin_iterations,
+        }
+
+
+class CommMetrics:
+    """Counters for the matching and eager/rendezvous transfer layer.
+
+    Transfer and cache totals are not counted per event: the kernel
+    already maintains ``n_transfers``/``bytes_transferred`` and its
+    route/factor caches, so :meth:`begin`/:meth:`finish` snapshot those
+    (``CommSystem.cache_stats()``) and take deltas.  Cache *hits* follow
+    from the identity one-route-lookup-and-one-factor-lookup-per-transfer:
+    ``hits = transfers - misses``.  Only the eager-transfer count and the
+    match-queue high-water marks are maintained live (one guarded update
+    per posting).
+    """
+
+    __slots__ = ("transfers", "bytes", "eager_transfers",
+                 "max_pending_sends", "max_pending_recvs",
+                 "route_cache_misses", "factor_cache_misses", "_snapshot")
+
+    def __init__(self) -> None:
+        self._snapshot: Optional[Dict[str, float]] = None
+        self.begin(None)
+
+    def begin(self, snapshot: Optional[Dict[str, float]]) -> None:
+        """Start a measurement window at the given cache_stats snapshot."""
+        self.transfers = 0
+        self.bytes = 0.0
+        self.eager_transfers = 0
+        self.max_pending_sends = 0   # deepest unmatched-send queue
+        self.max_pending_recvs = 0   # deepest unmatched-recv queue
+        self.route_cache_misses = 0
+        self.factor_cache_misses = 0
+        self._snapshot = snapshot
+
+    def finish(self, snapshot: Dict[str, float]) -> None:
+        """Close the window: totals are deltas against :meth:`begin`."""
+        base = self._snapshot or {
+            "n_transfers": 0, "bytes_transferred": 0.0,
+            "route_cache_entries": 0, "factor_cache_entries": 0,
+        }
+        self.transfers = snapshot["n_transfers"] - base["n_transfers"]
+        self.bytes = (snapshot["bytes_transferred"]
+                      - base["bytes_transferred"])
+        self.route_cache_misses = (snapshot["route_cache_entries"]
+                                   - base["route_cache_entries"])
+        self.factor_cache_misses = (snapshot["factor_cache_entries"]
+                                    - base["factor_cache_entries"])
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        transfers = self.transfers
+        route_hits = transfers - self.route_cache_misses
+        factor_hits = transfers - self.factor_cache_misses
+        return {
+            "transfers": transfers,
+            "bytes": self.bytes,
+            "eager_transfers": self.eager_transfers,
+            "rendezvous_transfers": transfers - self.eager_transfers,
+            "max_pending_sends": self.max_pending_sends,
+            "max_pending_recvs": self.max_pending_recvs,
+            "route_cache_hits": route_hits,
+            "route_cache_misses": self.route_cache_misses,
+            "route_cache_hit_rate": self._rate(route_hits,
+                                               self.route_cache_misses),
+            "factor_cache_hits": factor_hits,
+            "factor_cache_misses": self.factor_cache_misses,
+            "factor_cache_hit_rate": self._rate(factor_hits,
+                                                self.factor_cache_misses),
+        }
+
+
+class ReplayMetrics:
+    """Per-rank and per-action-type counters for the replayer.
+
+    The replay loop charges each action through a mutable cell
+    ``[handler, count, volume, time, vol_idx]`` which doubles as the
+    dispatch entry: the *same* per-rank dict lookup that finds the
+    action's handler yields its counters, so with metrics enabled each
+    action touches exactly one extra object.  Slot 0 is owned by the
+    replayer (the bound handler); ``vol_idx`` locates the volume token
+    in the trace line (-1: the action has no volume); per-category time
+    splits are derived from the cells at :meth:`as_dict` time via
+    :data:`ACTION_CATEGORIES`.
+    """
+
+    __slots__ = ("n_ranks", "rank_cells")
+
+    def __init__(self) -> None:
+        self.n_ranks = 0
+        # Per rank: {action name: [handler, count, volume, time, vol_idx]}.
+        self.rank_cells: List[Dict[str, list]] = []
+
+    def reset(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
+        self.rank_cells = [{} for _ in range(n_ranks)]
+
+    def new_cell(self, rank: int, name: str) -> list:
+        """Build (and register) the counting cell for one (rank, action).
+        The caller fills slot 0 with whatever it dispatches on."""
+        cell = [None, 0, 0.0, 0.0, _VOLUME_TOKEN.get(name, -1)]
+        self.rank_cells[rank][name] = cell
+        return cell
+
+    @property
+    def total_actions(self) -> int:
+        return sum(cell[1] for cells in self.rank_cells
+                   for cell in cells.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        action_counts: Dict[str, int] = {}
+        action_volumes: Dict[str, float] = {}
+        time_totals = {cat: 0.0 for cat in _CATEGORY_KEYS}
+        per_rank = []
+        for rank in range(self.n_ranks):
+            cells = self.rank_cells[rank]
+            rank_counts = {}
+            times = {cat: 0.0 for cat in _CATEGORY_KEYS}
+            for name, (_h, count, volume, seconds, vol_idx) in cells.items():
+                rank_counts[name] = count
+                action_counts[name] = action_counts.get(name, 0) + count
+                if vol_idx >= 0:
+                    action_volumes[name] = (action_volumes.get(name, 0.0)
+                                            + volume)
+                times[ACTION_CATEGORIES.get(name, "other")] += seconds
+            for cat, value in times.items():
+                time_totals[cat] += value
+            per_rank.append({
+                "rank": rank,
+                "actions": rank_counts,
+                "n_actions": sum(rank_counts.values()),
+                "time": times,
+            })
+        return {
+            "n_ranks": self.n_ranks,
+            "n_actions": sum(action_counts.values()),
+            "actions_by_type": action_counts,
+            "volumes_by_type": action_volumes,
+            "time_by_category": time_totals,
+            "per_rank": per_rank,
+        }
+
+
+class Telemetry:
+    """One replay's worth of counters, across all three layers."""
+
+    __slots__ = ("engine", "comm", "replay")
+
+    def __init__(self) -> None:
+        self.engine = EngineMetrics()
+        self.comm = CommMetrics()
+        self.replay = ReplayMetrics()
+
+    def as_dict(self) -> Dict[str, object]:
+        replay = self.replay.as_dict()
+        per_rank = replay.pop("per_rank")
+        return {
+            "engine": self.engine.as_dict(),
+            "comm": self.comm.as_dict(),
+            "replay": replay,
+            "per_rank": per_rank,
+        }

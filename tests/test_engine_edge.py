@@ -243,3 +243,84 @@ def test_fatpipe_combines_with_shared_links():
     # Two flows share the 1.25e8 up-link: 2 s each.
     assert ends["a"] == pytest.approx(2.0)
     assert ends["b"] == pytest.approx(2.0)
+
+
+def test_unconstrained_zero_bound_stalls_to_deadlock():
+    """Regression: an unconstrained activity with bound=0.0 used to get
+    rate=INF (the bound's truthiness was tested, not its presence) and
+    complete instantly; it must stall toward deadlock detection instead."""
+    from repro.simkernel import DeadlockError
+
+    engine = Engine()
+
+    def proc():
+        yield engine.comm_activity([], size=1.0, latency=0.0, bound=0.0)
+
+    engine.add_process("p", proc())
+    with pytest.raises(DeadlockError) as err:
+        engine.run()
+    assert "p" in err.value.blocked
+
+
+def test_zero_capacity_fatpipe_stalls_to_deadlock():
+    """The realistic trigger of the bound=0.0 bug: a flow whose fatpipe
+    link has zero capacity has no shared constraints and a zero bound."""
+    from repro.simkernel import DeadlockError
+    from repro.simkernel.activity import CommActivity
+
+    engine = Engine()
+    dead_fabric = Constraint(0.0, "fabric", fatpipe=True)
+
+    def proc():
+        act = CommActivity([dead_fabric], size=1e6, latency=0.0)
+        engine.start_activity(act)
+        yield act
+
+    engine.add_process("p", proc())
+    with pytest.raises(DeadlockError):
+        engine.run()
+
+
+def test_zero_bound_on_shared_constraint_stalls_both_paths():
+    """bound=0.0 must stall on the single-constraint fast path and in the
+    generic component solver alike."""
+    from repro.simkernel import DeadlockError
+
+    # Fast path: one CPU, one user.
+    engine = Engine()
+    cpu = Constraint(1e9, "cpu")
+
+    def proc(e, *cons):
+        yield e.comm_activity(cons, size=1.0, latency=0.0, bound=0.0)
+
+    engine.add_process("p", proc(engine, cpu))
+    with pytest.raises(DeadlockError):
+        engine.run()
+
+    # Generic solver: the activity spans two constraints.
+    engine2 = Engine()
+    up = Constraint(1e9, "up")
+    down = Constraint(1e9, "down")
+    engine2.add_process("p", proc(engine2, up, down))
+    with pytest.raises(DeadlockError):
+        engine2.run()
+
+
+def test_unconstrained_positive_bound_still_rated():
+    """The bound=0.0 fix must not disturb positive and absent bounds."""
+    engine = Engine()
+    ends = {}
+
+    def bounded():
+        yield engine.comm_activity([], size=1e6, latency=0.0, bound=1e6)
+        ends["bounded"] = engine.now
+
+    def unbounded():
+        yield engine.comm_activity([], size=1e6, latency=0.0)
+        ends["unbounded"] = engine.now
+
+    engine.add_process("a", bounded())
+    engine.add_process("b", unbounded())
+    engine.run()
+    assert ends["bounded"] == pytest.approx(1.0)
+    assert ends["unbounded"] == pytest.approx(0.0)

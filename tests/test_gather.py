@@ -87,6 +87,31 @@ def test_simulate_gather_arity_tradeoff():
     assert deep.time != wide.time
 
 
+def test_simulate_gather_same_round_transfers_concurrent():
+    """Regression: the receiver posted its rendezvous recvs one at a time,
+    so K same-round uploads paid K route latencies back to back instead of
+    starting together and contending (the Fig. 7 gathering contract)."""
+    platform = flat_platform(5)
+    route_latency = 3e-5  # uplink + backbone + downlink
+    # Tiny payloads: the critical path is latency, and concurrent uploads
+    # pay it once while serialised ones pay it per child.
+    result = simulate_gather(platform, platform.host_list(), [1.0] * 5,
+                             arity=4)
+    assert result.n_rounds == 1
+    assert result.time < 2 * route_latency  # serialised would be ~4x
+
+
+def test_simulate_gather_round_still_waits_for_all_children():
+    """Posting the receives together must not let a round complete before
+    every child's upload lands."""
+    platform = flat_platform(5)
+    sizes = [0.0, 1e6, 1e6, 1e6, 1e8]  # one child is much bigger
+    result = simulate_gather(platform, platform.host_list(), sizes, arity=4)
+    # The 1e8 B upload alone takes 0.8 s over its 1.25e8 B/s uplink.
+    assert result.time >= 1e8 / 1.25e8
+    assert result.total_bytes == pytest.approx(sum(sizes))
+
+
 def test_simulate_gather_validation():
     platform = flat_platform(2)
     with pytest.raises(ValueError):
@@ -108,6 +133,32 @@ def test_gather_files_moves_everything(tmp_path):
     assert moved == 6
     assert sorted(os.listdir(dest)) == [
         f"SG_process{r}.trace" for r in range(6)
+    ]
+
+
+def test_gather_files_mixed_formats(tmp_path):
+    """Regression: binary .btrace files were silently skipped even though
+    the replayer accepts them; all three representations must be moved."""
+    from repro.core.actions import Compute
+    from repro.core.binfmt import write_binary_trace
+
+    import gzip
+
+    node0 = tmp_path / "node0"
+    node0.mkdir()
+    (node0 / "SG_process0.trace").write_text("p0 compute 1\n")
+    with gzip.open(node0 / "SG_process1.trace.gz", "wt") as handle:
+        handle.write("p1 compute 1\n")
+    node1 = tmp_path / "node1"
+    node1.mkdir()
+    write_binary_trace([Compute(2, 1.0)], 2, str(node1 / "SG_process2.btrace"))
+    (node1 / "notes.txt").write_text("not a trace\n")
+
+    dest = str(tmp_path / "gathered")
+    moved = gather_files([str(node0), str(node1)], dest)
+    assert moved == 3
+    assert sorted(os.listdir(dest)) == [
+        "SG_process0.trace", "SG_process1.trace.gz", "SG_process2.btrace",
     ]
 
 

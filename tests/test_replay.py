@@ -214,3 +214,32 @@ def test_replay_too_many_trace_ranks_rejected():
     trace = fig1_trace()
     with pytest.raises(ValueError):
         make_replayer(2).replay(trace)
+
+
+def test_replay_timed_trace_does_not_accumulate_across_replays():
+    """Regression: a second replay() on the same instance used to return
+    the first run's tuples prepended to its own."""
+    replayer = make_replayer(4, record_timed_trace=True)
+    first = replayer.replay(fig1_trace())
+    assert len(first.timed_trace) == 12
+    second = replayer.replay(fig1_trace())
+    assert len(second.timed_trace) == 12
+    # And the first result's list is not mutated by the second run.
+    assert len(first.timed_trace) == 12
+
+
+def test_replay_gzipped_merged_trace(tmp_path):
+    """Regression: a merged trace.gz hit plain open() and failed, even
+    though gzipped per-rank traces were accepted."""
+    import gzip
+
+    trace = fig1_trace()
+    merged = tmp_path / "merged.trace.gz"
+    with gzip.open(merged, "wt", encoding="ascii") as handle:
+        for rank in trace.ranks():
+            for line in trace.lines_of(rank):
+                handle.write(line + "\n")
+    from_gz = make_replayer(4).replay(str(merged))
+    in_memory = make_replayer(4).replay(trace)
+    assert from_gz.simulated_time == pytest.approx(in_memory.simulated_time)
+    assert from_gz.n_actions == 12
