@@ -98,7 +98,9 @@ def format_metrics_report(metrics: Optional[Dict],
         f"max {_fmt_count(engine.get('component_activities_max', 0))}"
     )
     lines.append(
-        f"max-min: {_fmt_count(engine.get('maxmin_calls', 0))} fillings, "
+        f"max-min: {_fmt_count(engine.get('maxmin_calls', 0))} fillings "
+        f"({_fmt_count(engine.get('vectorized_recomputes', 0))} "
+        f"vectorized), "
         f"{_fmt_count(engine.get('maxmin_iterations', 0))} levels"
     )
 

@@ -302,6 +302,12 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
                         help="rank count when no deployment file is given")
     parser.add_argument("--collectives", default="binomial",
                         choices=["binomial", "flat"])
+    parser.add_argument("--lmm", default="auto",
+                        choices=["auto", "reference", "vectorized"],
+                        help="max-min solver path: 'auto' vectorizes "
+                             "large sharing components, 'reference' "
+                             "forces the pure-Python oracle, 'vectorized' "
+                             "forces NumPy (default: auto)")
     parser.add_argument("--eager-threshold", type=float, default=65536)
     parser.add_argument("--timed-trace", default=None,
                         help="write the simulated timed trace here")
@@ -326,6 +332,7 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
         collective_algorithm=args.collectives,
         record_timed_trace=args.timed_trace is not None,
         collect_metrics=args.metrics is not None,
+        lmm_mode=args.lmm,
     )
     result = replayer.replay(args.trace)
     print(f"Simulated execution time: {result.simulated_time:.6f} s")

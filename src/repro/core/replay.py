@@ -42,7 +42,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 from ..simkernel import CommSystem, Engine, Host, Platform, Telemetry
 from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
 from ..smpi import collectives
-from .trace import InMemoryTrace, trace_file_name
+from .trace import InMemoryTrace
 
 __all__ = ["TraceReplayer", "ReplayResult"]
 
@@ -102,6 +102,7 @@ class TraceReplayer:
         collective_algorithm: str = "binomial",
         record_timed_trace: bool = False,
         collect_metrics: bool = False,
+        lmm_mode: str = "auto",
     ) -> None:
         if not deployment:
             raise ValueError("deployment must map at least one rank")
@@ -113,8 +114,13 @@ class TraceReplayer:
         self.platform = platform
         self.deployment = list(deployment)
         self.telemetry = Telemetry() if collect_metrics else None
+        # ``lmm_mode`` selects the engine's max-min implementation:
+        # "auto" (vectorized above the component-size cutoff),
+        # "reference" (the pure-Python oracle), "vectorized" (always
+        # NumPy).  Exposed as ``repro-replay --lmm``.
         self.engine = Engine(
             metrics=self.telemetry.engine if collect_metrics else None,
+            lmm_mode=lmm_mode,
         )
         self.comms = CommSystem(
             self.engine,
@@ -464,10 +470,15 @@ class TraceReplayer:
             ranks = source.ranks()
             if ranks != list(range(len(ranks))):
                 raise ValueError(f"trace ranks are not contiguous: {ranks[:10]}")
-            return [
-                [line.split() for line in source.lines_of(rank)]
-                for rank in ranks
-            ]
+
+            # Lazy per-rank tokenization: the trace is resident anyway,
+            # but the token lists (3-4x the Action objects' footprint)
+            # need never exist all at once.
+            def stream(rank: int) -> Iterator[List[str]]:
+                for line in source.lines_of(rank):
+                    yield line.split()
+
+            return [stream(rank) for rank in ranks]
         if isinstance(source, (str, os.PathLike)):
             path = os.fspath(source)
             if os.path.isdir(path):
@@ -479,26 +490,14 @@ class TraceReplayer:
         )
 
     def _dir_streams(self, directory: str) -> List[Iterable[List[str]]]:
-        from .binfmt import binary_trace_file_name, read_binary_trace
+        """Streaming ingestion of the Fig. 2 per-process layout.
 
-        paths = []
-        rank = 0
-        while True:
-            plain = os.path.join(directory, trace_file_name(rank))
-            binary = os.path.join(directory, binary_trace_file_name(rank))
-            if os.path.exists(plain):
-                paths.append(plain)
-            elif os.path.exists(plain + ".gz"):
-                paths.append(plain + ".gz")
-            elif os.path.exists(binary):
-                paths.append(binary)
-            else:
-                break
-            rank += 1
-        if not paths:
-            raise FileNotFoundError(
-                f"no {trace_file_name(0)}[.gz|.btrace] in {directory!r}"
-            )
+        Each rank's stream holds one open file and decodes on demand —
+        peak resident ingestion state is O(ranks), independent of the
+        per-rank event count.  This is the layout to use at scale.
+        """
+        from .binfmt import read_binary_trace
+        from .trace import discover_trace_paths
 
         def binary_stream(path: str) -> Iterator[List[str]]:
             from .actions import format_action
@@ -522,24 +521,68 @@ class TraceReplayer:
         return [
             binary_stream(path) if path.endswith(".btrace")
             else stream(path, rank)
-            for rank, path in enumerate(paths)
+            for rank, path in enumerate(discover_trace_paths(directory))
         ]
 
     def _merged_stream(self, path: str) -> List[Iterable[List[str]]]:
-        by_rank: Dict[int, List[List[str]]] = {}
-        # Merged traces may be gzipped just like per-rank ones.
+        """Demultiplex a merged (Fig. 1) file without loading it whole.
+
+        One shared cursor walks the file; each rank's stream drains its
+        own buffer and, when empty, advances the cursor — buffering lines
+        for *other* ranks as they scroll past.  For interleaved merged
+        traces the buffers stay near-empty (O(ranks + interleaving skew)
+        resident).  A rank-major merged file is the worst case: rank k's
+        first action sits after every line of ranks < k, so buffering
+        degrades to O(events) — inherent to the layout, not the reader.
+        The per-process directory layout is the scalable representation;
+        this path exists for the small-instance convenience format.
+        """
         opener = gzip.open if path.endswith(".gz") else open
+        # Pass 1: the rank set (needed up front to build one stream per
+        # rank).  Reads prefixes only; retains O(ranks) state.
+        ranks = set()
         with opener(path, "rt", encoding="ascii") as handle:
+            for line in handle:
+                head = line.split(None, 1)
+                if not head or head[0].startswith("#"):
+                    continue
+                ranks.add(int(head[0][1:]))
+        rank_list = sorted(ranks)
+        if rank_list != list(range(len(rank_list))):
+            raise ValueError(
+                f"{path}: ranks are not contiguous: {rank_list[:10]}"
+            )
+
+        # Pass 2: shared-cursor demux.
+        buffers: List[deque] = [deque() for _ in rank_list]
+        handle = opener(path, "rt", encoding="ascii")
+        exhausted = [False]
+
+        def pump_until(rank: int) -> bool:
+            """Advance the shared cursor until a line for ``rank`` lands
+            in its buffer; returns False at end of file."""
+            if exhausted[0]:
+                return False
             for line in handle:
                 tokens = line.split()
                 if not tokens or tokens[0].startswith("#"):
                     continue
-                rank = int(tokens[0][1:])
-                by_rank.setdefault(rank, []).append(tokens)
-        ranks = sorted(by_rank)
-        if ranks != list(range(len(ranks))):
-            raise ValueError(f"{path}: ranks are not contiguous: {ranks[:10]}")
-        return [by_rank[rank] for rank in ranks]
+                buffers[int(tokens[0][1:])].append(tokens)
+                if buffers[rank]:
+                    return True
+            exhausted[0] = True
+            handle.close()
+            return False
+
+        def stream(rank: int) -> Iterator[List[str]]:
+            buf = buffers[rank]
+            while True:
+                if buf:
+                    yield buf.popleft()
+                elif not pump_until(rank):
+                    return
+
+        return [stream(rank) for rank in rank_list]
 
 
 class _CollOps:
@@ -572,6 +615,10 @@ class _CollOps:
 
     def recv(self, src: int = -1, tag: int = -1):
         req = self.replayer.comms.irecv(self.ctx.rank, src=src, tag=tag)
+        yield req
+        return req
+
+    def wait(self, req):
         yield req
         return req
 

@@ -1,0 +1,120 @@
+"""Synthetic time-independent traces with the LU action mix.
+
+The rank-scaling benchmarks (and the CI smoke job) need traces far
+larger than anything worth acquiring through the full simulated runtime:
+a 1024-rank replay input.  Acquisition cost is O(simulated run); this
+module instead *writes the trace directly* — per rank, the ghost-cell
+exchange / compute / periodic-allReduce skeleton of an NPB LU SSOR
+iteration (reusing :class:`~repro.apps.lu.LuGrid` for the 2-D pencil
+decomposition and the real class B/C face volumes), shaped exactly like
+what acquisition of LU produces but generated in O(actions) time with
+O(1) memory per rank.
+
+The per-iteration pattern mirrors ``exchange_3`` + the triangular
+sweeps, flattened to the blocking-replay action set (Table 1): post
+``Irecv`` for every neighbour, pack + ``send`` each face, ``wait`` the
+receives, one fused compute burst, and every ``inorm`` iterations an
+``allReduce`` — deadlock-free under the replayer's oldest-pending-wait
+semantics because every rank posts its receives before its sends.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional
+
+from ..apps.classes import lu_class
+from ..apps.lu import (
+    FLOPS_ADD,
+    FLOPS_LOWER,
+    FLOPS_RHS,
+    FLOPS_UPPER,
+    LuGrid,
+    NORM_BYTES,
+    NORM_FLOPS,
+    PACK_FLOPS_PER_BYTE,
+)
+from .actions import (
+    Action,
+    AllReduce,
+    Compute,
+    Irecv,
+    CommSize,
+    Send,
+    Wait,
+    format_action,
+)
+from .trace import trace_file_name
+
+__all__ = ["synthetic_lu_actions", "write_synthetic_lu_trace"]
+
+
+def synthetic_lu_actions(
+    rank: int,
+    n_ranks: int,
+    iterations: int,
+    cls: str = "B",
+    inorm: int = 8,
+) -> Iterator[Action]:
+    """One rank's synthetic LU-mix action stream (lazy)."""
+    config = lu_class(cls)
+    grid = LuGrid.build(config, n_ranks, rank)
+    neighbours: List[int] = [
+        p for p in (grid.north, grid.south, grid.west, grid.east)
+        if p is not None
+    ]
+    face_bytes = {
+        grid.north: grid.ns_face_bytes, grid.south: grid.ns_face_bytes,
+        grid.west: grid.ew_face_bytes, grid.east: grid.ew_face_bytes,
+    }
+    sweep_flops = float(
+        (FLOPS_RHS + FLOPS_LOWER + FLOPS_UPPER + FLOPS_ADD) * grid.points
+    )
+    yield CommSize(rank, n_ranks)
+    for istep in range(1, iterations + 1):
+        for peer in neighbours:
+            yield Irecv(rank, peer, face_bytes[peer])
+        for peer in neighbours:
+            nbytes = face_bytes[peer]
+            yield Compute(rank, nbytes * PACK_FLOPS_PER_BYTE)
+            yield Send(rank, peer, nbytes)
+        for _ in neighbours:
+            yield Wait(rank)
+        yield Compute(rank, sweep_flops)
+        if istep % inorm == 0:
+            yield AllReduce(rank, NORM_BYTES, NORM_FLOPS)
+
+
+def write_synthetic_lu_trace(
+    directory: str,
+    n_ranks: int,
+    iterations: int,
+    cls: str = "B",
+    inorm: int = 8,
+    binary: bool = False,
+) -> int:
+    """Write a per-process (Fig. 2) synthetic trace set; returns the
+    total action count.  Streams straight to disk — generating a
+    1024-rank trace never holds more than one action in memory."""
+    os.makedirs(directory, exist_ok=True)
+    n_actions = 0
+    if binary:
+        from .binfmt import binary_trace_file_name, write_binary_trace
+        for rank in range(n_ranks):
+            actions = list(
+                synthetic_lu_actions(rank, n_ranks, iterations, cls, inorm)
+            )
+            write_binary_trace(
+                actions, rank,
+                os.path.join(directory, binary_trace_file_name(rank)),
+            )
+            n_actions += len(actions)
+        return n_actions
+    for rank in range(n_ranks):
+        path = os.path.join(directory, trace_file_name(rank))
+        with open(path, "w", encoding="ascii", buffering=1 << 16) as handle:
+            for action in synthetic_lu_actions(rank, n_ranks, iterations,
+                                               cls, inorm):
+                handle.write(format_action(action) + "\n")
+                n_actions += 1
+    return n_actions

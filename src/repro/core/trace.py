@@ -31,8 +31,10 @@ __all__ = [
     "TeeSink",
     "SizeReport",
     "trace_file_name",
+    "discover_trace_paths",
     "read_trace_file",
     "read_trace_dir",
+    "stream_trace_dir",
     "read_merged_trace",
     "write_merged_trace",
     "estimate_gzip_ratio",
@@ -202,28 +204,70 @@ def read_trace_file(path: str, expect_rank: Optional[int] = None
             yield action
 
 
-def read_trace_dir(directory: str) -> InMemoryTrace:
-    """Load a directory of ``SG_process<rank>.trace[.gz]`` files."""
-    trace = InMemoryTrace()
-    found = False
+def discover_trace_paths(directory: str,
+                         binary: bool = True) -> List[str]:
+    """Per-rank trace paths in ``directory``, indexed by rank.
+
+    Ranks are discovered densely from 0 (the Fig. 2 layout); each rank
+    may be stored as ``SG_process<rank>.trace``, its ``.gz`` variant, or
+    (with ``binary=True``) the ``.btrace`` binary format.  This is the
+    single path-discovery used by both the eager readers here and the
+    replayer's streaming ingestion, so the two can never disagree on
+    which files make up a trace set.
+    """
+    from .binfmt import binary_trace_file_name
+
+    paths: List[str] = []
     rank = 0
     while True:
         plain = os.path.join(directory, trace_file_name(rank))
-        gz = plain + ".gz"
-        if os.path.exists(plain):
-            path = plain
-        elif os.path.exists(gz):
-            path = gz
+        candidates = [plain, plain + ".gz"]
+        if binary:
+            candidates.append(
+                os.path.join(directory, binary_trace_file_name(rank))
+            )
+        for path in candidates:
+            if os.path.exists(path):
+                paths.append(path)
+                break
         else:
             break
-        found = True
+        rank += 1
+    if not paths:
+        kinds = "[.gz|.btrace]" if binary else "[.gz]"
+        raise FileNotFoundError(
+            f"no {trace_file_name(0)}{kinds} found in {directory!r}"
+        )
+    return paths
+
+
+def stream_trace_dir(directory: str) -> List[Iterator[Action]]:
+    """One lazy action iterator per rank over a trace directory.
+
+    Nothing is materialized: each iterator holds one open file (text or
+    binary) and decodes on demand, so walking a 1024-rank trace set
+    keeps O(ranks) state however many events the files hold.  Use
+    :func:`read_trace_dir` when an indexable :class:`InMemoryTrace` is
+    actually needed.
+    """
+    from .binfmt import read_binary_trace
+
+    def stream(path: str, rank: int) -> Iterator[Action]:
+        if path.endswith(".btrace"):
+            return read_binary_trace(path)
+        return read_trace_file(path, expect_rank=rank)
+
+    return [stream(path, rank)
+            for rank, path in enumerate(discover_trace_paths(directory))]
+
+
+def read_trace_dir(directory: str) -> InMemoryTrace:
+    """Load a directory of ``SG_process<rank>.trace[.gz]`` files."""
+    trace = InMemoryTrace()
+    for rank, path in enumerate(discover_trace_paths(directory,
+                                                     binary=False)):
         for action in read_trace_file(path, expect_rank=rank):
             trace.emit(action)
-        rank += 1
-    if not found:
-        raise FileNotFoundError(
-            f"no {trace_file_name(0)}[.gz] found in {directory!r}"
-        )
     return trace
 
 

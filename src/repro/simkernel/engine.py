@@ -20,10 +20,14 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Generator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable, Generator, List, Optional, Sequence, Set, Tuple,
+)
+
+import numpy as np
 
 from .activity import Activity, CommActivity, ExecActivity, Timer, Waitable
-from .lmm import Constraint
+from .lmm import Constraint, VECTOR_THRESHOLD, fill_vectorized
 from .telemetry import EngineMetrics
 
 __all__ = ["Engine", "Process", "WaitAny", "DeadlockError"]
@@ -59,6 +63,41 @@ class WaitAny:
             raise ValueError("WaitAny needs at least one waitable")
 
 
+class _Group:
+    """A sharing group: an engine-maintained union of sharing components.
+
+    Every constraint transitively connected to another through a
+    multi-resource activity points at the same group, so re-rating needs
+    no graph walk — the group *is* the (super)component.  Groups only
+    ever merge, never split: a union of disjoint components is still a
+    correct max-min subproblem (progressive filling of a block-diagonal
+    system yields each block's independent solution), and monotone
+    merging is what keeps maintenance O(1) per membership change.
+
+    Large groups additionally go *array-backed* (``vectorized``): the
+    sharing state (remaining / rate / settled / bound) and the COO
+    incidence live in persistent NumPy arrays maintained incrementally
+    by swap-remove slot management, so a re-rate performs no
+    per-activity Python work at all.  While array-backed, the arrays —
+    not the activities' attributes — are authoritative for that state;
+    the attributes are restored on :meth:`Engine._devectorize`.
+    """
+
+    __slots__ = (
+        "cons", "acts", "vectorized",
+        # Array-backed state (meaningful when vectorized is True):
+        "acts_list", "row", "mem_of", "col", "n", "m", "ncols",
+        "rem", "rate", "settled", "bnd", "mem_var", "mem_cons", "caps",
+        "armed",
+    )
+
+    def __init__(self) -> None:
+        self.cons: List[Constraint] = []
+        self.acts: Set[Activity] = set()
+        self.vectorized = False
+        self.armed: Optional[Activity] = None
+
+
 class Process:
     """A simulated process: a generator driven by the engine."""
 
@@ -79,7 +118,24 @@ class Process:
 class Engine:
     """Owns the simulated clock, the processes, and the active activities."""
 
-    def __init__(self, metrics: Optional[EngineMetrics] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[EngineMetrics] = None,
+        lmm_mode: str = "auto",
+        vector_threshold: int = VECTOR_THRESHOLD,
+    ) -> None:
+        if lmm_mode not in ("auto", "reference", "vectorized"):
+            raise ValueError(
+                f"unknown lmm_mode {lmm_mode!r}; use 'auto', 'reference' "
+                "or 'vectorized'"
+            )
+        # Which max-min implementation re-rates sharing components:
+        # "auto" uses the NumPy filling for components of at least
+        # ``vector_threshold`` activities and the pure-Python one below it
+        # (small components are faster without array-building overhead);
+        # "reference"/"vectorized" force one path (oracle tests, benches).
+        self.lmm_mode = lmm_mode
+        self.vector_threshold = int(vector_threshold)
         self.now = 0.0
         self._processes: List[Process] = []
         self._ready: deque = deque()
@@ -93,6 +149,9 @@ class Engine:
         # Progressive-filling levels, accumulated unconditionally (one
         # integer add per filling) and windowed into the metrics by run().
         self._maxmin_iters = 0
+        # Count of recomputes settled by the vectorized filling (same
+        # accumulate-then-window pattern).
+        self._vector_fillings = 0
         # Optional telemetry; the counters themselves are loop-locals or
         # plain integer accumulators, so enabling metrics never changes
         # the arithmetic the hot paths execute.
@@ -171,6 +230,7 @@ class Engine:
         # guarded.
         popped = stale = fast = generic = comp_total = comp_max = 0
         maxmin_iters0 = self._maxmin_iters
+        vector_fillings0 = self._vector_fillings
         try:
             while True:
                 self._run_ready()
@@ -185,6 +245,11 @@ class Engine:
                         comp_total += size
                         if size > comp_max:
                             comp_max = size
+                    # A recompute may complete drained activities inline,
+                    # waking processes and dirtying constraints; settle
+                    # all of that at the current instant before touching
+                    # the event heap.
+                    continue
                 if self._live_count == 0:
                     return self.now
                 # Pop the next valid completion event.
@@ -218,6 +283,8 @@ class Engine:
                 metrics.component_acts += comp_total
                 metrics.maxmin_iterations += (self._maxmin_iters
                                               - maxmin_iters0)
+                metrics.vectorized_recomputes += (self._vector_fillings
+                                                  - vector_fillings0)
                 if comp_max > metrics.max_component_acts:
                     metrics.max_component_acts = comp_max
 
@@ -253,10 +320,27 @@ class Engine:
             self._push(self.now + act.remaining, act)
         elif phase == "sharing":
             act.settled_at = self.now
+            dirty = self._dirty
+            group: Optional[_Group] = None
             for cons in act.constraints:
                 cons.users.add(act)
-                self._dirty.add(cons)
+                dirty.add(cons)
+                g = cons.group
+                if g is not None and g is not group:
+                    group = g if group is None \
+                        else self._merge_groups(group, g)
             act.registered = True
+            if act.constraints:
+                if group is None:
+                    group = _Group()
+                grouped = group.cons
+                for cons in act.constraints:
+                    if cons.group is not group:
+                        cons.group = group
+                        grouped.append(cons)
+                group.acts.add(act)
+                if group.vectorized:
+                    self._vec_add(group, act)
             if not act.constraints:
                 # Unconstrained: bound-only or infinite rate.  A zero
                 # bound means the activity is stalled (e.g. a flow over a
@@ -272,10 +356,36 @@ class Engine:
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown activity phase {phase!r}")
 
+    def _merge_groups(self, a: _Group, b: _Group) -> _Group:
+        """Union two sharing groups (smaller absorbed into larger).
+
+        Array-backed groups are devectorized first — merges are rare
+        (they only happen while the sharing topology is still being
+        discovered), so the O(n) attribute restore is a non-event; the
+        merged group re-attaches on its next large re-rate.
+        """
+        if a.vectorized:
+            self._devectorize(a)
+        if b.vectorized:
+            self._devectorize(b)
+        if len(a.cons) < len(b.cons):
+            a, b = b, a
+        for cons in b.cons:
+            cons.group = a
+        a.cons.extend(b.cons)
+        a.acts |= b.acts
+        return a
+
     def _end_phase(self, act: Activity) -> None:
         act.remaining = 0.0
         if act.registered:
-            for cons in act.constraints:
+            constraints = act.constraints
+            if constraints:
+                group = constraints[0].group
+                group.acts.discard(act)
+                if group.vectorized:
+                    self._vec_remove(group, act)
+            for cons in constraints:
                 cons.users.discard(act)
                 self._dirty.add(cons)
             act.registered = False
@@ -294,66 +404,342 @@ class Engine:
         """
         seeds, self._dirty = self._dirty, set()
         # Fast path for the overwhelmingly common case — one dirty
-        # constraint whose (at most one) user touches nothing else, e.g. a
-        # compute burst starting or ending on an otherwise idle CPU.
+        # constraint that is its whole sharing group, e.g. a compute
+        # burst starting or ending on an otherwise idle CPU.
         if len(seeds) == 1:
             (cons,) = seeds
             users = cons.users
             if not users:
                 return 0
-            if all(len(act.constraints) == 1 for act in users):
-                # The whole component is this one constraint (e.g. a CPU
-                # with its folded compute bursts): equal shares with
-                # bounds, no BFS and no generic filling needed.
+            group = cons.group
+            if group is not None and len(group.cons) == 1:
+                # The whole group is this one constraint (so every user
+                # touches nothing else): equal shares with bounds, no
+                # generic filling needed.
+                size = len(users)
                 self._rerate_single_constraint(cons, users)
-                return -len(users)
-        # BFS over the bipartite activity/constraint graph.  Disjoint
-        # components may be swept together: max-min allocations are
-        # independent across components, so one filling pass is equivalent.
-        comp_cons: Set[Constraint] = set()
-        comp_acts: Set[Activity] = set()
-        stack = [c for c in seeds if c.users]
-        comp_cons.update(seeds)
-        while stack:
-            cons = stack.pop()
-            for act in cons.users:
-                if act not in comp_acts:
-                    comp_acts.add(act)
-                    for other in act.constraints:
-                        if other not in comp_cons:
-                            comp_cons.add(other)
-                            stack.append(other)
-        if not comp_acts:
-            return 0
+                return -size
+        # One sharing group at a time.  Groups must be handled
+        # independently: each arms its own earliest completion event, and
+        # only the group an event belongs to is re-rated when it fires.
+        # No graph walk happens here — every dirty constraint already
+        # points at its group (maintained by _enter_phase/_end_phase).
         now = self.now
-        # Settle progress at the old rates.
-        for act in comp_acts:
-            rate = act.rate
-            if rate:
-                act.remaining -= (INF if rate == INF else
-                                  rate * (now - act.settled_at))
-                if act.remaining < 0.0:
-                    act.remaining = 0.0
-            act.settled_at = now
+        mode = self.lmm_mode
+        done_groups: Set[int] = set()
+        total = 0
+        for seed in seeds:
+            group = seed.group
+            if group is None:
+                continue  # never had users
+            gid = id(group)
+            if gid in done_groups:
+                continue
+            done_groups.add(gid)
+            if group.vectorized:
+                if mode != "reference":
+                    total += group.n
+                    self._solve_group(group, now)
+                    continue
+                # A platform can be re-used by a reference-mode engine
+                # after an auto/vectorized run left groups array-backed.
+                self._devectorize(group)
+            acts = group.acts
+            if not acts:
+                continue
+            total += len(acts)
+            if len(group.cons) == 1:
+                self._rerate_single_constraint(group.cons[0], acts)
+                continue
+            if mode == "vectorized" or (
+                mode == "auto" and len(acts) >= self.vector_threshold
+            ):
+                self._vec_attach(group)
+                self._solve_group(group, now)
+                continue
+            # Scalar settle at the old rates, collecting drained
+            # activities.
+            finished: Optional[List[Activity]] = None
+            for act in acts:
+                rate = act.rate
+                if rate:
+                    act.remaining -= (
+                        INF if rate == INF
+                        else rate * (now - act.settled_at)
+                    )
+                    if act.remaining < 0.0:
+                        act.remaining = 0.0
+                act.settled_at = now
+                if act.remaining <= 0.0:
+                    if finished is None:
+                        finished = [act]
+                    else:
+                        finished.append(act)
+            if finished is not None:
+                # Complete the drained activities *inline* instead of
+                # arming now-events and re-entering here once per pop: a
+                # synchronized wave of n simultaneous completions costs
+                # O(n) this way, not n recomputes of O(n).  Completion
+                # re-dirties the touched constraints, so the survivors
+                # are re-rated on the main loop's immediately following
+                # pass (their settle then is a no-op — the clock has not
+                # moved).
+                for act in finished:
+                    self._end_phase(act)
+                continue
+            self._maxmin_iters += self._maxmin(acts)
+            self._arm_earliest(acts, now)
+        return total
 
-        self._maxmin_iters += self._maxmin(comp_acts)
+    # ------------------------------------------------------------------
+    # Array-backed sharing groups
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grown(arr: np.ndarray, need: int) -> np.ndarray:
+        """Amortized-doubling reallocation preserving the prefix."""
+        new = np.empty(max(need, 2 * arr.shape[0]), dtype=arr.dtype)
+        new[:arr.shape[0]] = arr
+        return new
 
-        # Re-arm completion events at the new rates.
-        for act in comp_acts:
+    def _vec_attach(self, group: _Group) -> None:
+        """Switch a group to array-backed sharing state.
+
+        From here on the group's arrays are authoritative for
+        remaining / rate / settled_at of its member activities; every
+        pending completion event is invalidated (epoch bump) so only
+        events armed from the arrays can fire.
+        """
+        acts_list = list(group.acts)
+        n = len(acts_list)
+        cap = max(64, 2 * n)
+        rem = np.empty(cap)
+        rate = np.empty(cap)
+        settled = np.empty(cap)
+        bnd = np.empty(cap)
+        for i, a in enumerate(acts_list):
+            rem[i] = a.remaining
+            rate[i] = a.rate
+            settled[i] = a.settled_at
+            b = a.bound
+            bnd[i] = INF if b is None else b
+            a.epoch += 1
+        group.acts_list = acts_list
+        group.row = {a: i for i, a in enumerate(acts_list)}
+        group.n = n
+        group.rem, group.rate, group.settled, group.bnd = (
+            rem, rate, settled, bnd)
+        cons_list = group.cons
+        col = {c: j for j, c in enumerate(cons_list)}
+        ncols = len(cons_list)
+        caps = np.empty(max(64, 2 * ncols))
+        for j, c in enumerate(cons_list):
+            caps[j] = c.capacity
+        group.col = col
+        group.ncols = ncols
+        group.caps = caps
+        mem_of = {}
+        mv: List[int] = []
+        mc: List[int] = []
+        row = group.row
+        for a in acts_list:
+            i = row[a]
+            slots = []
+            for c in a.constraints:
+                slots.append(len(mv))
+                mv.append(i)
+                mc.append(col[c])
+            mem_of[a] = slots
+        m = len(mv)
+        mem_var = np.empty(max(256, 2 * m), dtype=np.intp)
+        mem_cons = np.empty(max(256, 2 * m), dtype=np.intp)
+        mem_var[:m] = mv
+        mem_cons[:m] = mc
+        group.mem_var, group.mem_cons, group.m = mem_var, mem_cons, m
+        group.mem_of = mem_of
+        group.armed = None
+        group.vectorized = True
+
+    def _devectorize(self, group: _Group) -> None:
+        """Restore attribute-backed state (merges, mode changes)."""
+        n = group.n
+        for a, r, q, s in zip(group.acts_list, group.rem[:n].tolist(),
+                              group.rate[:n].tolist(),
+                              group.settled[:n].tolist()):
+            a.remaining = r
+            a.rate = q
+            a.settled_at = s
+            a.epoch += 1
+        group.vectorized = False
+        group.armed = None
+        group.acts_list = group.row = group.mem_of = group.col = None
+        group.rem = group.rate = group.settled = group.bnd = None
+        group.mem_var = group.mem_cons = group.caps = None
+
+    def _vec_add(self, group: _Group, act: Activity) -> None:
+        """O(1) amortized: append one activity's row and memberships."""
+        i = group.n
+        if i >= group.rem.shape[0]:
+            group.rem = self._grown(group.rem, i + 1)
+            group.rate = self._grown(group.rate, i + 1)
+            group.settled = self._grown(group.settled, i + 1)
+            group.bnd = self._grown(group.bnd, i + 1)
+        group.rem[i] = act.remaining
+        group.rate[i] = act.rate
+        group.settled[i] = act.settled_at
+        b = act.bound
+        group.bnd[i] = INF if b is None else b
+        group.row[act] = i
+        group.acts_list.append(act)
+        group.n = i + 1
+        col = group.col
+        m = group.m
+        slots = []
+        for c in act.constraints:
+            j = col.get(c)
+            if j is None:
+                j = group.ncols
+                col[c] = j
+                if j >= group.caps.shape[0]:
+                    group.caps = self._grown(group.caps, j + 1)
+                group.caps[j] = c.capacity
+                group.ncols = j + 1
+            if m >= group.mem_var.shape[0]:
+                group.mem_var = self._grown(group.mem_var, m + 1)
+                group.mem_cons = self._grown(group.mem_cons, m + 1)
+            group.mem_var[m] = i
+            group.mem_cons[m] = j
+            slots.append(m)
+            m += 1
+        group.m = m
+        group.mem_of[act] = slots
+
+    def _vec_remove(self, group: _Group, act: Activity) -> None:
+        """O(1): swap-remove one activity's row and memberships."""
+        mem_var = group.mem_var
+        mem_cons = group.mem_cons
+        mem_of = group.mem_of
+        acts_list = group.acts_list
+        m = group.m
+        # Largest slot first: every position above the slot being freed
+        # then belongs to some *other* activity, so the fix-up below
+        # never chases the activity being removed.
+        for s in sorted(mem_of.pop(act), reverse=True):
+            last = m - 1
+            if s != last:
+                moved_row = int(mem_var[last])
+                mem_var[s] = moved_row
+                mem_cons[s] = mem_cons[last]
+                lst = mem_of[acts_list[moved_row]]
+                lst[lst.index(last)] = s
+            m -= 1
+        group.m = m
+        i = group.row.pop(act)
+        last = group.n - 1
+        last_act = acts_list.pop()
+        if last_act is not act:
+            acts_list[i] = last_act
+            group.row[last_act] = i
+            group.rem[i] = group.rem[last]
+            group.rate[i] = group.rate[last]
+            group.settled[i] = group.settled[last]
+            group.bnd[i] = group.bnd[last]
+            for s in mem_of[last_act]:
+                mem_var[s] = i
+        group.n = last
+
+    def _solve_group(self, group: _Group, now: float) -> None:
+        """Settle, re-rate and re-arm one array-backed group — no
+        per-activity Python work at all on this path."""
+        n = group.n
+        if n == 0:
+            return
+        rem = group.rem[:n]
+        rate = group.rate[:n]
+        settled = group.settled[:n]
+        inf_mask = np.isinf(rate)
+        has_inf = bool(inf_mask.any())
+        # When nothing accrued progress since the last settle (the
+        # common re-rate immediately after an inline-completion wave at
+        # the same instant), the settle is arithmetic identity — skip it.
+        if has_inf or float(settled.min()) < now:
+            rem -= rate * (now - settled)
+            if has_inf:
+                # An infinite old rate drains instantly (and inf * 0
+                # time deltas would otherwise leave NaNs behind).
+                rem[inf_mask] = 0.0
+            np.maximum(rem, 0.0, out=rem)
+            settled[:] = now
+            done = rem <= 0.0
+            if done.any():
+                # Inline-completion contract — see _recompute_dirty:
+                # finish the drained wave now (each completion
+                # swap-removes its rows), survivors re-rate on the main
+                # loop's immediately following pass.
+                acts_list = group.acts_list
+                for a in [acts_list[i]
+                          for i in np.nonzero(done)[0].tolist()]:
+                    self._end_phase(a)
+                return
+        self._vector_fillings += 1
+        rates, iterations = fill_vectorized(
+            group.caps[:group.ncols],
+            group.bnd[:n],
+            None,  # engine activities are equal-weight
+            group.mem_var[:group.m],
+            group.mem_cons[:group.m],
+        )
+        self._maxmin_iters += iterations
+        rate[:] = rates
+        # Min-arming with O(1) invalidation: only the previously armed
+        # activity can hold a live heap event for this group, so one
+        # epoch bump replaces the per-activity sweep.
+        prev = group.armed
+        if prev is not None:
+            prev.epoch += 1
+        with np.errstate(divide="ignore"):
+            times = rem / rates
+        k = int(times.argmin())
+        best_t = float(times[k])
+        if best_t < INF:
+            act = group.acts_list[k]
+            group.armed = act
+            self._push(now + best_t, act)
+        else:
+            group.armed = None
+
+    def _arm_earliest(self, acts, now: float) -> None:
+        """Arm one completion event: the component's earliest.
+
+        Every other activity's predicted end is invalidated (epoch bump)
+        but *not* pushed — by the time it could matter, this component
+        has been re-rated (the armed event completing re-dirties it), and
+        a fresh earliest is armed.  This keeps the heap at O(components),
+        not O(activities), and shrinks both push traffic and stale pops
+        by the component size.
+        """
+        best = None
+        best_t = INF
+        for act in acts:
             act.epoch += 1
             rate = act.rate
-            if rate == INF or act.remaining <= 0.0:
-                self._push(now, act)
-            elif rate > 0.0:
-                self._push(now + act.remaining / rate, act)
+            if rate > 0.0:
+                if rate == INF:
+                    # Infinite rate with remaining > 0: completes now.
+                    best, best_t = act, now
+                    break
+                t = now + act.remaining / rate
+                if t < best_t:
+                    best, best_t = act, t
             # rate == 0: saturated at zero — no event; if everyone ends up
             # rate-less the main loop reports a deadlock.
-        return len(comp_acts)
+        if best is not None:
+            self._push(best_t, best)
 
     def _rerate_single_constraint(self, cons: Constraint, users) -> None:
         """Max-min over one constraint: bounded users below the fair share
         keep their bound; the rest split what remains equally."""
         now = self.now
+        finished = None
         for act in users:
             rate = act.rate
             if rate:
@@ -362,6 +748,17 @@ class Engine:
                 if act.remaining < 0.0:
                     act.remaining = 0.0
             act.settled_at = now
+            if act.remaining <= 0.0:
+                if finished is None:
+                    finished = [act]
+                else:
+                    finished.append(act)
+        if finished is not None:
+            # Same inline-completion contract as _recompute_dirty (the
+            # survivors re-rate on the next main-loop pass).
+            for act in finished:
+                self._end_phase(act)
+            return
         remaining_cap = cons.capacity
         unfixed = sorted(
             users,
@@ -380,13 +777,7 @@ class Engine:
                 for j in range(idx, n):
                     unfixed[j].rate = share
                 break
-        for act in users:
-            act.epoch += 1
-            rate = act.rate
-            if rate == INF or act.remaining <= 0.0:
-                self._push(now, act)
-            elif rate > 0.0:
-                self._push(now + act.remaining / rate, act)
+        self._arm_earliest(users, now)
 
     @staticmethod
     def _maxmin(acts: Set[Activity]) -> int:

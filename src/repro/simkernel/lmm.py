@@ -17,18 +17,55 @@ rate of a pinned task or a TCP-window limit); bounds are honoured by
 treating them as one-variable constraints.
 
 The solver is re-run from scratch whenever the set of active activities
-changes.  This is O(iterations x variables x constraints) but the active
-sets in MPI replay are small (a wavefront of flows, a handful of compute
-bursts per host), so a clear implementation beats a clever incremental one.
+changes.  Two implementations coexist:
+
+* :func:`solve_reference` — the original pure-Python progressive-filling
+  loop, O(iterations x variables x constraints).  It stays as the
+  readable specification and as the oracle the vectorized path is
+  property-tested against (``mode="reference"`` forces it).
+* :func:`fill_vectorized` — the same filling expressed over NumPy
+  arrays: constraint remaining/load vectors, variable weight/bound
+  vectors, and boolean fix masks, so one filling level costs a handful
+  of O(variables + memberships) array operations instead of a Python
+  scan.  Large sharing components (a 1024-rank communication wave over
+  a congested backbone) are where this pays; tiny components are faster
+  in pure Python, so :func:`solve` switches on :data:`VECTOR_THRESHOLD`.
+
+Fatpipe constraints (non-shared resources; the model of a non-blocking
+switch fabric) must never reach the solver: the engine converts them to
+per-activity bounds when an activity is built (see
+:class:`~repro.simkernel.activity.CommActivity`).  :func:`solve` enforces
+that contract by raising on any fatpipe constraint, because silently
+sharing one max-min style would under-allocate every crossing flow.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["Constraint", "Variable", "solve"]
+import numpy as np
+
+__all__ = [
+    "Constraint",
+    "Variable",
+    "solve",
+    "solve_reference",
+    "fill_vectorized",
+    "VECTOR_THRESHOLD",
+]
 
 _EPS = 1e-12
+
+#: Component size at which :func:`solve` (and the engine's lazy recompute)
+#: switches from the pure-Python filling to the vectorized one.  Picked
+#: from the ``EngineMetrics`` component-size counters of replay telemetry:
+#: replay traffic is bimodal — single-digit components for point-to-point
+#: wavefronts and folded CPU bursts (where NumPy call overhead loses), and
+#: contention waves of hundreds of activities (where it wins by an order
+#: of magnitude).  The crossover sits around four dozen activities
+#: (~50 us either way); see docs/replay-performance.md for the
+#: measurement behind this number.
+VECTOR_THRESHOLD = 48
 
 
 class Constraint:
@@ -39,7 +76,7 @@ class Constraint:
     rate recomputation possible.
     """
 
-    __slots__ = ("capacity", "name", "users", "fatpipe")
+    __slots__ = ("capacity", "name", "users", "fatpipe", "group")
 
     def __init__(self, capacity: float, name: str = "",
                  fatpipe: bool = False) -> None:
@@ -48,6 +85,11 @@ class Constraint:
         self.capacity = float(capacity)
         self.name = name
         self.users = set()
+        # Sharing-group handle, owned by the engine (see engine._Group):
+        # constraints transitively connected through shared activities
+        # point at the same group, so component recomputation needs no
+        # graph walk.
+        self.group = None
         # A fatpipe resource is not shared: every crossing activity may
         # use the full capacity independently (SimGrid's FATPIPE sharing
         # policy — the model of a non-blocking switch fabric).  The engine
@@ -90,13 +132,46 @@ class Variable:
         return f"Variable({self.name or id(self)}, value={self.value:g})"
 
 
-def solve(variables: List[Variable]) -> None:
+def _reject_fatpipe(cons: Constraint) -> None:
+    if cons.fatpipe:
+        raise ValueError(
+            f"fatpipe constraint {cons.name or id(cons)!r} reached the "
+            "max-min solver; fatpipe resources are per-activity caps and "
+            "must be folded into the variable's bound before solving "
+            "(CommActivity does this for routes)"
+        )
+
+
+def solve(variables: List[Variable], mode: str = "auto") -> None:
     """Assign a max-min fair rate to every variable, in place.
 
     A variable crossing no constraint and carrying no bound is unconstrained;
     it gets ``float('inf')`` (callers treat infinite-rate activities as
     completing instantly after their latency phase).
+
+    ``mode`` selects the implementation: ``"auto"`` (vectorized at or above
+    :data:`VECTOR_THRESHOLD` variables), ``"reference"`` (always the
+    pure-Python oracle), ``"vectorized"`` (always NumPy).  Both agree to
+    1e-9 on the resulting rate vector (property-tested).
     """
+    if mode == "reference":
+        solve_reference(variables)
+    elif mode == "vectorized":
+        _solve_vectorized(variables)
+    elif mode == "auto":
+        if len(variables) >= VECTOR_THRESHOLD:
+            _solve_vectorized(variables)
+        else:
+            solve_reference(variables)
+    else:
+        raise ValueError(
+            f"unknown solve mode {mode!r}; use 'auto', 'reference' or "
+            "'vectorized'"
+        )
+
+
+def solve_reference(variables: List[Variable]) -> None:
+    """The pure-Python progressive-filling oracle (see :func:`solve`)."""
     # Reset and collect the constraint set.
     remaining: Dict[Constraint, float] = {}
     load: Dict[Constraint, float] = {}  # total weight of unfixed variables
@@ -109,6 +184,7 @@ def solve(variables: List[Variable]) -> None:
         unfixed.append(var)
         for cons in var.constraints:
             if cons not in remaining:
+                _reject_fatpipe(cons)
                 remaining[cons] = cons.capacity
                 load[cons] = 0.0
             load[cons] += var.weight
@@ -156,3 +232,133 @@ def solve(variables: List[Variable]) -> None:
                 remaining[cons] = max(0.0, remaining[cons] - var.weight * rate)
                 load[cons] -= var.weight
         unfixed = [v for v in unfixed if id(v) not in fixed_set]
+
+
+def fill_vectorized(
+    caps: np.ndarray,
+    bounds: np.ndarray,
+    weights: Optional[np.ndarray],
+    var_idx: np.ndarray,
+    cons_idx: np.ndarray,
+) -> Tuple[np.ndarray, int]:
+    """Vectorized weighted max-min progressive filling over arrays.
+
+    ``caps[j]`` is the capacity of constraint ``j``; ``bounds[i]`` the
+    private cap of variable ``i`` (``inf`` for none); ``weights[i]`` its
+    consumption weight (``None`` means all 1 — the engine's equal-weight
+    case); ``var_idx``/``cons_idx`` are parallel membership arrays, one
+    entry per (variable, constraint) incidence.  Returns the rate vector
+    and the number of filling levels (the telemetry iteration count).
+
+    The state mirrors :func:`solve_reference` exactly — constraint
+    remaining/load vectors, an ``unfixed`` boolean mask — so each loop
+    iteration is the same filling level, just computed with array ops.
+    """
+    n_vars = bounds.shape[0]
+    n_cons = caps.shape[0]
+    rates = np.zeros(n_vars)
+    remaining = caps.astype(float, copy=True)
+    if weights is None:
+        pair_weight = None
+        load = np.bincount(cons_idx, minlength=n_cons).astype(float)
+    else:
+        pair_weight = weights[var_idx]
+        load = np.bincount(cons_idx, weights=pair_weight, minlength=n_cons)
+    unfixed = np.ones(n_vars, dtype=bool)
+    n_unfixed = n_vars
+    share = np.empty(n_cons)
+    iterations = 0
+    while n_unfixed:
+        iterations += 1
+        # Most restrictive fair share across constraints with load...
+        active = load > _EPS
+        share.fill(np.inf)
+        np.divide(remaining, load, out=share, where=active)
+        level = float(share.min()) if n_cons else float("inf")
+        # ... and across private bounds of still-unfixed variables.
+        min_bound = float(bounds[unfixed].min())
+        if min_bound < level:
+            level = min_bound
+        if level == float("inf"):
+            rates[unfixed] = np.inf
+            break
+        threshold = level + _EPS * (level if level > 1.0 else 1.0)
+        # Fix masks: bound-limited variables, plus variables crossing a
+        # constraint saturated at this level.
+        saturated = active & (share <= threshold)
+        touches_saturated = np.zeros(n_vars, dtype=bool)
+        pair_sat = saturated[cons_idx]
+        if pair_sat.any():
+            touches_saturated[var_idx[pair_sat]] = True
+        fix_bound = unfixed & (bounds <= threshold)
+        fix_level = unfixed & touches_saturated & ~fix_bound
+        fixed = fix_bound | fix_level
+        n_fixed = int(np.count_nonzero(fixed))
+        if n_fixed:
+            rates[fix_bound] = bounds[fix_bound]
+            rates[fix_level] = level
+        else:
+            # Numerical corner: nothing saturates exactly; fix everything
+            # at the level to guarantee termination (as the oracle does).
+            fixed = unfixed
+            n_fixed = n_unfixed
+            rates[fixed] = level
+        # Subtract the fixed variables' usage from their constraints.
+        pair_fixed = fixed[var_idx]
+        if pair_fixed.any():
+            fixed_cons = cons_idx[pair_fixed]
+            usage = rates[var_idx[pair_fixed]]
+            if pair_weight is None:
+                dropped = np.bincount(fixed_cons, minlength=n_cons)
+            else:
+                usage = usage * pair_weight[pair_fixed]
+                dropped = np.bincount(fixed_cons,
+                                      weights=pair_weight[pair_fixed],
+                                      minlength=n_cons)
+            remaining -= np.bincount(fixed_cons, weights=usage,
+                                     minlength=n_cons)
+            np.maximum(remaining, 0.0, out=remaining)
+            load -= dropped
+        unfixed &= ~fixed
+        n_unfixed -= n_fixed
+    return rates, iterations
+
+
+def _solve_vectorized(variables: Sequence[Variable]) -> None:
+    """NumPy path of :func:`solve`: build arrays, fill, write back."""
+    solved: List[Variable] = []
+    bounds: List[float] = []
+    weights: List[float] = []
+    caps: List[float] = []
+    var_idx: List[int] = []
+    cons_idx: List[int] = []
+    cons_index: Dict[int, int] = {}
+    for var in variables:
+        var.value = 0.0
+        if not var.constraints and var.bound is None:
+            var.value = float("inf")
+            continue
+        i = len(solved)
+        solved.append(var)
+        bounds.append(float("inf") if var.bound is None else var.bound)
+        weights.append(var.weight)
+        for cons in var.constraints:
+            j = cons_index.get(id(cons))
+            if j is None:
+                _reject_fatpipe(cons)
+                j = len(caps)
+                cons_index[id(cons)] = j
+                caps.append(cons.capacity)
+            var_idx.append(i)
+            cons_idx.append(j)
+    if not solved:
+        return
+    rates, _ = fill_vectorized(
+        np.asarray(caps, dtype=float),
+        np.asarray(bounds, dtype=float),
+        np.asarray(weights, dtype=float),
+        np.asarray(var_idx, dtype=np.intp),
+        np.asarray(cons_idx, dtype=np.intp),
+    )
+    for i, var in enumerate(solved):
+        var.value = float(rates[i])

@@ -23,6 +23,7 @@ the best-fit (lat_factor, bw_factor) pair for each segment.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -33,12 +34,18 @@ __all__ = ["Segment", "PiecewiseLinearModel", "fit", "DEFAULT_MPI_MODEL"]
 
 @dataclass(frozen=True)
 class Segment:
-    """One size range of the model; ``upper`` is exclusive (inf for last)."""
+    """One size range of the model; ``upper`` is exclusive (inf for last).
+
+    ``fitted`` is False when :func:`fit` could not calibrate the segment
+    and fell back to identity factors — consumers can tell a measured
+    factor of 1.0 apart from an unfittable segment.
+    """
 
     lower: float
     upper: float
     lat_factor: float
     bw_factor: float
+    fitted: bool = True
 
     def __post_init__(self) -> None:
         if self.lower < 0 or self.upper <= self.lower:
@@ -148,14 +155,32 @@ def fit(
         seg_sizes = sizes_arr[mask]
         seg_times = times_arr[mask]
         if seg_sizes.size < 2:
-            # Too few points to fit: fall back to the identity factors.
-            segments.append(Segment(lo, hi, 1.0, 1.0))
+            # Too few points to fit — identity factors, loudly: a silent
+            # 1.0/1.0 here masks a broken calibration campaign (missing
+            # ping-pong sizes) as a perfectly neutral interconnect.
+            warnings.warn(
+                f"pwl.fit: segment [{lo:g}, {hi:g}) has "
+                f"{seg_sizes.size} ping-pong sample(s), need >= 2; "
+                "falling back to identity factors",
+                RuntimeWarning, stacklevel=2,
+            )
+            segments.append(Segment(lo, hi, 1.0, 1.0, fitted=False))
             continue
         design = np.column_stack(
             [np.full(seg_sizes.size, latency), seg_sizes / bandwidth]
         )
         (a, c), *_ = np.linalg.lstsq(design, seg_times, rcond=None)
-        lat_factor = float(a) if a > 0 else 1.0
-        bw_factor = 1.0 / float(c) if c > 0 else 1.0
-        segments.append(Segment(lo, hi, lat_factor, bw_factor))
+        if a <= 0 or c <= 0:
+            # A non-positive factor means the measurements contradict the
+            # model (e.g. times shrinking with size); the fit is garbage,
+            # not merely imprecise.
+            warnings.warn(
+                f"pwl.fit: segment [{lo:g}, {hi:g}) fit non-positive "
+                f"factors (lat_factor={float(a):g}, 1/bw_factor="
+                f"{float(c):g}); falling back to identity factors",
+                RuntimeWarning, stacklevel=2,
+            )
+            segments.append(Segment(lo, hi, 1.0, 1.0, fitted=False))
+            continue
+        segments.append(Segment(lo, hi, float(a), 1.0 / float(c)))
     return PiecewiseLinearModel(segments)

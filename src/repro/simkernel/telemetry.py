@@ -86,7 +86,7 @@ class EngineMetrics:
     __slots__ = ("events_popped", "stale_skipped", "compactions",
                  "fastpath_recomputes", "generic_recomputes",
                  "component_acts", "max_component_acts",
-                 "maxmin_iterations")
+                 "maxmin_iterations", "vectorized_recomputes")
 
     def __init__(self) -> None:
         self.reset()
@@ -100,6 +100,7 @@ class EngineMetrics:
         self.component_acts = 0       # total activities settled+re-rated
         self.max_component_acts = 0   # largest sharing component seen
         self.maxmin_iterations = 0    # filling levels across all fillings
+        self.vectorized_recomputes = 0  # fillings done by the NumPy path
 
     def as_dict(self) -> Dict[str, float]:
         fast = self.fastpath_recomputes
@@ -119,6 +120,10 @@ class EngineMetrics:
             # The generic path runs one progressive filling per recompute.
             "maxmin_calls": generic,
             "maxmin_iterations": self.maxmin_iterations,
+            # How many of those fillings ran on the vectorized (NumPy)
+            # kernel instead of the pure-Python oracle — the component-size
+            # cutoff in action (docs/replay-performance.md).
+            "vectorized_recomputes": self.vectorized_recomputes,
         }
 
 

@@ -281,6 +281,11 @@ class _RawOps:
         yield req
         return req
 
+    def wait(self, req: CommRequest) -> Iterator:
+        """Untraced MPI_Wait (no per-call trace events inside collectives)."""
+        yield req
+        return req
+
     def compute(self, flops: float, kind: str = "compute") -> Iterator:
         # Computation inside a collective (the reduction operator) happens
         # within the MPI call: it must not appear as a traced application

@@ -87,9 +87,16 @@ def binomial_bcast(proc, nbytes: float, root: int = 0, tag: int = 0,
     if parent is not None:
         req = yield from proc.recv(src=parent, tag=tag)
         payload = req.data
-    reqs = [proc.isend(dst, nbytes, tag=tag, data=payload) for dst in children]
-    for req in reqs:
-        yield req
+    for dst in children:
+        # One send at a time, waited through the protocol (not a raw
+        # ``yield req``): the module contract above only promises
+        # isend/recv/wait/compute, a parent must not retire before its
+        # child sends complete, and MPICH's binomial bcast is sequential
+        # — posting every child send at once makes them contend on the
+        # parent's uplink and delays the whole subtree, breaking the
+        # reduce-tree mirror symmetry.
+        req = proc.isend(dst, nbytes, tag=tag, data=payload)
+        yield from proc.wait(req)
     return payload
 
 

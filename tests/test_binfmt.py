@@ -95,3 +95,45 @@ def test_property_roundtrip(kind, rank, peer, volume):
         action = cls(rank)
     (decoded,) = decode_actions(encode_actions([action]), rank)
     assert decoded == action
+
+
+def test_chunked_reader_splits_records_across_boundaries(tmp_path):
+    """Decoding must survive a record straddling any chunk boundary —
+    exercised by reading with a pathologically tiny chunk, so every
+    multi-byte record (varints, 8/16-byte float payloads) gets split."""
+    actions = ALL_KINDS + [
+        Compute(3, 1234.5678), Send(3, 9, 0.25), Reduce(3, 40.5, 10.125),
+        Compute(3, 2 ** 62), Isend(3, 127, 2 ** 40 + 1),
+    ]
+    path = str(tmp_path / binary_trace_file_name(3))
+    write_binary_trace(actions, 3, path)
+    for chunk_size in (1, 3, 7, 16):
+        assert list(read_binary_trace(path, chunk_size=chunk_size)) == actions
+
+
+def test_chunked_reader_is_lazy(tmp_path):
+    """The reader must not slurp the payload: after pulling one action
+    from a large trace, the file cursor sits at most one chunk in."""
+    actions = [Compute(0, i) for i in range(50_000)]
+    path = str(tmp_path / binary_trace_file_name(0))
+    nbytes = write_binary_trace(actions, 0, path)
+    stream = read_binary_trace(path)
+    first = next(stream)
+    assert first == actions[0]
+    frame = stream.gi_frame
+    handle = frame.f_locals["handle"]
+    assert handle.tell() <= frame.f_locals["chunk_size"] + 16 < nbytes
+    stream.close()
+
+
+def test_truncated_tail_still_rejected(tmp_path):
+    """A record cut off at end-of-file must raise, not be silently
+    dropped by the refill-and-retry loop."""
+    path = str(tmp_path / binary_trace_file_name(0))
+    write_binary_trace([Send(0, 1, 520), Send(0, 2, 520)], 0, path)
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(blob[:-1])
+    with pytest.raises(ValueError):
+        list(read_binary_trace(path))

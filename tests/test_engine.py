@@ -260,3 +260,47 @@ def test_sequential_chain_of_processes():
     engine.add_process("c", c())
     engine.run()
     assert log == [("a", 1.0), ("b", 2.0), ("c", 2.0)]
+
+
+def _fan_in_run(lmm_mode, metrics=None):
+    """96 flows over a few heterogeneous links: big enough to cross the
+    vectorization threshold, lopsided enough to need several filling
+    levels per recompute."""
+    engine = Engine(metrics=metrics, lmm_mode=lmm_mode)
+    links = [Constraint(1e9 * (i + 1), f"l{i}") for i in range(4)]
+    ends = {}
+
+    def flow(name, link, other, size):
+        yield engine.comm_activity([link, other], size, 1e-5)
+        ends[name] = engine.now
+
+    for i in range(96):
+        engine.add_process(
+            f"f{i}",
+            flow(f"f{i}", links[i % 4], links[(i + 1) % 4], 1e8 * (1 + i % 7)),
+        )
+    engine.run()
+    return ends
+
+
+def test_vectorized_engine_matches_reference_engine():
+    ref = _fan_in_run("reference")
+    vec = _fan_in_run("vectorized")
+    assert ref.keys() == vec.keys()
+    for name in ref:
+        assert vec[name] == pytest.approx(ref[name], rel=1e-9)
+
+
+def test_auto_mode_records_vectorized_recomputes():
+    from repro.simkernel import Telemetry
+
+    telemetry = Telemetry()
+    _fan_in_run("auto", metrics=telemetry.engine)
+    assert telemetry.engine.vectorized_recomputes > 0
+    doc = telemetry.engine.as_dict()
+    assert doc["vectorized_recomputes"] == telemetry.engine.vectorized_recomputes
+
+
+def test_engine_rejects_unknown_lmm_mode():
+    with pytest.raises(ValueError):
+        Engine(lmm_mode="fancy")

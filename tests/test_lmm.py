@@ -6,7 +6,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simkernel.lmm import Constraint, Variable, solve
+from repro.simkernel.lmm import (
+    Constraint, Variable, solve, solve_reference,
+)
 
 
 def test_single_variable_gets_full_capacity():
@@ -90,6 +92,86 @@ def test_rejects_bad_inputs():
         Variable([], weight=0.0)
     with pytest.raises(ValueError):
         Variable([], bound=-5.0)
+
+
+def test_solve_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown solve mode"):
+        solve([Variable([Constraint(1.0)])], mode="fancy")
+
+
+def test_fatpipe_constraint_is_rejected_by_solver():
+    """The engine's contract: a fatpipe resource is a per-activity cap,
+    never a shared constraint.  Sharing it max-min style would
+    under-allocate every crossing flow, so both paths refuse it."""
+    fat = Constraint(100.0, "backbone", fatpipe=True)
+    for mode in ("reference", "vectorized"):
+        with pytest.raises(ValueError, match="fatpipe"):
+            solve([Variable([fat])], mode=mode)
+
+
+def _clone_instance(variables):
+    """Duplicate a (constraints, variables) instance so the two solver
+    paths each get fresh objects."""
+    cons_map = {}
+    clones = []
+    for var in variables:
+        crossed = []
+        for cons in var.constraints:
+            clone = cons_map.get(id(cons))
+            if clone is None:
+                clone = Constraint(cons.capacity, cons.name)
+                cons_map[id(cons)] = clone
+            crossed.append(clone)
+        clones.append(Variable(crossed, weight=var.weight, bound=var.bound,
+                               name=var.name))
+    return clones
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    caps=st.lists(st.floats(min_value=0.1, max_value=1e6),
+                  min_size=1, max_size=6),
+    topology=st.data(),
+)
+def test_vectorized_path_matches_reference_oracle(caps, topology):
+    """The acceptance property of the vectorized rewrite: on randomized
+    instances (mixed weights, bounds, unconstrained variables), the NumPy
+    filling and the pure-Python oracle produce the same rate vector to
+    1e-9 (relative, with infinities matching exactly)."""
+    constraints = [Constraint(c, f"c{i}") for i, c in enumerate(caps)]
+    n_vars = topology.draw(st.integers(min_value=1, max_value=16))
+    variables = []
+    for v in range(n_vars):
+        crossed = topology.draw(
+            st.lists(st.sampled_from(constraints), min_size=0,
+                     max_size=len(constraints), unique_by=id)
+        )
+        bound = topology.draw(
+            st.one_of(st.none(), st.floats(min_value=0.1, max_value=1e6))
+        )
+        weight = topology.draw(st.sampled_from([0.5, 1.0, 1.0, 2.0]))
+        variables.append(Variable(crossed, weight=weight, bound=bound,
+                                  name=f"v{v}"))
+    mirror = _clone_instance(variables)
+    solve_reference(variables)
+    solve(mirror, mode="vectorized")
+    for ref, vec in zip(variables, mirror):
+        if math.isinf(ref.value):
+            assert math.isinf(vec.value), f"{ref.name}: {vec.value}"
+        else:
+            assert vec.value == pytest.approx(ref.value, rel=1e-9, abs=1e-9)
+
+
+def test_auto_mode_vectorizes_above_threshold():
+    """Same answers whichever side of VECTOR_THRESHOLD the instance is on."""
+    cons = Constraint(120.0)
+    for n in (3, 96):  # below and above the cutoff
+        ref = [Variable([cons]) for _ in range(n)]
+        vec = _clone_instance(ref)
+        solve_reference(ref)
+        solve(vec, mode="auto")
+        for a, b in zip(ref, vec):
+            assert b.value == pytest.approx(a.value, rel=1e-9)
 
 
 @settings(max_examples=200, deadline=None)

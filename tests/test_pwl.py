@@ -94,12 +94,44 @@ def test_fit_with_noise_is_close():
 
 
 def test_fit_sparse_segment_falls_back_to_identity():
-    # Only large-message points: first two segments lack data.
+    # Only large-message points: first two segments lack data.  The
+    # fallback must be loud (broken calibration input is otherwise
+    # indistinguishable from a neutral interconnect) and flagged on the
+    # returned segments.
     sizes = np.array([1e6, 2e6, 4e6])
     times = sizes / 1e8 + 3e-5
-    model = fit(sizes, times, 1e-5, 1e8)
-    assert model.segments[0].lat_factor == 1.0
-    assert model.segments[0].bw_factor == 1.0
+    with pytest.warns(RuntimeWarning, match=r"\[0, 1024\).*sample"):
+        model = fit(sizes, times, 1e-5, 1e8)
+    for seg in model.segments[:2]:
+        assert seg.lat_factor == 1.0
+        assert seg.bw_factor == 1.0
+        assert not seg.fitted
+    assert model.segments[2].fitted
+
+
+def test_fit_nonpositive_factors_fall_back_to_identity():
+    # Middle-segment times shrink as size grows: the least-squares slope
+    # (1/bw_factor) comes out negative, so the fit is physically
+    # meaningless and must fall back, loudly.
+    sizes = np.array([10.0, 100.0, 2048.0, 32768.0, 1e5, 1e6])
+    times = np.array([1e-5, 2e-5, 1.0, 0.5, 1e-3, 1e-2])
+    with pytest.warns(RuntimeWarning, match=r"\[1024, 65536\).*non-positive"):
+        model = fit(sizes, times, 1e-5, 1e8)
+    middle = model.segments[1]
+    assert middle.lat_factor == 1.0
+    assert middle.bw_factor == 1.0
+    assert not middle.fitted
+    assert model.segments[0].fitted
+    assert model.segments[2].fitted
+
+
+def test_fit_fully_sampled_marks_all_segments_fitted():
+    truth = DEFAULT_MPI_MODEL
+    lat, bw = 1e-5, 1.25e8
+    sizes = np.logspace(1, 7, 60)
+    times = np.array([truth.predict(s, lat, bw) for s in sizes])
+    model = fit(sizes, times, lat, bw)
+    assert all(seg.fitted for seg in model.segments)
 
 
 def test_fit_input_validation():

@@ -109,3 +109,25 @@ def test_property_file_representations_match_memory(n_ranks, rounds,
         write_binary_dir(trace, directory)
     measured = make_replayer(n_ranks).replay(directory).simulated_time
     assert measured == reference
+
+
+def test_merged_demux_handles_interleaved_and_commented_lines(trace4, tmp_path):
+    """The streaming demux must cope with ranks interleaved line-by-line
+    (the layout where it shines) and with comments/blank lines."""
+    memory = make_replayer(4).replay(trace4).simulated_time
+    lanes = [list(trace4.lines_of(rank)) for rank in trace4.ranks()]
+    lines = ["# interleaved merged trace", ""]
+    while any(lanes):
+        for lane in lanes:
+            if lane:
+                lines.append(lane.pop(0))
+    path = tmp_path / "interleaved.trace"
+    path.write_text("\n".join(lines) + "\n")
+    assert make_replayer(4).replay(str(path)).simulated_time == memory
+
+
+def test_merged_demux_rejects_gapped_ranks(tmp_path):
+    path = tmp_path / "gapped.trace"
+    path.write_text("p0 compute 1\np2 compute 1\n")
+    with pytest.raises(ValueError, match="not contiguous"):
+        make_replayer(4).replay(str(path))

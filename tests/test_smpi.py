@@ -80,6 +80,46 @@ def test_plan_validation():
         bcast_plan(0, 4, root=9)
 
 
+def test_bcast_plan_any_root_spanning_tree():
+    """The paper roots everything at 0 (§3); the general-root branches
+    must still produce a spanning tree: every rank reached exactly once,
+    parent/child links consistent both ways, for non-power-of-two sizes."""
+    for size in (3, 5, 6, 7, 12, 13, 16):
+        for root in (0, 1, 2, size - 1):
+            parents = {}
+            for rank in range(size):
+                parent, children = bcast_plan(rank, size, root=root)
+                assert (parent is None) == (rank == root)
+                for child in children:
+                    # Reached exactly once: no rank has two parents.
+                    assert child not in parents
+                    parents[child] = rank
+                    got_parent, _ = bcast_plan(child, size, root=root)
+                    assert got_parent == rank
+                if parent is not None:
+                    _, siblings = bcast_plan(parent, size, root=root)
+                    assert rank in siblings
+            assert set(parents) == set(range(size)) - {root}
+            # Tree is connected: walking up from any rank ends at the root.
+            for rank in range(size):
+                hops, seen = rank, set()
+                while hops != root:
+                    assert hops not in seen
+                    seen.add(hops)
+                    hops = parents[hops]
+
+
+def test_reduce_plan_mirrors_bcast_any_root():
+    for size in (5, 6, 12, 13):
+        for root in (0, 3, size - 1):
+            for rank in range(size):
+                parent, children = bcast_plan(rank, size, root=root)
+                recv_from, send_to = reduce_plan(rank, size, root=root)
+                assert send_to == parent
+                # Exact mirror: receive in the reverse of sending order.
+                assert recv_from == list(reversed(children))
+
+
 # ---------------------------------------------------------------------------
 # Runtime behaviour
 # ---------------------------------------------------------------------------
@@ -157,6 +197,37 @@ def test_bcast_reaches_all_ranks():
     result = make_runtime(8).run(prog)
     assert payloads == {r: "hello" for r in range(8)}
     assert result.time > 0
+
+
+def test_bcast_nonzero_root_nonpow2():
+    payloads = {}
+
+    def prog(mpi):
+        data = "payload" if mpi.rank == 4 else None
+        got = yield from mpi.bcast(1024, root=4, data=data)
+        payloads[mpi.rank] = got
+
+    make_runtime(6).run(prog)
+    assert payloads == {r: "payload" for r in range(6)}
+
+
+def test_bcast_completion_mirrors_reduce():
+    """Regression for the children-wait bug: a bcast parent must block
+    until its child sends complete, so on a uniform platform the bcast
+    makespan equals the mirrored reduce tree's (same edges, reversed).
+    When parents retired early the bcast finished a full transfer too
+    soon."""
+    def bcast_prog(mpi):
+        yield from mpi.bcast(1e6, root=0, data="x")
+
+    def reduce_prog(mpi):
+        yield from mpi.reduce(1e6, flops=0.0, root=0, data=1)
+
+    for size in (7, 8):
+        t_bcast = make_runtime(size).run(bcast_prog).time
+        t_reduce = make_runtime(size).run(reduce_prog).time
+        assert t_bcast == pytest.approx(t_reduce, rel=1e-9)
+        assert t_bcast > 0
 
 
 def test_reduce_collects_at_root():
@@ -251,6 +322,35 @@ def test_scattering_adds_wan_latency():
     local = build(False).run(prog)
     remote = build(True).run(prog)
     assert remote.time > local.time + 4e-3  # the 5 ms WAN latency dominates
+
+
+def test_fatpipe_backbone_does_not_throttle_concurrent_flows():
+    """A non-blocking fabric (backbone_sharing='fatpipe') is a per-flow
+    cap, never a shared resource: four concurrent pair flows through a
+    backbone no wider than one NIC must each still run at full NIC rate,
+    while the same backbone under 'shared' sharing splits it four ways."""
+    def pairwise_time(sharing):
+        platform = Platform("t")
+        platform.add_cluster(
+            "c", 8, speed=1e9, link_bw=1.25e8, link_lat=1e-5,
+            backbone_bw=1.25e8, backbone_lat=1e-5,
+            backbone_sharing=sharing,
+        )
+        runtime = MpiRuntime(platform, round_robin_deployment(platform, 8),
+                             comm_model=IDENTITY_MODEL)
+
+        def prog(mpi):
+            if mpi.rank % 2 == 0:
+                yield from mpi.send(mpi.rank + 1, 1.25e8)
+            else:
+                yield from mpi.recv(src=mpi.rank - 1)
+
+        return runtime.run(prog).time
+
+    t_fat = pairwise_time("fatpipe")
+    t_shared = pairwise_time("shared")
+    assert t_fat == pytest.approx(1.0, rel=1e-3)      # NIC-limited: 1 s
+    assert t_shared == pytest.approx(4.0, rel=1e-3)   # backbone split 4 ways
 
 
 def test_deployment_helper_validation():

@@ -156,3 +156,34 @@ def test_property_accountant_equals_line_lengths(volumes, n_ranks):
         expected += len(format_action(action)) + 1
     assert accountant.report.n_bytes == expected
     assert accountant.report.n_actions == len(volumes)
+
+
+def test_discover_trace_paths_mixed_layouts(tmp_path):
+    from repro.core.binfmt import write_binary_trace
+    from repro.core.trace import discover_trace_paths
+
+    (tmp_path / "SG_process0.trace").write_text("p0 compute 1\n")
+    with gzip.open(tmp_path / "SG_process1.trace.gz", "wt") as handle:
+        handle.write("p1 compute 1\n")
+    write_binary_trace([Compute(2, 1)], 2, str(tmp_path / "SG_process2.btrace"))
+    paths = discover_trace_paths(str(tmp_path))
+    assert [os.path.basename(p) for p in paths] == [
+        "SG_process0.trace", "SG_process1.trace.gz", "SG_process2.btrace",
+    ]
+    # Text-only discovery (the eager reader's view) stops at the gap.
+    assert len(discover_trace_paths(str(tmp_path), binary=False)) == 2
+
+
+def test_stream_trace_dir_matches_eager_reader(tmp_path):
+    from repro.core.trace import stream_trace_dir
+
+    writer = FileTraceWriter(str(tmp_path))
+    for action in ring_actions(3):
+        writer.emit(action)
+    writer.close()
+    eager = read_trace_dir(str(tmp_path))
+    streams = stream_trace_dir(str(tmp_path))
+    assert len(streams) == 3
+    for rank, stream in enumerate(streams):
+        assert not isinstance(stream, list)  # lazy, not materialized
+        assert list(stream) == eager.actions_of(rank)
