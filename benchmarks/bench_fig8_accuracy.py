@@ -13,21 +13,27 @@ Paper observations to reproduce:
 predictions replay the acquired trace on the calibrated constant-rate
 platform with the fitted piece-wise-linear network model (§5's full
 calibration procedure).
+
+The sweep itself runs as a :mod:`repro.campaign`: the §5 calibration
+happens once up front, is frozen into a ``fixed`` CalibrationSpec, and
+every (class, process count, iteration cap) cell becomes one scenario of
+a campaign executed by the worker fleet — the same path the
+``repro-campaign`` CLI drives.
 """
 
 import tempfile
-from dataclasses import replace
 
 import pytest
 
-from _harness import EXEC_CAPS, PAPER_SCALE, capped, emit_table, scale_note
+from _harness import EXEC_CAPS, PAPER_SCALE, emit_table, scale_note
 from repro.apps import LuWorkload, lu_class
-from repro.core.acquisition import acquire
+from repro.campaign import (
+    CalibrationSpec, CampaignSpec, PlatformSpec, Scenario, TraceSpec,
+    run_campaign,
+)
 from repro.core.calibration import calibrate_flop_rate, calibrate_network
-from repro.core.replay import TraceReplayer
 from repro.platforms import bordereau
-from repro.smpi import MpiRuntime, round_robin_deployment
-from repro.tracer import VirtualCounterBank
+from repro.smpi import round_robin_deployment
 
 CLASSES = ["B", "C"]
 PROCS = [8, 16, 32, 64]
@@ -47,57 +53,73 @@ def calibrate():
     return flops, network
 
 
-def actual_time(platform, cls: str, procs: int, itmax: int) -> float:
-    config = capped(lu_class(cls), itmax)
-    runtime = MpiRuntime(platform, round_robin_deployment(platform, procs),
-                         papi=VirtualCounterBank(procs))
-    return runtime.run(LuWorkload(config, procs).program).time
-
-
-def simulated_time(ground_truth, calibrated, network, cls: str, procs: int,
-                   itmax: int) -> float:
-    config = capped(lu_class(cls), itmax)
-    with tempfile.TemporaryDirectory() as workdir:
-        acq = acquire(LuWorkload(config, procs).program, ground_truth,
-                      procs, workdir=workdir, papi_jitter=0.002,
-                      measure_application=False)
-        replayer = TraceReplayer(
-            calibrated, round_robin_deployment(calibrated, procs),
-            comm_model=network.model,
+def fig8_campaign(flops, network) -> CampaignSpec:
+    """One scenario per (class, procs, iteration cap) cell."""
+    calibration = CalibrationSpec(
+        kind="fixed", speed=flops.rate,
+        segments=tuple((s.lower, s.upper, s.lat_factor, s.bw_factor)
+                       for s in network.model.segments),
+    )
+    caps = [0] if PAPER_SCALE else list(EXEC_CAPS)
+    scenarios = [
+        Scenario(
+            name=f"fig8-{cls}{procs}-k{cap}",
+            ranks=procs,
+            trace=TraceSpec(kind="acquire", app="lu", cls=cls,
+                            papi_jitter=0.002, itmax_cap=cap),
+            platform=PlatformSpec(name="bordereau"),
+            calibration=calibration,
+            measure_actual=True,
+            timeout_s=3600.0,
         )
-        return replayer.replay(acq.trace_dir).simulated_time
+        for cls in CLASSES for procs in PROCS for cap in caps
+    ]
+    return CampaignSpec(name="fig8", scenarios=scenarios, jobs=2)
 
 
-def _extrapolate(f, itmax_full: int):
-    if PAPER_SCALE:
-        return f(itmax_full)
+def _extrapolate(points, itmax_full: int) -> float:
+    """Linear extrapolation from the capped-iteration cells (LU
+    iterations are stationary), or the single full-run cell."""
+    if len(points) == 1:
+        return next(iter(points.values()))
     k1, k2 = EXEC_CAPS
-    t1, t2 = f(k1), f(k2)
+    t1, t2 = points[k1], points[k2]
     return t1 + (itmax_full - k1) * (t2 - t1) / (k2 - k1)
 
 
 def run_fig8():
-    ground_truth = bordereau()
     flops, network = calibrate()
-    calibrated = bordereau(ground_truth=False, speed=flops.rate)
+    spec = fig8_campaign(flops, network)
+    with tempfile.TemporaryDirectory(prefix="fig8-campaign-") as out:
+        campaign = run_campaign(spec, out)
+    if not campaign.ok:
+        raise RuntimeError(
+            f"fig8 campaign scenarios failed: {campaign.failed_names}")
     lines = [
         "Fig. 8 - actual vs simulated (replayed) LU execution time on "
         "bordereau",
         scale_note(),
         f"(calibrated flop rate: {flops.rate:.4g} flop/s, "
         f"spread {100 * flops.spread:.2f}%)",
+        f"(campaign of {campaign.metrics.scenarios_total} scenarios, "
+        f"{campaign.metrics.workers} workers, "
+        f"{campaign.metrics.cached_hits} cache hits)",
         "",
         f"{'inst.':>6} {'actual':>10} {'simulated':>10} {'rel.err':>9}",
     ]
+    caps = [0] if PAPER_SCALE else list(EXEC_CAPS)
     series = {}
     for cls in CLASSES:
         itmax = lu_class(cls).itmax
         for procs in PROCS:
+            cells = {cap: campaign.records[f"fig8-{cls}{procs}-k{cap}"]
+                     for cap in caps}
             act = _extrapolate(
-                lambda k: actual_time(ground_truth, cls, procs, k), itmax)
+                {c: r.result["actual_time"] for c, r in cells.items()},
+                itmax)
             sim = _extrapolate(
-                lambda k: simulated_time(ground_truth, calibrated, network,
-                                         cls, procs, k), itmax)
+                {c: r.result["simulated_time"] for c, r in cells.items()},
+                itmax)
             err = (sim - act) / act
             series[(cls, procs)] = (act, sim, err)
             lines.append(f"{cls + '/' + str(procs):>6} {act:>9.1f}s "

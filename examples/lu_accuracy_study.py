@@ -7,24 +7,34 @@ calibrated platform, and compare simulated to actual times — including
 the per-point relative error the paper discusses in §6.4 (the error comes
 from the single calibrated flop rate vs the non-constant real rate).
 
-Run:  python examples/lu_accuracy_study.py
+The sweep runs as a :mod:`repro.campaign`: calibration happens once up
+front, each process count becomes one scenario, and the results land in
+a campaign directory with a content-addressed cache — run the script
+twice and the second run serves every point from cache.
+
+Run:  python examples/lu_accuracy_study.py [campaign-dir]
 """
 
+import sys
 import tempfile
 
 from repro.apps import LuWorkload
-from repro.core.acquisition import acquire
+from repro.campaign import (
+    CalibrationSpec, CampaignSpec, PlatformSpec, Scenario, TraceSpec,
+    run_campaign,
+)
+from repro.campaign.report import render_accuracy_table
 from repro.core.calibration import calibrate_flop_rate, calibrate_network
-from repro.core.replay import TraceReplayer
 from repro.platforms import bordereau
 from repro.smpi import round_robin_deployment
 
 PROCESS_COUNTS = [2, 4, 8, 16]
 LU_CLASS = "S"
+HOSTS = 32
 
 
 def main() -> None:
-    ground_truth = bordereau(32)
+    ground_truth = bordereau(HOSTS)
 
     # Calibrate once on a small instance (the paper's §5 procedure).
     calib_deploy = round_robin_deployment(ground_truth, 4)
@@ -35,24 +45,38 @@ def main() -> None:
     print(f"calibrated flop rate: {flops.rate:.4g} flop/s "
           f"(spread {100 * flops.spread:.2f}%)")
 
-    print(f"\nLU class {LU_CLASS}: actual vs simulated execution time")
-    print(f"{'procs':>6} {'actual':>10} {'simulated':>10} {'error':>8}")
-    for n in PROCESS_COUNTS:
-        workload = LuWorkload(LU_CLASS, n)
-        with tempfile.TemporaryDirectory(prefix="repro-fig8-") as workdir:
-            acq = acquire(workload.program, ground_truth, n,
-                          workdir=workdir, papi_jitter=0.002)
-            calibrated = bordereau(32, ground_truth=False, speed=flops.rate)
-            replayer = TraceReplayer(
-                calibrated, round_robin_deployment(calibrated, n),
-                comm_model=network.model,
-            )
-            replay = replayer.replay(acq.trace_dir)
-        actual = acq.application_time
-        error = 100 * (replay.simulated_time - actual) / actual
-        print(f"{n:>6} {actual:>9.3f}s {replay.simulated_time:>9.3f}s "
-              f"{error:>+7.1f}%")
-    print("\nThe trend follows; the residual error is the constant-rate "
+    # ...freeze it into the campaign and let the fleet run the sweep.
+    calibration = CalibrationSpec(
+        kind="fixed", speed=flops.rate,
+        segments=tuple((s.lower, s.upper, s.lat_factor, s.bw_factor)
+                       for s in network.model.segments),
+    )
+    spec = CampaignSpec(name="lu-accuracy", jobs=2, scenarios=[
+        Scenario(
+            name=f"lu-{LU_CLASS}-{n}",
+            ranks=n,
+            trace=TraceSpec(kind="acquire", app="lu", cls=LU_CLASS,
+                            papi_jitter=0.002),
+            platform=PlatformSpec(name="bordereau", hosts=HOSTS),
+            calibration=calibration,
+            measure_actual=True,
+        )
+        for n in PROCESS_COUNTS
+    ])
+    out_dir = (sys.argv[1] if len(sys.argv) > 1
+               else tempfile.mkdtemp(prefix="lu-accuracy-"))
+    result = run_campaign(spec, out_dir, resume=True)
+
+    records = [result.records[f"lu-{LU_CLASS}-{n}"]
+               for n in PROCESS_COUNTS]
+    print()
+    print("\n".join(render_accuracy_table(
+        records,
+        f"LU class {LU_CLASS}: actual vs simulated execution time")))
+    metrics = result.metrics
+    print(f"\n({metrics.cached_hits}/{metrics.scenarios_total} served from "
+          f"cache; campaign directory: {out_dir})")
+    print("The trend follows; the residual error is the constant-rate "
           "calibration the paper identifies in §6.4.")
 
 

@@ -1,0 +1,162 @@
+"""Content-addressed result cache for campaign scenarios.
+
+A scenario's *cache key* is a SHA-256 digest over everything that
+determines its outcome:
+
+* the trace content address — for ``synth`` traces the generator
+  parameter tuple (seed included; :func:`repro.core.synth.synth_metadata`
+  guarantees the tuple ↔ bytes bijection), for ``acquire`` traces the
+  acquisition parameters (the pipeline is deterministic per PAPI seed),
+  for ``dir`` traces the *bytes* of the trace files themselves;
+* the platform — catalog parameters for named platforms, the file bytes
+  for platform XML (editing the XML busts the key);
+* the calibration parameters (a changed flop rate or network segment
+  busts the key);
+* the replay options and rank count.
+
+Keys are computed from canonical JSON (sorted keys, fixed separators) —
+never from Python's randomised ``hash()`` — so the same scenario hashes
+identically in every process and on every run, which is what lets a
+re-run campaign skip every unchanged scenario.
+
+The cache itself is a plain directory of JSON records,
+``<root>/<key[:2]>/<key>.json``, safe to share between campaigns and to
+prune with ``rm``.  Writes go through a same-directory temp file +
+``os.replace`` so concurrent writers (campaign workers finishing
+together) can never leave a torn record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from .spec import Scenario
+
+__all__ = ["CACHE_FORMAT_VERSION", "canonical_json", "digest_of",
+           "digest_file", "digest_tree", "scenario_cache_key",
+           "ResultCache"]
+
+#: Bump when the record schema or key composition changes; part of every
+#: key, so stale-format records can never be served.
+CACHE_FORMAT_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN surprises."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def digest_of(obj: Any) -> str:
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def digest_file(path: str) -> str:
+    """SHA-256 of a file's bytes (streamed)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def digest_tree(directory: str) -> str:
+    """SHA-256 over a directory's (relative name, bytes) pairs, walked in
+    sorted order — byte-identical trees digest identically regardless of
+    mtime or inode churn."""
+    h = hashlib.sha256()
+    for root, dirs, files in sorted(os.walk(directory)):
+        dirs.sort()
+        for name in sorted(files):
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, directory)
+            h.update(rel.encode("utf-8"))
+            h.update(b"\0")
+            with open(path, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    h.update(chunk)
+            h.update(b"\0")
+    return h.hexdigest()
+
+
+def _trace_address(scenario: Scenario) -> Dict[str, Any]:
+    trace = scenario.trace
+    address = trace.digest_fields()
+    if trace.kind == "dir":
+        address["content"] = digest_tree(trace.path)
+    if trace.kind == "synth":
+        # The synth generator needs the rank count too.
+        address["n_ranks"] = scenario.ranks
+    return address
+
+
+def _platform_address(scenario: Scenario) -> Dict[str, Any]:
+    platform = scenario.platform
+    address = platform.digest_fields()
+    if platform.kind == "xml":
+        address["content"] = digest_file(platform.xml_path)
+    return address
+
+
+def scenario_cache_key(scenario: Scenario) -> str:
+    """The content address of one scenario's result."""
+    return digest_of({
+        "format": CACHE_FORMAT_VERSION,
+        "ranks": scenario.ranks,
+        "measure_actual": scenario.measure_actual,
+        "trace": _trace_address(scenario),
+        "platform": _platform_address(scenario),
+        "calibration": scenario.calibration.digest_fields(),
+        "replay": scenario.replay.digest_fields(),
+    })
+
+
+class ResultCache:
+    """Directory-backed map from cache key to result record (a dict)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            # A torn/corrupt record is a miss, not a crash.
+            return None
+
+    def put(self, key: str, record: Dict[str, Any]) -> str:
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for _root, _dirs, files in os.walk(self.root):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count

@@ -1,0 +1,103 @@
+"""``repro-campaign`` — run, inspect, and report experiment campaigns.
+
+* ``repro-campaign run SPEC.json --out DIR [--jobs N] [--no-cache]
+  [--resume]`` — execute a campaign spec (see
+  :mod:`repro.campaign.spec`; ``base``/``vary`` grids supported).
+* ``repro-campaign status DIR`` — per-scenario state of a campaign
+  directory plus the fleet counters.
+* ``repro-campaign report DIR [--output FILE]`` — the actual-vs-simulated
+  comparison table over the recorded runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import render_report, render_status
+from .runner import run_campaign
+from .spec import load_campaign_spec
+
+__all__ = ["main_campaign"]
+
+
+def main_campaign(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Parallel experiment campaigns over the acquire/"
+                    "calibrate/replay pipeline, with content-addressed "
+                    "result caching.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute a campaign spec")
+    run_p.add_argument("spec", help="campaign spec JSON file")
+    run_p.add_argument("--out", required=True,
+                       help="campaign directory (runs/, manifest.json, "
+                            "cache/)")
+    run_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: the spec's)")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="execute every scenario even when a cached "
+                            "result exists (results are still cached)")
+    run_p.add_argument("--resume", action="store_true",
+                       help="also serve scenarios whose stored run record "
+                            "already succeeded with the same cache key")
+    run_p.add_argument("--cache-dir", default=None,
+                       help="shared result cache location (default: "
+                            "<out>/cache)")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress per-scenario progress lines")
+
+    status_p = sub.add_parser("status", help="show a campaign directory")
+    status_p.add_argument("out", help="campaign directory")
+
+    report_p = sub.add_parser("report", help="comparison table of a "
+                                             "campaign's results")
+    report_p.add_argument("out", help="campaign directory")
+    report_p.add_argument("--output", default=None,
+                          help="write the table here instead of stdout")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        try:
+            spec = load_campaign_spec(args.spec)
+        except (OSError, ValueError) as exc:
+            print(f"bad campaign spec {args.spec!r}: {exc}", file=sys.stderr)
+            return 2
+        result = run_campaign(
+            spec, args.out, jobs=args.jobs,
+            use_cache=not args.no_cache, resume=args.resume,
+            cache_dir=args.cache_dir,
+            log=None if args.quiet else print,
+        )
+        metrics = result.metrics
+        print(f"{metrics.completed}/{metrics.scenarios_total} scenarios ok "
+              f"({metrics.cached_hits} cached, {metrics.failed} failed, "
+              f"{metrics.replays_executed} replays executed) in "
+              f"{metrics.wall_seconds:.2f}s")
+        if not result.ok:
+            print(f"failed: {', '.join(result.failed_names)}",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "status":
+        print(render_status(args.out))
+        return 0
+
+    # report
+    text = render_report(args.out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_campaign())

@@ -1,0 +1,159 @@
+"""Rendering campaign results into the paper's comparison shapes.
+
+Three consumers share this module:
+
+* ``repro-campaign status`` / ``repro-campaign report`` — a human at a
+  terminal looking at a campaign directory;
+* the benchmark suite — :func:`render_accuracy_table` produces the
+  Table-2/Fig-8-style fixed-width blocks that land in
+  ``benchmarks/results/*.txt``;
+* ``benchmarks/make_experiments_md.py`` — :func:`render_experiments_md`
+  assembles EXPERIMENTS.md from those result blocks (the section loop
+  used to live in the script; campaigns made it a library concern).
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .store import CampaignStore, RunRecord
+
+__all__ = ["render_status", "render_report", "render_accuracy_table",
+           "render_experiments_md"]
+
+
+def _fmt_time(value: Optional[float]) -> str:
+    return f"{value:.1f}s" if isinstance(value, (int, float)) else "-"
+
+
+def _fmt_err(value: Optional[float]) -> str:
+    return f"{100 * value:+.1f}%" if isinstance(value, (int, float)) else "-"
+
+
+# ----------------------------------------------------------------------
+# Campaign-directory views (the CLI's status/report)
+# ----------------------------------------------------------------------
+def render_status(out_dir: str) -> str:
+    """One line per scenario plus the campaign counters."""
+    store = CampaignStore(out_dir)
+    manifest = store.read_manifest()
+    records = store.read_runs()
+    lines: List[str] = []
+    if manifest is not None:
+        name = manifest.get("campaign", "?")
+        lines.append(f"campaign {name!r} in {out_dir}")
+    else:
+        lines.append(f"campaign directory {out_dir} (no manifest yet)")
+    if not records:
+        lines.append("  no runs recorded")
+        return "\n".join(lines)
+    width = max(len(r.name) for r in records)
+    for record in records:
+        source = (f"cache:{record.cache_source}" if record.cache_hit
+                  else f"ran x{record.attempts}")
+        sim = record.result.get("simulated_time")
+        detail = f"simulated {_fmt_time(sim)}" if record.ok else (
+            (record.error or {}).get("message", ""))
+        lines.append(f"  {record.name:<{width}}  {record.status:<7} "
+                     f"{source:<12} {detail}")
+    if manifest is not None and "metrics" in manifest:
+        m = manifest["metrics"]
+        lines.append(
+            f"  -- {m.get('completed', 0)}/{m.get('scenarios_total', 0)} ok, "
+            f"{m.get('cached_hits', 0)} cached, "
+            f"{m.get('failed', 0)} failed, "
+            f"{m.get('replays_executed', 0)} replays executed, "
+            f"wall {m.get('wall_seconds', 0.0):.2f}s, "
+            f"utilization {100 * m.get('worker_utilization', 0.0):.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_report(out_dir: str, title: str = "") -> str:
+    """The comparison table over every successful run in a campaign."""
+    store = CampaignStore(out_dir)
+    manifest = store.read_manifest()
+    records = store.read_runs()
+    if not title:
+        name = (manifest or {}).get("campaign", os.path.basename(out_dir))
+        title = f"campaign {name!r} - actual vs simulated"
+    ok = [r for r in records if r.ok]
+    failed = [r for r in records if not r.ok]
+    lines = render_accuracy_table(ok, title)
+    if failed:
+        lines.append("")
+        lines.append(f"{len(failed)} scenario(s) without a result:")
+        for record in failed:
+            message = (record.error or {}).get("message", "")
+            lines.append(f"  {record.name}: {record.status} ({message})")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fixed-width result blocks (benchmarks/results/*.txt style)
+# ----------------------------------------------------------------------
+def render_accuracy_table(records: Sequence[RunRecord],
+                          title: str,
+                          notes: Sequence[str] = ()) -> List[str]:
+    """Fig.-8-shaped block: one row per run, actual vs simulated columns.
+
+    Returns the lines (callers either join them or hand them to the
+    bench harness's ``emit_table``).  Runs without an actual time render
+    ``-`` in the actual/error columns, so pure-replay campaigns produce
+    a meaningful table too.
+    """
+    lines = [title]
+    lines.extend(notes)
+    lines.append("")
+    width = max([len("inst.")] + [len(r.name) for r in records])
+    lines.append(f"{'inst.':>{width}} {'actual':>10} {'simulated':>10} "
+                 f"{'rel.err':>9} {'cache':>6}")
+    for record in records:
+        result = record.result
+        lines.append(
+            f"{record.name:>{width}} "
+            f"{_fmt_time(result.get('actual_time')):>10} "
+            f"{_fmt_time(result.get('simulated_time')):>10} "
+            f"{_fmt_err(result.get('rel_error')):>9} "
+            f"{'hit' if record.cache_hit else 'miss':>6}"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# EXPERIMENTS.md assembly
+# ----------------------------------------------------------------------
+def render_experiments_md(
+    sections: Sequence[Tuple[str, str, Sequence[str]]],
+    results_dir: str,
+    header: str,
+    date: Optional[str] = None,
+) -> Tuple[str, List[str]]:
+    """Assemble the EXPERIMENTS.md body from recorded result blocks.
+
+    ``sections`` is ``(title, commentary, [result files])``; files are
+    read from ``results_dir`` and inlined verbatim inside code fences.
+    Returns ``(document, missing file names)`` — missing files become a
+    visible placeholder, never a silent omission.
+    """
+    parts = [header.format(
+        date=date or datetime.date.today().isoformat())]
+    missing: List[str] = []
+    for title, commentary, files in sections:
+        parts.append(f"\n## {title}\n")
+        parts.append(commentary.strip() + "\n")
+        for name in files:
+            path = os.path.join(results_dir, name)
+            if not os.path.exists(path):
+                missing.append(name)
+                parts.append(f"*(missing: run the bench that writes "
+                             f"`{name}`)*\n")
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                body = handle.read().rstrip()
+            parts.append("```")
+            parts.append(body)
+            parts.append("```\n")
+    return "\n".join(parts), missing

@@ -1,0 +1,147 @@
+"""On-disk campaign state: one JSON record per run plus a manifest.
+
+Layout of a campaign directory (the ``--out`` of ``repro-campaign``)::
+
+    <out>/
+      manifest.json          # spec echo + campaign metrics + status map
+      runs/<scenario>.json   # one RunRecord per scenario (latest attempt)
+      cache/...              # the content-addressed ResultCache (default)
+
+Records are plain JSON documents so downstream tooling (the report
+module, notebooks, `jq`) never needs this package to read them.  Writes
+use temp-file + ``os.replace`` — a campaign killed mid-write leaves the
+previous consistent record, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunRecord", "CampaignStore"]
+
+#: RunRecord.status values.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class RunRecord:
+    """Everything one scenario run produced (or how it failed)."""
+
+    name: str
+    cache_key: str
+    status: str                     # ok | failed | timeout
+    attempts: int = 0               # worker executions this campaign
+    cache_hit: bool = False
+    cache_source: str = ""          # "" | "cache" | "store"
+    wall_seconds: float = 0.0       # scheduling wall of this scenario
+    scenario: Dict[str, Any] = field(default_factory=dict)   # spec echo
+    #: Worker payload: simulated_time, actual_time, rel_error, n_actions,
+    #: n_ranks, replay_wall_seconds, stage_wait_s, metrics (telemetry
+    #: document sans per_rank), calibration {speed, ...}.
+    result: Dict[str, Any] = field(default_factory=dict)
+    #: On failure: {type, message, traceback} of the last attempt.
+    error: Optional[Dict[str, str]] = None
+    finished_at: float = 0.0        # unix time
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        known = {f for f in cls.__dataclass_fields__}  # tolerate extras
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def _write_json(path: str, document: Any) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CampaignStore:
+    """Reader/writer of a campaign directory."""
+
+    def __init__(self, out_dir: str) -> None:
+        self.out_dir = out_dir
+        self.runs_dir = os.path.join(out_dir, "runs")
+        self.manifest_path = os.path.join(out_dir, "manifest.json")
+
+    # -- runs ------------------------------------------------------------
+    def run_path(self, name: str) -> str:
+        return os.path.join(self.runs_dir, f"{name}.json")
+
+    def write_run(self, record: RunRecord) -> str:
+        if not record.finished_at:
+            record.finished_at = time.time()
+        path = self.run_path(record.name)
+        _write_json(path, record.to_dict())
+        return path
+
+    def read_run(self, name: str) -> Optional[RunRecord]:
+        try:
+            with open(self.run_path(name), "r", encoding="utf-8") as handle:
+                return RunRecord.from_dict(json.load(handle))
+        except (FileNotFoundError, ValueError):
+            return None
+
+    def read_runs(self) -> List[RunRecord]:
+        if not os.path.isdir(self.runs_dir):
+            return []
+        records = []
+        for fname in sorted(os.listdir(self.runs_dir)):
+            if fname.endswith(".json"):
+                record = self.read_run(fname[:-len(".json")])
+                if record is not None:
+                    records.append(record)
+        return records
+
+    # -- manifest --------------------------------------------------------
+    def write_manifest(self, spec_doc: Dict[str, Any],
+                       metrics_doc: Dict[str, Any],
+                       records: List[RunRecord]) -> str:
+        document = {
+            "campaign": spec_doc.get("name", ""),
+            "spec": spec_doc,
+            "metrics": metrics_doc,
+            "scenarios": {
+                r.name: {
+                    "status": r.status,
+                    "cache_key": r.cache_key,
+                    "cache_hit": r.cache_hit,
+                    "attempts": r.attempts,
+                    "simulated_time": r.result.get("simulated_time"),
+                }
+                for r in records
+            },
+            "generated_at": time.time(),
+        }
+        _write_json(self.manifest_path, document)
+        return self.manifest_path
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, ValueError):
+            return None

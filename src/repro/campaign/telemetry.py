@@ -1,0 +1,70 @@
+"""Campaign-level observability, in the :mod:`repro.simkernel.telemetry`
+style: plain ``__slots__`` counter objects, incremented with cheap local
+arithmetic by the runner's scheduling loop, rendered once into a
+JSON-friendly document that lands in the campaign manifest (and is
+printed by ``repro-campaign status``).
+
+One :class:`CampaignMetrics` covers one ``run_campaign`` invocation:
+
+* fleet outcomes — scenarios completed / failed / served from cache;
+* execution effort — replays actually executed, attempts, retries,
+  timeouts;
+* worker economics — busy seconds vs. the ``workers x wall`` capacity,
+  i.e. the utilization a sweep achieved (the number that says whether
+  the fleet was starved by stragglers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["CampaignMetrics"]
+
+
+class CampaignMetrics:
+    """Counters for one campaign run."""
+
+    __slots__ = ("workers", "scenarios_total", "completed", "failed",
+                 "cached_hits", "cached_from_store", "replays_executed",
+                 "attempts", "retries", "timeouts", "worker_busy_seconds",
+                 "wall_seconds")
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self.reset()
+
+    def reset(self) -> None:
+        self.scenarios_total = 0
+        self.completed = 0          # scenarios that ended with a result
+        self.failed = 0             # scenarios that exhausted retries
+        self.cached_hits = 0        # served without executing anything
+        self.cached_from_store = 0  # of those, served by --resume's store
+        self.replays_executed = 0   # worker processes launched
+        self.attempts = 0           # attempts that returned (ok or error)
+        self.retries = 0            # re-executions after a failed attempt
+        self.timeouts = 0           # attempts terminated at timeout_s
+        self.worker_busy_seconds = 0.0
+        self.wall_seconds = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the fleet's ``workers x wall`` capacity."""
+        capacity = self.workers * self.wall_seconds
+        return self.worker_busy_seconds / capacity if capacity > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "workers": self.workers,
+            "scenarios_total": self.scenarios_total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cached_hits": self.cached_hits,
+            "cached_from_store": self.cached_from_store,
+            "replays_executed": self.replays_executed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_busy_seconds": self.worker_busy_seconds,
+            "wall_seconds": self.wall_seconds,
+            "worker_utilization": self.utilization,
+        }

@@ -12,6 +12,9 @@
 * ``repro-stats`` — descriptive statistics of a trace (volumes, traffic
   matrix, message-size mix).
 * ``repro-convert`` — text <-> binary trace conversion (§7 future work).
+* ``repro-campaign`` — parallel experiment campaigns over the full
+  pipeline with content-addressed result caching (lives in
+  :mod:`repro.campaign.cli`).
 """
 
 from __future__ import annotations
@@ -334,7 +337,34 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
         collect_metrics=args.metrics is not None,
         lmm_mode=args.lmm,
     )
-    result = replayer.replay(args.trace)
+    try:
+        result = replayer.replay(args.trace)
+    except Exception as exc:
+        # A failed replay (deadlock, malformed trace, rank/deployment
+        # mismatch) must fail the invoking script: diagnostics on stderr,
+        # a nonzero exit code, and whatever telemetry was collected up to
+        # the failure point still emitted.
+        print(f"replay failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        from .simkernel import DeadlockError
+
+        if isinstance(exc, DeadlockError):
+            if exc.blocked:
+                print(f"blocked processes: {', '.join(exc.blocked)}",
+                      file=sys.stderr)
+            for key, value in sorted(exc.details.items()):
+                print(f"  {key}: {value}", file=sys.stderr)
+        if args.metrics is not None and replayer.telemetry is not None:
+            import json
+
+            document = json.dumps(replayer.telemetry.as_dict(), indent=2,
+                                  sort_keys=True)
+            if args.metrics == "-":
+                print(document)
+            else:
+                with open(args.metrics, "w", encoding="ascii") as handle:
+                    handle.write(document + "\n")
+                print(f"metrics written to {args.metrics}", file=sys.stderr)
+        return 3
     print(f"Simulated execution time: {result.simulated_time:.6f} s")
     print(f"({result.n_ranks} ranks, {result.n_actions} actions, "
           f"replayed in {result.wall_seconds:.2f} s)")

@@ -16,12 +16,26 @@ sweeps, flattened to the blocking-replay action set (Table 1): post
 receives, one fused compute burst, and every ``inorm`` iterations an
 ``allReduce`` — deadlock-free under the replayer's oldest-pending-wait
 semantics because every rank posts its receives before its sends.
+
+Determinism contract (what ``repro.campaign`` builds its cache keys on):
+the generator is a pure function of its parameters.  The only source of
+randomness — the optional per-burst compute ``jitter`` that mimics the
+hardware-counter wobble of acquired traces — draws from an *explicit*
+``seed`` through a per-rank ``numpy`` generator, so the same
+``(n_ranks, iterations, cls, inorm, seed, jitter)`` tuple yields
+byte-identical traces in any process (no interpreter hash randomisation,
+no global RNG state).  :func:`write_synthetic_lu_trace` records that
+tuple in a ``synth_meta.json`` sidecar next to the trace files, which is
+exactly the content address of the trace set.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
 
 from ..apps.classes import lu_class
 from ..apps.lu import (
@@ -46,7 +60,53 @@ from .actions import (
 )
 from .trace import trace_file_name
 
-__all__ = ["synthetic_lu_actions", "write_synthetic_lu_trace"]
+__all__ = [
+    "SYNTH_META_FILE",
+    "synthetic_lu_actions",
+    "synth_metadata",
+    "read_synth_metadata",
+    "write_synthetic_lu_trace",
+]
+
+#: Sidecar file recording the generator parameters of a synthetic trace
+#: directory — the content address campaign cache keys digest.
+SYNTH_META_FILE = "synth_meta.json"
+
+
+def synth_metadata(
+    n_ranks: int,
+    iterations: int,
+    cls: str = "B",
+    inorm: int = 8,
+    seed: int = 0,
+    jitter: float = 0.0,
+) -> Dict[str, object]:
+    """The full parameter tuple that determines a synthetic trace set.
+
+    Two directories written with equal metadata hold byte-identical
+    traces; any single differing field (the seed included) yields a
+    different trace.  ``repro.campaign.cache`` digests this dict.
+    """
+    return {
+        "generator": "lu-synth",
+        "version": 1,
+        "n_ranks": int(n_ranks),
+        "iterations": int(iterations),
+        "cls": str(cls),
+        "inorm": int(inorm),
+        "seed": int(seed),
+        "jitter": float(jitter),
+    }
+
+
+def read_synth_metadata(directory: str) -> Optional[Dict[str, object]]:
+    """The ``synth_meta.json`` of a trace directory, or None when the
+    directory was not written by :func:`write_synthetic_lu_trace`."""
+    path = os.path.join(directory, SYNTH_META_FILE)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="ascii") as handle:
+        return json.load(handle)
 
 
 def synthetic_lu_actions(
@@ -55,8 +115,17 @@ def synthetic_lu_actions(
     iterations: int,
     cls: str = "B",
     inorm: int = 8,
+    seed: int = 0,
+    jitter: float = 0.0,
 ) -> Iterator[Action]:
-    """One rank's synthetic LU-mix action stream (lazy)."""
+    """One rank's synthetic LU-mix action stream (lazy).
+
+    ``jitter`` perturbs each sweep's compute burst by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` — the synthetic analogue of the <1 %
+    hardware-counter wobble acquired traces carry (§6.2).  The draws come
+    from ``default_rng(seed + 7919 * rank)``: explicit, per-rank, and
+    deterministic across processes.
+    """
     config = lu_class(cls)
     grid = LuGrid.build(config, n_ranks, rank)
     neighbours: List[int] = [
@@ -70,6 +139,7 @@ def synthetic_lu_actions(
     sweep_flops = float(
         (FLOPS_RHS + FLOPS_LOWER + FLOPS_UPPER + FLOPS_ADD) * grid.points
     )
+    rng = np.random.default_rng(seed + 7919 * rank) if jitter > 0.0 else None
     yield CommSize(rank, n_ranks)
     for istep in range(1, iterations + 1):
         for peer in neighbours:
@@ -80,7 +150,11 @@ def synthetic_lu_actions(
             yield Send(rank, peer, nbytes)
         for _ in neighbours:
             yield Wait(rank)
-        yield Compute(rank, sweep_flops)
+        if rng is None:
+            yield Compute(rank, sweep_flops)
+        else:
+            factor = 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
+            yield Compute(rank, sweep_flops * factor)
         if istep % inorm == 0:
             yield AllReduce(rank, NORM_BYTES, NORM_FLOPS)
 
@@ -92,29 +166,43 @@ def write_synthetic_lu_trace(
     cls: str = "B",
     inorm: int = 8,
     binary: bool = False,
+    seed: int = 0,
+    jitter: float = 0.0,
 ) -> int:
     """Write a per-process (Fig. 2) synthetic trace set; returns the
     total action count.  Streams straight to disk — generating a
-    1024-rank trace never holds more than one action in memory."""
+    1024-rank trace never holds more than one action in memory.  The
+    generator parameters (seed included) land in ``synth_meta.json``
+    alongside the traces."""
     os.makedirs(directory, exist_ok=True)
     n_actions = 0
     if binary:
         from .binfmt import binary_trace_file_name, write_binary_trace
         for rank in range(n_ranks):
             actions = list(
-                synthetic_lu_actions(rank, n_ranks, iterations, cls, inorm)
+                synthetic_lu_actions(rank, n_ranks, iterations, cls, inorm,
+                                     seed=seed, jitter=jitter)
             )
             write_binary_trace(
                 actions, rank,
                 os.path.join(directory, binary_trace_file_name(rank)),
             )
             n_actions += len(actions)
-        return n_actions
-    for rank in range(n_ranks):
-        path = os.path.join(directory, trace_file_name(rank))
-        with open(path, "w", encoding="ascii", buffering=1 << 16) as handle:
-            for action in synthetic_lu_actions(rank, n_ranks, iterations,
-                                               cls, inorm):
-                handle.write(format_action(action) + "\n")
-                n_actions += 1
+    else:
+        for rank in range(n_ranks):
+            path = os.path.join(directory, trace_file_name(rank))
+            with open(path, "w", encoding="ascii",
+                      buffering=1 << 16) as handle:
+                for action in synthetic_lu_actions(rank, n_ranks, iterations,
+                                                   cls, inorm, seed=seed,
+                                                   jitter=jitter):
+                    handle.write(format_action(action) + "\n")
+                    n_actions += 1
+    meta = synth_metadata(n_ranks, iterations, cls, inorm, seed, jitter)
+    meta["n_actions"] = n_actions
+    meta["binary"] = bool(binary)
+    with open(os.path.join(directory, SYNTH_META_FILE), "w",
+              encoding="ascii") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return n_actions

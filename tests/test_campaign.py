@@ -1,0 +1,300 @@
+"""Tests for repro.campaign: specs, cache-key invalidation, the runner
+fleet (retries, timeouts, graceful failure), and the CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CalibrationSpec, CampaignSpec, PlatformSpec, ReplaySpec, Scenario,
+    TraceSpec, expand_grid, run_campaign, scenario_cache_key,
+)
+from repro.campaign.cli import main_campaign
+from repro.campaign.runner import execute_scenario
+from repro.campaign.store import CampaignStore
+from repro.platforms import bordereau
+from repro.simkernel import dump_platform
+
+
+def lu_scenario(name="lu", ranks=4, **overrides):
+    """A small, fast synth-LU scenario with a fixed calibration."""
+    fields = dict(
+        name=name, ranks=ranks,
+        trace=TraceSpec(kind="synth", cls="S", iterations=2, inorm=1),
+        platform=PlatformSpec(name="bordereau", hosts=8),
+        calibration=CalibrationSpec(kind="fixed", speed=2e9),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+# ----------------------------------------------------------------------
+# Spec layer
+# ----------------------------------------------------------------------
+def test_scenario_roundtrips_through_dict():
+    scenario = lu_scenario(measure_actual=True, timeout_s=12.5)
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+    # ...including through actual JSON (tuples become lists).
+    assert Scenario.from_dict(json.loads(json.dumps(scenario.to_dict()))) \
+        == scenario
+
+
+def test_spec_rejects_unknown_fields():
+    doc = lu_scenario().to_dict()
+    doc["trace"]["typo_field"] = 1
+    with pytest.raises(ValueError, match="typo_field"):
+        Scenario.from_dict(doc)
+
+
+def test_bad_kinds_and_names_rejected():
+    with pytest.raises(ValueError, match="trace kind"):
+        TraceSpec(kind="nope")
+    with pytest.raises(ValueError, match="name"):
+        Scenario(name="a/b", ranks=4)
+    with pytest.raises(ValueError, match="duplicate"):
+        CampaignSpec(name="c", scenarios=[lu_scenario(), lu_scenario()])
+
+
+def test_expand_grid_cross_product():
+    scenarios = expand_grid(
+        "lu", {"ranks": 4, "trace": {"kind": "synth", "cls": "S",
+                                     "iterations": 1, "inorm": 1}},
+        {"trace.cls": ["S", "W"], "ranks": [2, 4]},
+    )
+    assert [s.name for s in scenarios] == \
+        ["lu-S-2", "lu-S-4", "lu-W-2", "lu-W-4"]
+    assert scenarios[3].trace.cls == "W" and scenarios[3].ranks == 4
+
+
+# ----------------------------------------------------------------------
+# Cache keys: what must (and must not) bust them
+# ----------------------------------------------------------------------
+def test_cache_key_deterministic_across_objects():
+    assert scenario_cache_key(lu_scenario()) == \
+        scenario_cache_key(lu_scenario())
+    # The scenario *name* is a label, not an input to the result.
+    assert scenario_cache_key(lu_scenario(name="other")) == \
+        scenario_cache_key(lu_scenario())
+
+
+def test_cache_key_busted_by_synth_seed():
+    base = lu_scenario()
+    reseeded = lu_scenario(trace=TraceSpec(
+        kind="synth", cls="S", iterations=2, inorm=1, seed=1))
+    assert scenario_cache_key(base) != scenario_cache_key(reseeded)
+
+
+def test_cache_key_busted_by_calibration_change():
+    base = lu_scenario()
+    faster = lu_scenario(calibration=CalibrationSpec(kind="fixed",
+                                                     speed=3e9))
+    segs = lu_scenario(calibration=CalibrationSpec(
+        kind="fixed", speed=2e9,
+        segments=((0.0, 1024.0, 1.5, 0.9),
+                  (1024.0, float("inf"), 2.0, 0.95))))
+    keys = {scenario_cache_key(s) for s in (base, faster, segs)}
+    assert len(keys) == 3
+
+
+def test_cache_key_busted_by_platform_xml_edit(tmp_path):
+    xml = str(tmp_path / "p.xml")
+    dump_platform(bordereau(n_hosts=4, ground_truth=False), xml)
+    scenario = lu_scenario(platform=PlatformSpec(kind="xml", xml_path=xml))
+    key_before = scenario_cache_key(scenario)
+    # Byte-identical re-read: same key.
+    assert scenario_cache_key(scenario) == key_before
+    with open(xml, "a", encoding="utf-8") as handle:
+        handle.write("<!-- faster links tomorrow -->\n")
+    assert scenario_cache_key(scenario) != key_before
+
+
+def test_cache_key_busted_by_replay_options_and_ranks():
+    base = lu_scenario()
+    flat = lu_scenario(replay=ReplaySpec(collectives="flat"))
+    wider = lu_scenario(ranks=8)
+    keys = {scenario_cache_key(s) for s in (base, flat, wider)}
+    assert len(keys) == 3
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+def test_execute_scenario_synth_is_deterministic():
+    payload = execute_scenario(lu_scenario().to_dict())
+    again = execute_scenario(lu_scenario().to_dict())
+    assert payload["simulated_time"] == pytest.approx(
+        again["simulated_time"])
+    assert payload["simulated_time"] > 0
+    assert payload["n_ranks"] == 4
+    assert payload["metrics"] is not None
+    assert "per_rank" not in payload["metrics"]
+
+
+def test_execute_scenario_acquire_with_actual():
+    scenario = lu_scenario(
+        trace=TraceSpec(kind="acquire", app="lu", cls="S", itmax_cap=1),
+        measure_actual=True,
+    )
+    payload = execute_scenario(scenario.to_dict())
+    assert payload["actual_time"] > 0
+    assert payload["simulated_time"] > 0
+    assert payload["rel_error"] is not None
+
+
+# ----------------------------------------------------------------------
+# The runner fleet
+# ----------------------------------------------------------------------
+def test_campaign_runs_and_second_run_is_all_cache_hits(tmp_path):
+    spec = CampaignSpec(name="two", jobs=2, scenarios=[
+        lu_scenario("a"),
+        lu_scenario("b", trace=TraceSpec(kind="synth", cls="S",
+                                         iterations=2, inorm=1, seed=9,
+                                         jitter=0.05)),
+    ])
+    out = str(tmp_path / "camp")
+    first = run_campaign(spec, out)
+    assert first.ok
+    assert first.metrics.replays_executed == 2
+    assert first.metrics.cached_hits == 0
+    sims = {n: r.result["simulated_time"]
+            for n, r in first.records.items()}
+    assert sims["a"] != sims["b"]  # the seed perturbed the volumes
+
+    # Byte-identical rerun: 100 % cache hits, zero replays executed.
+    second = run_campaign(spec, out)
+    assert second.ok
+    assert second.metrics.cached_hits == 2
+    assert second.metrics.replays_executed == 0
+    assert {n: r.result["simulated_time"]
+            for n, r in second.records.items()} == sims
+    manifest = CampaignStore(out).read_manifest()
+    assert manifest["scenarios"]["a"]["cache_hit"] is True
+
+
+def test_campaign_retries_then_succeeds(tmp_path):
+    state = str(tmp_path / "state")
+    spec = CampaignSpec(name="retry", jobs=1, retry_backoff=0.05,
+                        scenarios=[Scenario(
+                            "flaky", 2,
+                            trace=TraceSpec(kind="fail", fail_times=2,
+                                            state_path=state),
+                            max_retries=3)])
+    result = run_campaign(spec, str(tmp_path / "camp"))
+    assert result.ok
+    record = result.records["flaky"]
+    assert record.attempts == 3           # 2 failures + 1 success
+    assert result.metrics.retries == 2
+
+
+def test_campaign_survives_a_permanently_failing_scenario(tmp_path):
+    spec = CampaignSpec(name="mixed", jobs=2, retry_backoff=0.05,
+                        scenarios=[
+                            lu_scenario("good"),
+                            Scenario("bad", 2,
+                                     trace=TraceSpec(kind="fail",
+                                                     fail_times=99),
+                                     max_retries=1),
+                        ])
+    result = run_campaign(spec, str(tmp_path / "camp"))
+    assert not result.ok
+    assert result.failed_names == ["bad"]
+    assert result.records["good"].ok
+    bad = result.records["bad"]
+    assert bad.status == "failed"
+    assert bad.attempts == 2
+    assert "injected failure" in bad.error["message"]
+    assert "RuntimeError" in bad.error["traceback"]
+    # Failures are never cached: a rerun tries again.
+    rerun = run_campaign(spec, str(tmp_path / "camp"))
+    assert rerun.metrics.cached_hits == 1
+    assert rerun.metrics.replays_executed == 2
+
+
+def test_campaign_times_out_a_hung_scenario(tmp_path):
+    spec = CampaignSpec(name="hang", jobs=1, scenarios=[Scenario(
+        "stuck", 2, trace=TraceSpec(kind="sleep", seconds=30.0),
+        timeout_s=0.3, max_retries=0)])
+    result = run_campaign(spec, str(tmp_path / "camp"))
+    assert result.records["stuck"].status == "timeout"
+    assert result.metrics.timeouts == 1
+
+
+def test_no_cache_forces_execution_and_resume_serves_from_store(tmp_path):
+    spec = CampaignSpec(name="one", jobs=1, scenarios=[lu_scenario("a")])
+    out = str(tmp_path / "camp")
+    run_campaign(spec, out)
+    forced = run_campaign(spec, out, use_cache=False)
+    assert forced.metrics.replays_executed == 1
+    # --resume consults the run store even with the cache disabled.
+    resumed = run_campaign(spec, out, use_cache=False, resume=True)
+    assert resumed.metrics.replays_executed == 0
+    assert resumed.metrics.cached_from_store == 1
+    assert resumed.records["a"].cache_source == "store"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_campaign_cli_run_status_report(tmp_path, capsys):
+    spec_path = str(tmp_path / "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump({
+            "name": "cli-sweep",
+            "jobs": 2,
+            "base": {
+                "ranks": 2,
+                "trace": {"kind": "synth", "cls": "S",
+                          "iterations": 1, "inorm": 1},
+                "platform": {"name": "bordereau", "hosts": 4},
+                "calibration": {"kind": "fixed", "speed": 2e9},
+            },
+            "vary": {"ranks": [2, 4]},
+        }, handle)
+    out = str(tmp_path / "camp")
+    rc = main_campaign(["run", spec_path, "--out", out, "--quiet"])
+    assert rc == 0
+    assert "2/2 scenarios ok" in capsys.readouterr().out
+
+    rc = main_campaign(["run", spec_path, "--out", out, "--quiet"])
+    assert rc == 0
+    assert "(2 cached" in capsys.readouterr().out
+
+    rc = main_campaign(["status", out])
+    assert rc == 0
+    status = capsys.readouterr().out
+    assert "cli-sweep-2" in status and "cli-sweep-4" in status
+    assert "cache:" in status
+
+    report_path = str(tmp_path / "report.txt")
+    rc = main_campaign(["report", out, "--output", report_path])
+    assert rc == 0
+    with open(report_path, encoding="utf-8") as handle:
+        report = handle.read()
+    assert "simulated" in report and "cli-sweep-2" in report
+
+
+def test_campaign_cli_bad_spec_is_a_clean_error(tmp_path, capsys):
+    bad = str(tmp_path / "bad.json")
+    with open(bad, "w", encoding="utf-8") as handle:
+        handle.write("{\"scenarios\": []}")
+    rc = main_campaign(["run", bad, "--out", str(tmp_path / "o")])
+    assert rc == 2
+    assert "bad campaign spec" in capsys.readouterr().err
+
+
+def test_campaign_cli_failure_exits_nonzero(tmp_path, capsys):
+    spec_path = str(tmp_path / "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump({
+            "name": "doomed",
+            "retry_backoff": 0.05,
+            "scenarios": [{
+                "name": "bad", "ranks": 2, "max_retries": 0,
+                "trace": {"kind": "fail", "fail_times": 9},
+            }],
+        }, handle)
+    rc = main_campaign(["run", spec_path, "--out",
+                        str(tmp_path / "camp"), "--quiet"])
+    assert rc == 1
+    assert "failed: bad" in capsys.readouterr().err

@@ -163,3 +163,44 @@ def test_cli_stats(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "Trace statistics" in out
     assert "point-to-point" in out
+
+
+def test_cli_replay_deadlock_exits_nonzero(tmp_path, capsys):
+    """A failed replay must fail the invoking script — nonzero exit,
+    diagnostics on stderr — while still emitting collected telemetry."""
+    from repro.platforms import bordereau
+    from repro.simkernel import dump_platform
+
+    trace_dir = tmp_path / "dead"
+    trace_dir.mkdir()
+    # Two blocking recvs with no matching sends: a guaranteed deadlock.
+    (trace_dir / "SG_process0.trace").write_text("p0 recv p1 100\n")
+    (trace_dir / "SG_process1.trace").write_text("p1 recv p0 100\n")
+    platform_xml = str(tmp_path / "p.xml")
+    dump_platform(bordereau(n_hosts=4, ground_truth=False), platform_xml)
+
+    rc = main_replay([str(trace_dir), "--platform-xml", platform_xml,
+                      "--ranks", "2", "--metrics"])
+    assert rc == 3
+    captured = capsys.readouterr()
+    assert "replay failed" in captured.err
+    assert "DeadlockError" in captured.err
+    assert "blocked processes" in captured.err
+    # Telemetry collected up to the deadlock still comes out as JSON.
+    assert '"engine"' in captured.out
+
+
+def test_cli_replay_bad_trace_exits_nonzero(tmp_path, capsys):
+    from repro.platforms import bordereau
+    from repro.simkernel import dump_platform
+
+    trace_dir = tmp_path / "bad"
+    trace_dir.mkdir()
+    (trace_dir / "SG_process0.trace").write_text("p0 frobnicate 1\n")
+    platform_xml = str(tmp_path / "p.xml")
+    dump_platform(bordereau(n_hosts=2, ground_truth=False), platform_xml)
+
+    rc = main_replay([str(trace_dir), "--platform-xml", platform_xml,
+                      "--ranks", "1"])
+    assert rc == 3
+    assert "replay failed" in capsys.readouterr().err
