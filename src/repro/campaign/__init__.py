@@ -21,15 +21,16 @@ objects:
 from .cache import ResultCache, scenario_cache_key
 from .runner import CampaignResult, execute_scenario, run_campaign
 from .spec import (
-    CalibrationSpec, CampaignSpec, PlatformSpec, ReplaySpec, Scenario,
-    TraceSpec, expand_grid, load_campaign_spec,
+    CalibrationSpec, CampaignSpec, FaultSpec, PlatformSpec, ReplaySpec,
+    Scenario, TraceSpec, expand_grid, load_campaign_spec,
 )
 from .store import CampaignStore, RunRecord
 from .telemetry import CampaignMetrics
 
 __all__ = [
     "TraceSpec", "PlatformSpec", "CalibrationSpec", "ReplaySpec",
-    "Scenario", "CampaignSpec", "expand_grid", "load_campaign_spec",
+    "FaultSpec", "Scenario", "CampaignSpec", "expand_grid",
+    "load_campaign_spec",
     "scenario_cache_key", "ResultCache", "CampaignMetrics",
     "RunRecord", "CampaignStore",
     "execute_scenario", "run_campaign", "CampaignResult",

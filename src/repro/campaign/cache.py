@@ -42,7 +42,8 @@ __all__ = ["CACHE_FORMAT_VERSION", "canonical_json", "digest_of",
 
 #: Bump when the record schema or key composition changes; part of every
 #: key, so stale-format records can never be served.
-CACHE_FORMAT_VERSION = 1
+#: v2: fault-injection specs joined the key composition.
+CACHE_FORMAT_VERSION = 2
 
 
 def canonical_json(obj: Any) -> str:
@@ -102,6 +103,15 @@ def _platform_address(scenario: Scenario) -> Dict[str, Any]:
     return address
 
 
+def _faults_address(scenario: Scenario) -> Optional[Dict[str, Any]]:
+    if scenario.faults is None:
+        return None
+    address = scenario.faults.digest_fields()
+    if scenario.faults.plan_path:
+        address["content"] = digest_file(scenario.faults.plan_path)
+    return address
+
+
 def scenario_cache_key(scenario: Scenario) -> str:
     """The content address of one scenario's result."""
     return digest_of({
@@ -112,6 +122,7 @@ def scenario_cache_key(scenario: Scenario) -> str:
         "platform": _platform_address(scenario),
         "calibration": scenario.calibration.digest_fields(),
         "replay": scenario.replay.digest_fields(),
+        "faults": _faults_address(scenario),
     })
 
 

@@ -20,8 +20,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .store import CampaignStore, RunRecord
 
-__all__ = ["render_status", "render_report", "render_accuracy_table",
-           "render_experiments_md"]
+__all__ = ["render_status", "render_report", "render_retry_summary",
+           "render_accuracy_table", "render_experiments_md"]
 
 
 def _fmt_time(value: Optional[float]) -> str:
@@ -88,7 +88,29 @@ def render_report(out_dir: str, title: str = "") -> str:
         for record in failed:
             message = (record.error or {}).get("message", "")
             lines.append(f"  {record.name}: {record.status} ({message})")
+    lines.extend(render_retry_summary(records))
     return "\n".join(lines)
+
+
+def render_retry_summary(records: Sequence[RunRecord]) -> List[str]:
+    """Why attempts were re-executed: one line per failed attempt, drawn
+    from each record's ``retry_history`` (empty when nothing retried)."""
+    retried = [r for r in records if r.retry_history]
+    if not retried:
+        return []
+    n_attempts = sum(len(r.retry_history) for r in retried)
+    lines = ["", f"retries: {n_attempts} failed attempt(s) across "
+                 f"{len(retried)} scenario(s):"]
+    for record in retried:
+        for entry in record.retry_history:
+            cause = entry.get("error_type") or entry.get("status", "?")
+            message = entry.get("message", "")
+            backoff = entry.get("backoff_s", 0.0)
+            tail = (f"; retried after {backoff:.2f}s" if backoff
+                    else "; gave up")
+            lines.append(f"  {record.name} attempt {entry.get('attempt')}: "
+                         f"{entry.get('status')} [{cause}] {message}{tail}")
+    return lines
 
 
 # ----------------------------------------------------------------------

@@ -193,6 +193,11 @@ def execute_scenario(sdict: dict) -> dict:
                 "calibration": {"kind": "fixture"}, "metrics": None}
 
     speed, comm_model, calib_info = _resolve_calibration(scenario)
+    fault_plan = None
+    fault_mode = "abort"
+    if scenario.faults is not None:
+        fault_plan = scenario.faults.load_plan()
+        fault_mode = scenario.faults.mode
 
     def replay(source, platform):
         replayer = TraceReplayer(
@@ -203,6 +208,8 @@ def execute_scenario(sdict: dict) -> dict:
             collective_algorithm=scenario.replay.collectives,
             collect_metrics=scenario.replay.collect_metrics,
             lmm_mode=scenario.replay.lmm_mode,
+            fault_plan=fault_plan,
+            fault_mode=fault_mode,
         )
         return replayer.replay(source)
 
@@ -256,6 +263,8 @@ def execute_scenario(sdict: dict) -> dict:
         "worker_wall_seconds": time.perf_counter() - t0,
         "calibration": calib_info,
         "metrics": _strip_metrics(result.metrics),
+        "fault_report": (result.fault_report.to_dict()
+                         if result.fault_report is not None else None),
     }
 
 
@@ -283,6 +292,9 @@ class _Job:
     key: str
     attempt: int = 0          # completed attempts so far
     ready_at: float = 0.0     # monotonic instant the job may launch
+    #: Why each failed attempt failed: {attempt, status, error_type,
+    #: message, backoff_s}.  Lands on the RunRecord as retry_history.
+    history: List[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -408,16 +420,26 @@ def run_campaign(
                 name=scenario.name, cache_key=job.key, status=STATUS_OK,
                 attempts=job.attempt, cache_hit=False,
                 wall_seconds=busy, scenario=scenario.to_dict(),
-                result=payload,
+                result=payload, retry_history=list(job.history),
             )
             metrics.completed += 1
             emit(f"[{spec.name}] {scenario.name}: ok "
                  f"(simulated {payload.get('simulated_time', 0.0):.4g}s, "
                  f"{busy:.2f}s wall)")
         else:
+            # Every failed attempt is remembered — *why* it failed
+            # (timeout vs exception) and the backoff it triggered.
+            job.history.append({
+                "attempt": job.attempt,
+                "status": status,
+                "error_type": (error or {}).get("type", ""),
+                "message": (error or {}).get("message", ""),
+                "backoff_s": 0.0,
+            })
             # Failed attempt: retry with backoff while budget remains.
             if job.attempt <= scenario.max_retries:
                 delay = spec.retry_backoff * (2 ** (job.attempt - 1))
+                job.history[-1]["backoff_s"] = delay
                 job.ready_at = time.monotonic() + delay
                 pending.append(job)
                 metrics.retries += 1
@@ -429,7 +451,7 @@ def run_campaign(
                 name=scenario.name, cache_key=job.key, status=status,
                 attempts=job.attempt, cache_hit=False,
                 wall_seconds=busy, scenario=scenario.to_dict(),
-                error=error,
+                error=error, retry_history=list(job.history),
             )
             metrics.failed += 1
             emit(f"[{spec.name}] {scenario.name}: {status} after "

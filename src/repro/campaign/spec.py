@@ -32,7 +32,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = [
     "TraceSpec", "PlatformSpec", "CalibrationSpec", "ReplaySpec",
-    "Scenario", "CampaignSpec", "expand_grid", "load_campaign_spec",
+    "FaultSpec", "Scenario", "CampaignSpec", "expand_grid",
+    "load_campaign_spec",
 ]
 
 
@@ -231,6 +232,65 @@ class ReplaySpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Fault injection for a scenario (:mod:`repro.faults`).
+
+    Exactly one plan source:
+
+    * ``plan_json`` — the plan document inline (a dict in the spec file;
+      stored canonicalised so equal plans digest identically);
+    * ``plan_path`` — a plan file; its *bytes* are the cache address, so
+      editing the plan busts the key.
+
+    ``mode`` selects the failure-aware replay semantics — ``abort``
+    (default) or ``checkpoint-restart`` (the plan then needs a
+    ``checkpoint`` block).
+    """
+
+    mode: str = "abort"
+    plan_path: str = ""
+    plan_json: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("abort", "checkpoint-restart"):
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; use 'abort' or "
+                "'checkpoint-restart'"
+            )
+        if bool(self.plan_path) == bool(self.plan_json):
+            raise ValueError(
+                "FaultSpec needs exactly one of plan_path / plan_json"
+            )
+        if self.plan_json and not isinstance(self.plan_json, str):
+            # Spec files naturally write the plan inline as an object;
+            # canonicalise so equal plans compare and digest equal.
+            object.__setattr__(
+                self, "plan_json",
+                json.dumps(self.plan_json, sort_keys=True,
+                           separators=(",", ":")),
+            )
+        if self.plan_json:
+            # Validate the document shape eagerly — a typo'd plan must
+            # fail at spec-load time, not inside a worker.
+            from ..faults.plan import FaultPlan
+            FaultPlan.loads(self.plan_json)
+
+    def load_plan(self):
+        """Materialise the :class:`~repro.faults.plan.FaultPlan`."""
+        from ..faults.plan import FaultPlan, load_fault_plan
+        if self.plan_path:
+            return load_fault_plan(self.plan_path)
+        return FaultPlan.loads(self.plan_json)
+
+    def digest_fields(self) -> Dict[str, Any]:
+        # plan_path content digest is added by the cache layer.
+        base: Dict[str, Any] = {"mode": self.mode}
+        if self.plan_json:
+            base["plan_json"] = self.plan_json
+        return base
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One experiment of a campaign: a trace replayed on a platform."""
 
@@ -240,6 +300,9 @@ class Scenario:
     platform: PlatformSpec = field(default_factory=PlatformSpec)
     calibration: CalibrationSpec = field(default_factory=CalibrationSpec)
     replay: ReplaySpec = field(default_factory=ReplaySpec)
+    #: Optional fault injection (host crashes, link outages) during the
+    #: replay; the report payload then carries a ``fault_report`` block.
+    faults: Optional[FaultSpec] = None
     #: Also measure the "actual" execution time on the ground-truth
     #: platform (the Fig. 8 comparison baseline); only meaningful for
     #: ``acquire`` traces.
@@ -274,7 +337,7 @@ class Scenario:
         data = dict(data)
         for key, sub in (("trace", TraceSpec), ("platform", PlatformSpec),
                          ("calibration", CalibrationSpec),
-                         ("replay", ReplaySpec)):
+                         ("replay", ReplaySpec), ("faults", FaultSpec)):
             if key in data and isinstance(data[key], Mapping):
                 data[key] = _from_mapping(sub, data[key])
         return _from_mapping(cls, data)

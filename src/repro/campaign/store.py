@@ -48,6 +48,9 @@ class RunRecord:
     result: Dict[str, Any] = field(default_factory=dict)
     #: On failure: {type, message, traceback} of the last attempt.
     error: Optional[Dict[str, str]] = None
+    #: One entry per *failed* attempt (even when a later attempt
+    #: succeeded): {attempt, status, error_type, message, backoff_s}.
+    retry_history: List[Dict[str, Any]] = field(default_factory=list)
     finished_at: float = 0.0        # unix time
 
     @property

@@ -251,6 +251,8 @@ def main_validate(argv: Optional[List[str]] = None) -> int:
                     "agreement).",
     )
     parser.add_argument("trace", help="trace directory or merged file")
+    parser.add_argument("--format", default="text", choices=["text", "json"],
+                        help="report format (default: text)")
     args = parser.parse_args(argv)
 
     import os
@@ -263,8 +265,16 @@ def main_validate(argv: Optional[List[str]] = None) -> int:
     else:
         trace = read_merged_trace(args.trace)
     report = validate_trace(trace)
-    print(report.summary())
-    return 0 if report.ok else 1
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    # Exit taxonomy: 0 = clean, 1 = warnings only, 2 = errors.
+    if not report.ok:
+        return 2
+    return 1 if report.findings else 0
 
 
 def main_stats(argv: Optional[List[str]] = None) -> int:
@@ -312,6 +322,19 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
                              "forces the pure-Python oracle, 'vectorized' "
                              "forces NumPy (default: auto)")
     parser.add_argument("--eager-threshold", type=float, default=65536)
+    parser.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                        help="fault plan JSON (host crashes, link outages, "
+                             "link degradations) to inject during replay")
+    parser.add_argument("--fault-mode", default="abort",
+                        choices=["abort", "checkpoint-restart"],
+                        help="failure-aware replay mode: 'abort' stops at "
+                             "the first rank death and reports provenance; "
+                             "'checkpoint-restart' prices a coordinated "
+                             "checkpoint/restart timeline (the plan needs "
+                             "a 'checkpoint' block)")
+    parser.add_argument("--fault-report", default=None, metavar="JSON_PATH",
+                        help="write the structured FaultReport here "
+                             "(default: a summary on stdout)")
     parser.add_argument("--timed-trace", default=None,
                         help="write the simulated timed trace here")
     parser.add_argument("--metrics", nargs="?", const="-", default=None,
@@ -329,14 +352,32 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
     else:
         n = args.ranks if args.ranks is not None else len(hosts)
         deployment = round_robin_deployment(platform, n)
-    replayer = TraceReplayer(
-        platform, deployment,
-        eager_threshold=args.eager_threshold,
-        collective_algorithm=args.collectives,
-        record_timed_trace=args.timed_trace is not None,
-        collect_metrics=args.metrics is not None,
-        lmm_mode=args.lmm,
-    )
+    fault_plan = None
+    if args.faults is not None:
+        from .faults import load_fault_plan
+
+        try:
+            fault_plan = load_fault_plan(args.faults)
+            fault_plan.validate(platform)
+        except (OSError, ValueError) as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
+    try:
+        replayer = TraceReplayer(
+            platform, deployment,
+            eager_threshold=args.eager_threshold,
+            collective_algorithm=args.collectives,
+            record_timed_trace=args.timed_trace is not None,
+            collect_metrics=args.metrics is not None,
+            lmm_mode=args.lmm,
+            fault_plan=fault_plan,
+            fault_mode=args.fault_mode,
+        )
+    except ValueError as exc:
+        # Plan/mode mismatch (e.g. checkpoint-restart without a
+        # checkpoint block) is an input error, not a replay failure.
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
     try:
         result = replayer.replay(args.trace)
     except Exception as exc:
@@ -368,6 +409,12 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
     print(f"Simulated execution time: {result.simulated_time:.6f} s")
     print(f"({result.n_ranks} ranks, {result.n_actions} actions, "
           f"replayed in {result.wall_seconds:.2f} s)")
+    if result.fault_report is not None:
+        print(result.fault_report.summary())
+        if args.fault_report:
+            with open(args.fault_report, "w", encoding="ascii") as handle:
+                handle.write(result.fault_report.to_json() + "\n")
+            print(f"fault report written to {args.fault_report}")
     if args.timed_trace:
         with open(args.timed_trace, "w") as handle:
             for rank, name, start, end in result.timed_trace:

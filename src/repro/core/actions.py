@@ -29,6 +29,7 @@ collective in every process's trace.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -74,7 +75,7 @@ class Compute(Action):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if self.volume < 0:
+        if not math.isfinite(self.volume) or self.volume < 0:
             raise ValueError(f"compute volume must be >= 0, got {self.volume}")
 
 
@@ -90,7 +91,7 @@ class _PointToPoint(Action):
         super().__post_init__()
         if self.peer < 0:
             raise ValueError(f"peer rank must be >= 0, got {self.peer}")
-        if self.volume < 0:
+        if not math.isfinite(self.volume) or self.volume < 0:
             raise ValueError(f"message volume must be >= 0, got {self.volume}")
 
 
@@ -124,7 +125,7 @@ class Bcast(Action):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if self.volume < 0:
+        if not math.isfinite(self.volume) or self.volume < 0:
             raise ValueError(f"bcast volume must be >= 0, got {self.volume}")
 
 
@@ -138,8 +139,9 @@ class _ReduceLike(Action):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if self.vcomm < 0 or self.vcomp < 0:
-            raise ValueError("reduce volumes must be >= 0")
+        if (not math.isfinite(self.vcomm) or self.vcomm < 0
+                or not math.isfinite(self.vcomp) or self.vcomp < 0):
+            raise ValueError("reduce volumes must be >= 0 and finite")
 
 
 @dataclass(frozen=True)

@@ -39,7 +39,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
-from ..simkernel import CommSystem, Engine, Host, Platform, Telemetry
+from ..faults.plan import FaultPlan, LinkDegrade, LinkDown
+from ..faults.report import FaultReport, RankFailure, build_fault_report
+from ..simkernel import CommSystem, DeadlockError, Engine, Host, Platform, Telemetry
 from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
 from ..smpi import collectives
 from .trace import InMemoryTrace
@@ -60,6 +62,9 @@ class ReplayResult:
     # Telemetry document (engine / comm / replay / per_rank sections);
     # None unless the replayer was built with collect_metrics=True.
     metrics: Optional[Dict] = None
+    # Failure provenance (who died, who it blocked, lost progress);
+    # None unless the replayer was built with a fault plan.
+    fault_report: Optional[FaultReport] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (f"ReplayResult(simulated={self.simulated_time:.4f}s, "
@@ -103,6 +108,8 @@ class TraceReplayer:
         record_timed_trace: bool = False,
         collect_metrics: bool = False,
         lmm_mode: str = "auto",
+        fault_plan: Optional[FaultPlan] = None,
+        fault_mode: str = "abort",
     ) -> None:
         if not deployment:
             raise ValueError("deployment must map at least one rank")
@@ -111,6 +118,25 @@ class TraceReplayer:
                 f"unknown collective algorithm {collective_algorithm!r}; "
                 "use 'binomial' or 'flat'"
             )
+        if fault_mode not in ("abort", "checkpoint-restart"):
+            raise ValueError(
+                f"unknown fault mode {fault_mode!r}; use 'abort' or "
+                "'checkpoint-restart'"
+            )
+        if fault_plan is not None and fault_mode == "checkpoint-restart":
+            if fault_plan.checkpoint is None:
+                raise ValueError(
+                    "checkpoint-restart mode needs a 'checkpoint' block "
+                    "(interval/cost/restart) in the fault plan"
+                )
+            if any(isinstance(e, LinkDown) for e in fault_plan.events):
+                raise ValueError(
+                    "checkpoint-restart mode models host crashes "
+                    "analytically and cannot model link_down events; use "
+                    "abort mode (or link_degrade) for link outages"
+                )
+        self.fault_plan = fault_plan
+        self.fault_mode = fault_mode
         self.platform = platform
         self.deployment = list(deployment)
         self.telemetry = Telemetry() if collect_metrics else None
@@ -162,6 +188,97 @@ class TraceReplayer:
 
         ``source`` may be an :class:`InMemoryTrace`, a directory of
         ``SG_process<rank>.trace`` files, or a single merged trace file.
+        With a fault plan, the result carries a
+        :class:`~repro.faults.report.FaultReport`; without one, this is
+        byte-for-byte the fault-free replay (no hooks, no extra state).
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return self._replay_core(source, None)[0]
+        if self.fault_mode == "checkpoint-restart":
+            return self._replay_checkpoint_restart(source, plan)
+        return self._replay_abort(source, plan)
+
+    def _replay_abort(self, source, plan: FaultPlan) -> ReplayResult:
+        """Fault mode 'abort': stop at quiescence after the first rank
+        death and report provenance + per-rank lost progress."""
+        result, state = self._replay_core(source, plan.sorted_events())
+        failures = state["failures"]
+        dead = {f.rank: f for f in failures}
+        blocked = state["blocked"]
+        progress = {}
+        for ctx in state["contexts"]:
+            if ctx.rank in dead:
+                status, t = "failed", dead[ctx.rank].t
+            elif ctx.rank in blocked:
+                status, t = "blocked", None
+            else:
+                status, t = "finished", result.per_rank_time[ctx.rank]
+            progress[ctx.rank] = {"actions_completed": ctx.n_actions,
+                                  "time": t, "state": status}
+        result.fault_report = build_fault_report(
+            mode="abort",
+            n_ranks=result.n_ranks,
+            makespan=result.simulated_time,
+            events_applied=state["injector"].applied,
+            failures=failures,
+            progress=progress,
+            blocked=blocked,
+        )
+        return result
+
+    def _replay_checkpoint_restart(self, source,
+                                   plan: FaultPlan) -> ReplayResult:
+        """Fault mode 'checkpoint-restart': one fault-free-progress sim
+        pass (link degradations still apply in-sim), then the analytic
+        coordinated checkpoint/restart timeline absorbs the host crashes.
+        """
+        from ..faults.checkpoint import simulate_checkpoint_restart
+
+        crashes = plan.host_crashes()
+        for crash in crashes:
+            if crash.host not in self.platform.hosts:
+                raise ValueError(
+                    f"fault plan: unknown host {crash.host!r}"
+                )
+        degrades = [e for e in plan.sorted_events()
+                    if isinstance(e, LinkDegrade)]
+        result, state = self._replay_core(source, degrades)
+        outcome = simulate_checkpoint_restart(
+            result.simulated_time, result.per_rank_time,
+            [crash.t for crash in crashes], plan.checkpoint,
+        )
+        applied = list(state["injector"].applied) if state else []
+        applied += [{"t": crash.t, "action": "modeled",
+                     "event": crash.to_dict()} for crash in crashes]
+        model = plan.checkpoint
+        result.fault_report = FaultReport(
+            mode="checkpoint-restart",
+            n_ranks=result.n_ranks,
+            makespan=outcome.makespan,
+            events_applied=applied,
+            fault_free_makespan=outcome.fault_free_makespan,
+            checkpoint={
+                "interval": model.interval,
+                "cost": model.cost,
+                "restart": model.restart,
+                "n_restarts": outcome.n_restarts,
+                "n_checkpoints": outcome.n_checkpoints,
+                "total_rework": outcome.total_rework,
+                "checkpoint_overhead": outcome.checkpoint_overhead,
+                "crashes": outcome.crashes,
+            },
+        )
+        result.simulated_time = outcome.makespan
+        result.per_rank_time = list(outcome.per_rank)
+        return result
+
+    def _replay_core(self, source, fault_events):
+        """One simulation pass; returns ``(result, fault state or None)``.
+
+        Fault-free runs (``fault_events`` falsy) execute exactly the
+        pre-fault-injection pipeline: no injector daemon, no hooks, no
+        deadlock interception.
         """
         streams = self._token_streams(source)
         n_ranks = len(streams)
@@ -188,6 +305,51 @@ class TraceReplayer:
         self.engine.deadlock_hook = lambda blocked: self._deadlock_report(
             contexts, blocked
         )
+
+        procs: List = []
+        fault_state = None
+        if fault_events is not None:
+            from ..faults.injector import FaultInjector
+
+            injector = FaultInjector(
+                self.engine, self.platform, fault_events,
+                comms=self.comms,
+                metrics=telemetry.faults if telemetry is not None else None,
+            )
+            rank_failures: List[RankFailure] = []
+            fault_state = {"injector": injector, "failures": rank_failures,
+                           "blocked": {}, "contexts": contexts}
+            host_ranks: Dict[str, List[int]] = {}
+            for rank in range(n_ranks):
+                host_ranks.setdefault(self.deployment[rank].name,
+                                      []).append(rank)
+            fmetrics = injector.metrics
+
+            def on_host_crash(host, event):
+                # The ranks resident on the dead host die with it; their
+                # never-started messages leave the match queues (eager
+                # flows already in the network drain harmlessly).
+                reason = event.describe()
+                for rank in host_ranks.get(host.name, ()):
+                    if self.engine.kill_process(procs[rank], reason):
+                        fmetrics.processes_killed += 1
+                    fmetrics.queue_entries_purged += \
+                        self.comms.purge_rank(rank)
+
+            injector.host_crash_hooks.append(on_host_crash)
+
+            def on_proc_failed(proc, exc):
+                name = proc.name
+                if name.startswith("p") and name[1:].isdigit():
+                    rank = int(name[1:])
+                    rank_failures.append(RankFailure(
+                        rank, self.engine.now,
+                        exc.reason or "resource failure",
+                        host=self.deployment[rank].name,
+                    ))
+
+            self.engine.process_failed_hook = on_proc_failed
+            injector.attach()
 
         def rank_process(ctx: _RankContext, stream):
             handlers = self._handlers
@@ -232,7 +394,16 @@ class TraceReplayer:
                     # Handlers return the volume they parsed anyway (or
                     # None), carried for free by the StopIteration that
                     # ends the delegation — no token re-parse here.
-                    volume = yield from handler(ctx, tokens)
+                    # Missing argument tokens (a truncated line) surface
+                    # as IndexError inside the handler; retype them so
+                    # corrupt input never escapes as a bare IndexError.
+                    try:
+                        volume = yield from handler(ctx, tokens)
+                    except IndexError:
+                        raise ValueError(
+                            f"p{ctx.rank}: malformed trace line "
+                            f"{' '.join(tokens)!r}"
+                        ) from None
                     end = engine.now
                     cell[1] += 1
                     if volume is not None:
@@ -271,20 +442,46 @@ class TraceReplayer:
                         ) from None
                     ctx.n_actions += 1
                     ctx.current_action = tokens
-                    if record:
-                        yield from handler(ctx, tokens)
-                        end = engine.now
-                        timed_trace.append((ctx.rank, tokens[1], start, end))
-                        start = end
-                    else:
-                        yield from handler(ctx, tokens)
+                    try:
+                        if record:
+                            yield from handler(ctx, tokens)
+                            end = engine.now
+                            timed_trace.append((ctx.rank, tokens[1],
+                                                start, end))
+                            start = end
+                        else:
+                            yield from handler(ctx, tokens)
+                    except IndexError:
+                        raise ValueError(
+                            f"p{ctx.rank}: malformed trace line "
+                            f"{' '.join(tokens)!r}"
+                        ) from None
             ctx.current_action = None
             finish[ctx.rank] = self.engine.now
 
         wall_start = time.perf_counter()
         for ctx, stream in zip(contexts, streams):
-            self.engine.add_process(f"p{ctx.rank}", rank_process(ctx, stream))
-        simulated = self.engine.run()
+            procs.append(self.engine.add_process(f"p{ctx.rank}",
+                                                 rank_process(ctx, stream)))
+        try:
+            simulated = self.engine.run()
+        except DeadlockError as exc:
+            if fault_state is None or not fault_state["failures"]:
+                raise
+            # Survivors blocked forever on a dead rank: the expected end
+            # state of a fatal fault, not a trace bug.  Capture who is
+            # stuck in what for the report's provenance walk.
+            simulated = self.engine.now
+            dead = {f.rank for f in fault_state["failures"]}
+            blocked_names = set(exc.blocked)
+            for ctx in contexts:
+                if f"p{ctx.rank}" in blocked_names and ctx.rank not in dead:
+                    fault_state["blocked"][ctx.rank] = {
+                        "action": (list(ctx.current_action)
+                                   if ctx.current_action else None),
+                        "pending_irecv_srcs": [req.src for req
+                                               in ctx.pending_irecvs],
+                    }
         wall = time.perf_counter() - wall_start
         if telemetry is not None:
             telemetry.comm.finish(self.comms.cache_stats())
@@ -296,7 +493,7 @@ class TraceReplayer:
             wall_seconds=wall,
             timed_trace=self.timed_trace,
             metrics=telemetry.as_dict() if telemetry is not None else None,
-        )
+        ), fault_state
 
     # ------------------------------------------------------------------
     # Failure diagnostics

@@ -60,6 +60,22 @@ class ValidationReport:
     def errors(self) -> List[Finding]:
         return [f for f in self.findings if f.severity == "error"]
 
+    def as_dict(self) -> dict:
+        """JSON document of the report (``repro-validate --format json``)."""
+        errors = self.errors()
+        return {
+            "ok": self.ok,
+            "n_ranks": self.n_ranks,
+            "n_actions": self.n_actions,
+            "n_errors": len(errors),
+            "n_warnings": len(self.findings) - len(errors),
+            "findings": [
+                {"severity": f.severity, "rank": f.rank,
+                 "message": f.message}
+                for f in self.findings
+            ],
+        }
+
     def summary(self) -> str:
         status = "OK" if self.ok else "INVALID"
         lines = [

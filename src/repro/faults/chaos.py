@@ -1,0 +1,145 @@
+"""Chaos harness: seeded random fault plans and corrupted trace archives.
+
+Two generators feed the chaos test-suite (``tests/test_faults.py`` and
+``tests/test_failure_injection.py``), both driven by
+:class:`random.Random` so every run is reproducible from its seed:
+
+* :func:`random_fault_plan` — a :class:`~repro.faults.plan.FaultPlan` of
+  random host crashes, link outages, and link degradations against a
+  concrete platform (only real resource names are drawn, so the plan
+  always validates — the *simulation* is what gets stressed, not the
+  plan parser).
+* :func:`corrupt_bytes` / :func:`corrupt_trace_dir` — random truncation,
+  bit-flips, and garbage splices over trace files, for asserting that
+  every reader in the pipeline fails with a typed :class:`ValueError`
+  (never ``struct.error``, ``IndexError``, or a hang) on damaged input.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+from typing import List, Optional, Sequence, Tuple
+
+from .plan import CheckpointModel, FaultPlan, HostCrash, LinkDegrade, LinkDown
+
+__all__ = ["random_fault_plan", "corrupt_bytes", "corrupt_trace_dir",
+           "CORRUPTION_MODES"]
+
+_DEFAULT_KINDS = ("host_crash", "link_down", "link_degrade")
+
+
+def random_fault_plan(
+    platform,
+    seed: int,
+    horizon: float,
+    n_events: int = 3,
+    kinds: Sequence[str] = _DEFAULT_KINDS,
+    max_host_crashes: Optional[int] = None,
+    checkpoint: Optional[CheckpointModel] = None,
+) -> FaultPlan:
+    """A seeded random plan over ``platform``'s real hosts and links.
+
+    Event times are uniform in ``(0, horizon)``; ``max_host_crashes``
+    caps the number of dead hosts (``None`` = no cap).  Identical
+    ``(platform, seed, ...)`` arguments produce the identical plan.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon!r}")
+    rng = random.Random(seed)
+    hosts = sorted(platform.hosts)
+    links = sorted({link.name for link in platform.iter_links()
+                    if link.name})
+    kinds = [k for k in kinds if k in _DEFAULT_KINDS]
+    if not kinds:
+        raise ValueError("kinds must include at least one fault kind")
+    events = []
+    crashes = 0
+    for _ in range(n_events):
+        kind = rng.choice(kinds)
+        t = rng.uniform(horizon * 0.01, horizon)
+        if kind == "host_crash" and hosts and (
+                max_host_crashes is None or crashes < max_host_crashes):
+            events.append(HostCrash(rng.choice(hosts), t))
+            crashes += 1
+        elif kind == "link_down" and links:
+            t_up = (t + rng.uniform(horizon * 0.01, horizon)
+                    if rng.random() < 0.5 else None)
+            events.append(LinkDown(rng.choice(links), t, t_up))
+        elif links:
+            events.append(LinkDegrade(rng.choice(links), t,
+                                      factor=rng.uniform(0.05, 0.9)))
+    return FaultPlan(events=tuple(events), checkpoint=checkpoint, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Input corruption
+# ---------------------------------------------------------------------------
+
+CORRUPTION_MODES = ("truncate", "bitflip", "garbage")
+
+
+def corrupt_bytes(data: bytes, rng: random.Random,
+                  mode: Optional[str] = None) -> Tuple[bytes, str]:
+    """Damage ``data`` one random way; returns ``(damaged, description)``.
+
+    * ``truncate`` — cut the tail at a random offset;
+    * ``bitflip`` — flip 1-8 random bits in place;
+    * ``garbage`` — overwrite a random slice with random bytes.
+    """
+    if mode is None:
+        mode = rng.choice(CORRUPTION_MODES)
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    if not data:
+        return b"\xff", f"{mode} on empty input -> one garbage byte"
+    if mode == "truncate":
+        cut = rng.randrange(len(data))
+        return data[:cut], f"truncate at byte {cut}/{len(data)}"
+    if mode == "bitflip":
+        blob = bytearray(data)
+        n_flips = rng.randint(1, 8)
+        spots = []
+        for _ in range(n_flips):
+            pos = rng.randrange(len(blob))
+            bit = rng.randrange(8)
+            blob[pos] ^= 1 << bit
+            spots.append(f"{pos}.{bit}")
+        return bytes(blob), f"flip bits {','.join(spots)}"
+    blob = bytearray(data)
+    start = rng.randrange(len(blob))
+    length = min(len(blob) - start, rng.randint(1, 16))
+    for i in range(start, start + length):
+        blob[i] = rng.randrange(256)
+    return bytes(blob), f"garbage splice [{start}, {start + length})"
+
+
+def corrupt_trace_dir(src_dir: str, dst_dir: str, seed: int,
+                      n_files: int = 1,
+                      mode: Optional[str] = None) -> List[str]:
+    """Copy ``src_dir`` to ``dst_dir`` and damage ``n_files`` random files.
+
+    Returns one ``"<file>: <description>"`` entry per corruption, so a
+    failing chaos case prints exactly what was done to the archive.
+    """
+    rng = random.Random(seed)
+    os.makedirs(dst_dir, exist_ok=True)
+    names = []
+    for name in sorted(os.listdir(src_dir)):
+        src = os.path.join(src_dir, name)
+        if os.path.isfile(src):
+            shutil.copy(src, os.path.join(dst_dir, name))
+            names.append(name)
+    if not names:
+        raise ValueError(f"no files to corrupt in {src_dir!r}")
+    descriptions = []
+    for name in (rng.choice(names) for _ in range(n_files)):
+        path = os.path.join(dst_dir, name)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        damaged, what = corrupt_bytes(data, rng, mode=mode)
+        with open(path, "wb") as handle:
+            handle.write(damaged)
+        descriptions.append(f"{name}: {what}")
+    return descriptions

@@ -1,0 +1,177 @@
+"""The fault injector: a daemon process executing a plan's events.
+
+The injector runs *inside* the simulation as a daemon process (it never
+keeps the run alive, and never appears in deadlock reports): it sleeps on
+kernel timers to each event's instant and applies it —
+
+* ``HostCrash`` — marks the host unavailable, FAILs every compute burst
+  on its CPU, then hands the crash to the registered ``host_crash_hooks``
+  (the replayer/runtime kill the resident rank processes and purge their
+  match-queue entries there, where the rank<->host mapping lives).
+* ``LinkDown`` — marks the link unavailable; the comm system FAILs every
+  in-flight flow crossing it and refuses new ones until the optional
+  ``t_up`` restore.
+* ``LinkDegrade`` — rescales the link constraint's capacity through
+  ``Engine.set_capacity``, which re-prices the in-flight flows via the
+  normal lazy LMM recompute (scalar or vectorized alike).  Degrading a
+  *fatpipe* link only affects flows started afterwards: fatpipe capacity
+  is folded into each flow's private bound at start time.
+
+Everything is deterministic: events execute in (time, plan-position)
+order, and the ``applied`` log records what happened when, feeding the
+:class:`~repro.faults.report.FaultReport` provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..simkernel.engine import Engine
+from ..simkernel.mailbox import CommSystem
+from ..simkernel.platform import Host, Platform
+from ..simkernel.telemetry import FaultMetrics
+from .plan import FaultEvent, HostCrash, LinkDegrade, LinkDown
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules and applies the events of a fault plan (see module doc)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        platform: Platform,
+        events,
+        comms: Optional[CommSystem] = None,
+        metrics: Optional[FaultMetrics] = None,
+    ) -> None:
+        self.engine = engine
+        self.platform = platform
+        self.comms = comms
+        self.metrics = metrics if metrics is not None else FaultMetrics()
+        # (time, plan-position) order; LinkDown restores become their own
+        # scheduled steps so a single sorted pass drives everything.
+        schedule = []
+        for i, event in enumerate(events):
+            schedule.append((event.t, i, "apply", event))
+            if isinstance(event, LinkDown) and event.t_up is not None:
+                schedule.append((event.t_up, i, "restore", event))
+        schedule.sort(key=lambda item: (item[0], item[1], item[2]))
+        self._schedule = schedule
+        # Each entry: {"t", "event", "action"} — the provenance log.
+        self.applied: List[dict] = []
+        # Called as hook(host, event) right after a host is marked down;
+        # the MPI layers kill resident rank processes here.
+        self.host_crash_hooks: List[Callable[[Host, HostCrash], None]] = []
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Validate the plan against the platform and start the daemon."""
+        link_names = None
+        for _, _, _, event in self._schedule:
+            if isinstance(event, HostCrash):
+                if event.host not in self.platform.hosts:
+                    raise ValueError(
+                        f"fault plan: unknown host {event.host!r}"
+                    )
+            else:
+                if link_names is None:
+                    link_names = {link.name
+                                  for link in self.platform.iter_links()}
+                if event.link not in link_names:
+                    raise ValueError(
+                        f"fault plan: unknown link {event.link!r}"
+                    )
+        if not self._schedule:
+            return
+        if self.comms is not None:
+            self.comms.enable_fault_tracking()
+        self.engine.add_process("fault-injector", self._daemon(),
+                                daemon=True)
+
+    def _daemon(self):
+        engine = self.engine
+        for t, _, action, event in self._schedule:
+            delay = t - engine.now
+            if delay > 0:
+                yield engine.timer(delay, name="fault-injector")
+            if action == "apply":
+                self._apply(event)
+            else:
+                self._restore(event)
+
+    # ------------------------------------------------------------------
+    def _log(self, event: FaultEvent, action: str) -> None:
+        self.applied.append({
+            "t": self.engine.now,
+            "action": action,
+            "event": event.to_dict(),
+        })
+        self.metrics.events_applied += 1
+
+    def _apply(self, event: FaultEvent) -> None:
+        if isinstance(event, HostCrash):
+            self._apply_host_crash(event)
+        elif isinstance(event, LinkDown):
+            self._apply_link_down(event)
+        else:
+            self._apply_link_degrade(event)
+
+    def _apply_host_crash(self, event: HostCrash) -> None:
+        host = self.platform.hosts[event.host]
+        if not host.available:
+            return  # already dead; nothing left to take down
+        host.available = False
+        host.failed_at = self.engine.now
+        reason = event.describe()
+        metrics = self.metrics
+        metrics.host_crashes += 1
+        self._log(event, "apply")
+        # Compute bursts on the dead CPU fail first (their waiters are
+        # the resident ranks, which die next anyway — this is resource
+        # bookkeeping, not process scheduling).
+        for act in list(host.cpu.users):
+            if self.engine.fail_activity(act, reason):
+                metrics.activities_failed += 1
+        for hook in self.host_crash_hooks:
+            hook(host, event)
+
+    def _apply_link_down(self, event: LinkDown) -> None:
+        link = self.platform.link(event.link)
+        if not link.available:
+            return
+        link.available = False
+        link.failed_at = self.engine.now
+        reason = event.describe()
+        metrics = self.metrics
+        metrics.link_downs += 1
+        self._log(event, "apply")
+        if self.comms is not None:
+            metrics.requests_failed += self.comms.take_link_down(
+                link.constraint, reason)
+
+    def _apply_link_degrade(self, event: LinkDegrade) -> None:
+        link = self.platform.link(event.link)
+        link.degrade_factor = float(event.factor)
+        self.metrics.link_degrades += 1
+        self._log(event, "apply")
+        if link.fatpipe:
+            # Fatpipe capacity is folded into flow bounds at start time:
+            # mutate the constraint so future flows see it; in-flight
+            # flows keep their baked-in bound (documented behaviour).
+            link.constraint.capacity = link.effective_bandwidth()
+        else:
+            self.engine.set_capacity(link.constraint,
+                                     link.effective_bandwidth())
+
+    def _restore(self, event: LinkDown) -> None:
+        link = self.platform.link(event.link)
+        if link.available:
+            return
+        link.available = True
+        link.failed_at = None
+        self.metrics.link_ups += 1
+        self._log(event, "restore")
+        if self.comms is not None:
+            self.comms.bring_link_up(link.constraint)

@@ -1,0 +1,286 @@
+"""Fault plans: frozen, JSON-loadable schedules of failure events.
+
+A :class:`FaultPlan` is the deterministic input of every fault-injection
+run: an ordered set of events —
+
+* :class:`HostCrash` — the host dies at ``t``; its resident ranks are
+  killed, its compute bursts FAIL, and its unstarted messages are purged.
+* :class:`LinkDown` — the link dies at ``t``: in-flight flows crossing it
+  FAIL and new ones are refused; with ``t_up`` the link comes back for
+  flows started after that instant.
+* :class:`LinkDegrade` — at ``t`` the link's effective bandwidth becomes
+  ``factor`` times nominal; in-flight flows are re-priced through the
+  normal LMM recompute (scalar and vectorized paths alike).
+
+plus an optional :class:`CheckpointModel` (coordinated checkpoint
+interval / cost / restart cost) used by the ``checkpoint-restart`` replay
+mode, and an optional ``seed`` recording the chaos generator's seed when
+the plan was produced randomly (:mod:`repro.faults.chaos`).
+
+The JSON form round-trips exactly::
+
+    {"seed": 7,
+     "events": [
+       {"kind": "host_crash", "host": "c-3", "t": 1.5},
+       {"kind": "link_down", "link": "c-0.up", "t": 0.5, "t_up": 2.0},
+       {"kind": "link_degrade", "link": "c.bb", "t": 1.0, "factor": 0.25}],
+     "checkpoint": {"interval": 5.0, "cost": 0.1, "restart": 0.2}}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "HostCrash", "LinkDown", "LinkDegrade", "CheckpointModel", "FaultPlan",
+    "FaultEvent", "load_fault_plan",
+]
+
+
+def _check_time(t: float, what: str) -> float:
+    t = float(t)
+    if not math.isfinite(t) or t < 0:
+        raise ValueError(f"{what} must be a finite time >= 0, got {t!r}")
+    return t
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Host ``host`` fails permanently at simulated time ``t``."""
+
+    host: str
+    t: float
+    kind = "host_crash"
+
+    def __post_init__(self) -> None:
+        _check_time(self.t, "host_crash t")
+        if not self.host:
+            raise ValueError("host_crash needs a host name")
+
+    def describe(self) -> str:
+        return f"host_crash {self.host} t={self.t:g}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "host": self.host, "t": self.t}
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Link ``link`` fails at ``t``; optionally restored at ``t_up``."""
+
+    link: str
+    t: float
+    t_up: Optional[float] = None
+    kind = "link_down"
+
+    def __post_init__(self) -> None:
+        _check_time(self.t, "link_down t")
+        if not self.link:
+            raise ValueError("link_down needs a link name")
+        if self.t_up is not None:
+            _check_time(self.t_up, "link_down t_up")
+            if self.t_up <= self.t:
+                raise ValueError(
+                    f"link_down t_up ({self.t_up!r}) must be after "
+                    f"t ({self.t!r})"
+                )
+
+    def describe(self) -> str:
+        up = f" up={self.t_up:g}" if self.t_up is not None else ""
+        return f"link_down {self.link} t={self.t:g}{up}"
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {"kind": self.kind, "link": self.link,
+                                  "t": self.t}
+        if self.t_up is not None:
+            doc["t_up"] = self.t_up
+        return doc
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Link ``link`` runs at ``factor`` x nominal bandwidth from ``t`` on."""
+
+    link: str
+    t: float
+    factor: float
+    kind = "link_degrade"
+
+    def __post_init__(self) -> None:
+        _check_time(self.t, "link_degrade t")
+        if not self.link:
+            raise ValueError("link_degrade needs a link name")
+        factor = float(self.factor)
+        if not math.isfinite(factor) or factor <= 0:
+            raise ValueError(
+                f"link_degrade factor must be finite and > 0, got "
+                f"{self.factor!r} (use link_down for a dead link)"
+            )
+
+    def describe(self) -> str:
+        return f"link_degrade {self.link} t={self.t:g} factor={self.factor:g}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "link": self.link, "t": self.t,
+                "factor": self.factor}
+
+
+FaultEvent = Union[HostCrash, LinkDown, LinkDegrade]
+
+_EVENT_KINDS = {
+    "host_crash": HostCrash,
+    "link_down": LinkDown,
+    "link_degrade": LinkDegrade,
+}
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Coordinated checkpoint/restart cost model (Daly-style).
+
+    ``interval`` is the amount of *application progress* (simulated
+    seconds of fault-free execution) between coordinated checkpoints;
+    ``cost`` the wall-clock seconds each checkpoint adds; ``restart`` the
+    wall-clock seconds a restart takes after a crash.
+    """
+
+    interval: float
+    cost: float = 0.0
+    restart: float = 0.0
+
+    def __post_init__(self) -> None:
+        interval = float(self.interval)
+        if not math.isfinite(interval) or interval <= 0:
+            raise ValueError(
+                f"checkpoint interval must be finite and > 0, got "
+                f"{self.interval!r}"
+            )
+        for name in ("cost", "restart"):
+            value = float(getattr(self, name))
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"checkpoint {name} must be finite and >= 0, got "
+                    f"{value!r}"
+                )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"interval": self.interval, "cost": self.cost,
+                "restart": self.restart}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events (see module docstring)."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    checkpoint: Optional[CheckpointModel] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, tuple(_EVENT_KINDS.values())):
+                raise ValueError(
+                    f"unknown fault event {event!r}; expected HostCrash, "
+                    "LinkDown or LinkDegrade"
+                )
+
+    # -- queries --------------------------------------------------------
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in application order: by time, ties by plan position —
+        the order the injector executes them, deterministically."""
+        return [e for _, _, e in sorted(
+            (e.t, i, e) for i, e in enumerate(self.events)
+        )]
+
+    def host_crashes(self) -> List[HostCrash]:
+        return [e for e in self.sorted_events() if isinstance(e, HostCrash)]
+
+    def validate(self, platform) -> None:
+        """Check every event addresses a real platform resource."""
+        link_names = {link.name for link in platform.iter_links()}
+        for event in self.events:
+            if isinstance(event, HostCrash):
+                if event.host not in platform.hosts:
+                    raise ValueError(
+                        f"fault plan: unknown host {event.host!r}"
+                    )
+            elif event.link not in link_names:
+                raise ValueError(f"fault plan: unknown link {event.link!r}")
+
+    # -- (de)serialisation ---------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "events": [e.to_dict() for e in self.events],
+        }
+        if self.checkpoint is not None:
+            doc["checkpoint"] = self.checkpoint.to_dict()
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(doc, dict):
+            raise ValueError(f"fault plan must be a JSON object, got "
+                             f"{type(doc).__name__}")
+        unknown = set(doc) - {"events", "checkpoint", "seed"}
+        if unknown:
+            raise ValueError(
+                f"fault plan: unknown keys {sorted(unknown)}"
+            )
+        events: List[FaultEvent] = []
+        for i, entry in enumerate(doc.get("events", ())):
+            if not isinstance(entry, dict):
+                raise ValueError(f"fault plan event #{i} must be an object")
+            kind = entry.get("kind")
+            event_cls = _EVENT_KINDS.get(kind)
+            if event_cls is None:
+                raise ValueError(
+                    f"fault plan event #{i}: unknown kind {kind!r} "
+                    f"(expected one of {sorted(_EVENT_KINDS)})"
+                )
+            fields = {k: v for k, v in entry.items() if k != "kind"}
+            try:
+                events.append(event_cls(**fields))
+            except TypeError as exc:
+                raise ValueError(
+                    f"fault plan event #{i}: {exc}"
+                ) from None
+        checkpoint = None
+        ckpt_doc = doc.get("checkpoint")
+        if ckpt_doc is not None:
+            if not isinstance(ckpt_doc, dict):
+                raise ValueError("fault plan: 'checkpoint' must be an object")
+            try:
+                checkpoint = CheckpointModel(**ckpt_doc)
+            except TypeError as exc:
+                raise ValueError(f"fault plan checkpoint: {exc}") from None
+        seed = doc.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ValueError(f"fault plan seed must be an int, got {seed!r}")
+        return cls(events=tuple(events), checkpoint=checkpoint, seed=seed)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(doc)
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Read a fault plan JSON file (raises ``ValueError`` on bad content)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return FaultPlan.loads(handle.read())

@@ -1,0 +1,245 @@
+"""Structured fault reports: who died, who it took down, what was lost.
+
+A :class:`FaultReport` is attached to ``ReplayResult.fault_report`` (and
+``RunResult.fault_report`` for the simulated-MPI runtime) whenever a
+fault plan was active.  It records:
+
+* the fault events actually applied (with their application times);
+* every :class:`RankFailure` — a rank killed directly by a fault, with
+  the event that killed it;
+* the *casualties* — surviving ranks left blocked forever on a dead
+  rank, detected by the deadlock machinery at quiescence, each with its
+  transitive root cause (rank 5 waiting on rank 4 waiting on dead rank 3
+  is attributed to rank 3);
+* per-rank lost progress (actions completed, last simulated time);
+* in ``checkpoint-restart`` mode, the checkpoint timeline outcome.
+
+Determinism contract: ``to_json()`` rounds every time to
+:data:`TIME_DECIMALS` decimals (microseconds) and sorts keys, so the
+same plan produces byte-identical reports under the scalar and the
+vectorized LMM solver (which agree far below that resolution).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RankFailure", "FaultReport", "build_fault_report",
+           "TIME_DECIMALS"]
+
+#: Time resolution (decimal digits of simulated seconds) in rendered
+#: reports: 1 us.  Coarse enough to absorb scalar-vs-vectorized solver
+#: noise (~1e-9 relative), fine enough for any makespan analysis.
+TIME_DECIMALS = 6
+
+
+def _round_time(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(float(value), TIME_DECIMALS)
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """One rank killed directly by a fault event."""
+
+    rank: int
+    t: float        # simulated time of death
+    cause: str      # the event's describe() string
+    host: str = ""  # host the rank lived on
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rank": self.rank, "t": _round_time(self.t),
+                "cause": self.cause, "host": self.host}
+
+
+@dataclass
+class FaultReport:
+    """Everything a fault-injected run did to the application."""
+
+    mode: str                     # "abort" | "checkpoint-restart"
+    n_ranks: int
+    makespan: float               # simulated completion/termination time
+    events_applied: List[dict] = field(default_factory=list)
+    failures: List[RankFailure] = field(default_factory=list)
+    casualties: List[dict] = field(default_factory=list)
+    lost_progress: Dict[int, dict] = field(default_factory=dict)
+    fault_free_makespan: Optional[float] = None   # checkpoint-restart mode
+    checkpoint: Optional[dict] = None             # checkpoint-restart mode
+
+    @property
+    def failed_ranks(self) -> List[int]:
+        return sorted(f.rank for f in self.failures)
+
+    @property
+    def casualty_ranks(self) -> List[int]:
+        return sorted(c["rank"] for c in self.casualties)
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "mode": self.mode,
+            "n_ranks": self.n_ranks,
+            "makespan": _round_time(self.makespan),
+            "events_applied": [
+                {"t": _round_time(entry["t"]), "action": entry["action"],
+                 "event": entry["event"]}
+                for entry in self.events_applied
+            ],
+            "failures": [f.to_dict() for f in self.failures],
+            "casualties": self.casualties,
+            "lost_progress": {
+                str(rank): {
+                    "actions_completed": info["actions_completed"],
+                    "time": _round_time(info.get("time")),
+                    "state": info["state"],
+                }
+                for rank, info in sorted(self.lost_progress.items())
+            },
+        }
+        if self.fault_free_makespan is not None:
+            doc["fault_free_makespan"] = _round_time(
+                self.fault_free_makespan)
+        if self.checkpoint is not None:
+            ckpt = dict(self.checkpoint)
+            for key in ("checkpoint_overhead", "total_rework"):
+                if key in ckpt:
+                    ckpt[key] = _round_time(ckpt[key])
+            if "crashes" in ckpt:
+                ckpt["crashes"] = [
+                    {k: (_round_time(v) if isinstance(v, float) else v)
+                     for k, v in crash.items()}
+                    for crash in ckpt["crashes"]
+                ]
+            doc["checkpoint"] = ckpt
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        """Human-readable digest, one line per fact."""
+        lines = [
+            f"fault report ({self.mode}): {len(self.failures)} rank(s) "
+            f"failed, {len(self.casualties)} casualty(ies), makespan "
+            f"{self.makespan:g}"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  rank {failure.rank} died at t={failure.t:g}: "
+                f"{failure.cause}"
+            )
+        for casualty in self.casualties:
+            root = casualty.get("root_cause_rank")
+            root_s = f"rank {root}" if root is not None else "a fault event"
+            lines.append(
+                f"  rank {casualty['rank']} blocked in "
+                f"{casualty.get('action') or '?'} (root cause: {root_s})"
+            )
+        if self.checkpoint is not None:
+            lines.append(
+                f"  checkpoint-restart: {self.checkpoint['n_restarts']} "
+                f"restart(s), {self.checkpoint['n_checkpoints']} "
+                f"checkpoint(s), rework {self.checkpoint['total_rework']:g}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Abort-mode provenance
+# ---------------------------------------------------------------------------
+
+def _peer_of(action_tokens: Optional[List[str]],
+             pending_irecv_srcs: List[int]) -> Optional[int]:
+    """Which rank a blocked rank is waiting on, from its current action."""
+    if action_tokens and len(action_tokens) >= 3:
+        keyword = action_tokens[1]
+        if keyword in ("send", "Isend", "recv", "Irecv"):
+            peer = action_tokens[2]
+            if peer.startswith("p"):
+                try:
+                    return int(peer[1:])
+                except ValueError:
+                    return None
+    if action_tokens and len(action_tokens) >= 2 \
+            and action_tokens[1] == "wait" and pending_irecv_srcs:
+        return pending_irecv_srcs[0]
+    return None
+
+
+def build_fault_report(
+    mode: str,
+    n_ranks: int,
+    makespan: float,
+    events_applied: List[dict],
+    failures: List[RankFailure],
+    progress: Dict[int, dict],
+    blocked: Optional[Dict[int, dict]] = None,
+) -> FaultReport:
+    """Assemble the abort-mode report with transitive provenance.
+
+    ``progress`` maps each rank to ``{"actions_completed", "time",
+    "state"}`` (state: "finished" | "failed" | "blocked").  ``blocked``
+    maps each deadlocked rank to ``{"action": [tokens...],
+    "pending_irecv_srcs": [ranks...]}``; the waiting-on graph it induces
+    is walked to attribute every casualty to the rank death that started
+    the chain.
+    """
+    failures = sorted(failures, key=lambda f: (f.t, f.rank))
+    dead = {f.rank: f for f in failures}
+    casualties: List[dict] = []
+    if blocked:
+        waiting_on = {
+            rank: _peer_of(info.get("action"),
+                           info.get("pending_irecv_srcs", []))
+            for rank, info in blocked.items()
+        }
+        root_cache: Dict[int, Optional[int]] = {}
+
+        def root_of(rank: int) -> Optional[int]:
+            chain = []
+            current: Optional[int] = rank
+            while current is not None:
+                if current in root_cache:
+                    root = root_cache[current]
+                    break
+                if current in dead:
+                    root = current
+                    break
+                if current in chain:  # cycle of blocked survivors
+                    root = None
+                    break
+                chain.append(current)
+                current = waiting_on.get(current)
+            else:
+                root = None
+            for visited in chain:
+                root_cache[visited] = root
+            return root
+
+        fallback = failures[0].rank if failures else None
+        for rank in sorted(blocked):
+            info = blocked[rank]
+            peer = waiting_on.get(rank)
+            root = root_of(rank)
+            tokens = info.get("action")
+            casualties.append({
+                "rank": rank,
+                "action": " ".join(tokens) if tokens else None,
+                "waiting_on": peer,
+                # A chain that never reaches a dead rank (collectives,
+                # blocked cycles) is still a consequence of the run's
+                # failures; attribute it to the first death.
+                "root_cause_rank": root if root is not None else fallback,
+                "root_cause": (dead[root].cause if root in dead
+                               else (dead[fallback].cause
+                                     if fallback in dead else None)),
+            })
+    return FaultReport(
+        mode=mode,
+        n_ranks=n_ranks,
+        makespan=makespan,
+        events_applied=list(events_applied),
+        failures=failures,
+        casualties=casualties,
+        lost_progress=dict(progress),
+    )

@@ -10,13 +10,17 @@ simulator directly on top of the simulation [kernel], i.e., by bypassing
 the MSG API").
 """
 
-from .activity import CommActivity, ExecActivity, Timer, Waitable
+from .activity import (
+    ActivityFailed, CommActivity, ExecActivity, Timer, Waitable,
+)
 from .engine import DeadlockError, Engine, Process, WaitAny
 from .lmm import Constraint, Variable
 from .mailbox import ANY_SOURCE, ANY_TAG, CommRequest, CommSystem
 from .platform import Cluster, Host, Link, Platform, Route
 from .pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel, Segment, fit
-from .telemetry import CommMetrics, EngineMetrics, ReplayMetrics, Telemetry
+from .telemetry import (
+    CommMetrics, EngineMetrics, FaultMetrics, ReplayMetrics, Telemetry,
+)
 from .xmlio import (
     ProcessDeployment,
     dump_deployment,
@@ -27,12 +31,12 @@ from .xmlio import (
 )
 
 __all__ = [
-    "ANY_SOURCE", "ANY_TAG", "Cluster", "CommActivity", "CommMetrics",
-    "CommRequest", "CommSystem", "Constraint", "DEFAULT_MPI_MODEL",
-    "DeadlockError", "Engine", "EngineMetrics", "ExecActivity", "Host",
-    "Link", "PiecewiseLinearModel", "Platform", "Process",
-    "ProcessDeployment", "ReplayMetrics", "Route", "Segment", "Telemetry",
-    "Timer", "Variable", "WaitAny", "Waitable", "dump_deployment",
-    "dump_platform", "fit", "load_deployment", "load_platform",
-    "parse_radical",
+    "ANY_SOURCE", "ANY_TAG", "ActivityFailed", "Cluster", "CommActivity",
+    "CommMetrics", "CommRequest", "CommSystem", "Constraint",
+    "DEFAULT_MPI_MODEL", "DeadlockError", "Engine", "EngineMetrics",
+    "ExecActivity", "FaultMetrics", "Host", "Link",
+    "PiecewiseLinearModel", "Platform", "Process", "ProcessDeployment",
+    "ReplayMetrics", "Route", "Segment", "Telemetry", "Timer", "Variable",
+    "WaitAny", "Waitable", "dump_deployment", "dump_platform", "fit",
+    "load_deployment", "load_platform", "parse_radical",
 ]

@@ -28,20 +28,48 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from .lmm import Constraint
 
-__all__ = ["Waitable", "Activity", "ExecActivity", "CommActivity", "Timer"]
+__all__ = ["Waitable", "Activity", "ExecActivity", "CommActivity", "Timer",
+           "ActivityFailed"]
 
 INF = float("inf")
 
 
-class Waitable:
-    """Anything a process can block on: has ``done`` and wakes waiters."""
+class ActivityFailed(RuntimeError):
+    """Raised inside a process blocked on a waitable that failed.
 
-    __slots__ = ("done", "waiters", "_callbacks")
+    A waitable enters the terminal FAILED state (distinct from ``done``)
+    when a fault takes out a resource it depends on — a host crash killing
+    a compute burst, a link going down under a data flow.  ``reason`` is a
+    human-readable provenance string naming the fault event, carried all
+    the way up to :class:`~repro.faults.FaultReport`.
+    """
+
+    def __init__(self, waitable: Optional["Waitable"], reason: str = "") -> None:
+        name = getattr(waitable, "name", None) or type(waitable).__name__ \
+            if waitable is not None else "process"
+        super().__init__(f"{name} failed: {reason or 'resource failure'}")
+        self.waitable = waitable
+        self.reason = reason
+
+
+class Waitable:
+    """Anything a process can block on: has ``done`` and wakes waiters.
+
+    Terminal states are ``done`` (completed normally) and ``failed``
+    (killed by a fault; see :class:`ActivityFailed`).  They are mutually
+    exclusive; fault-free simulations never set ``failed``.
+    """
+
+    __slots__ = ("done", "waiters", "_callbacks", "failed", "failure",
+                 "_fail_callbacks")
 
     def __init__(self) -> None:
         self.done = False
         self.waiters: List[tuple] = []  # (Process, wait-token) pairs
         self._callbacks: List[Callable[["Waitable"], None]] = []
+        self.failed = False
+        self.failure: Optional[str] = None  # fault provenance when failed
+        self._fail_callbacks: Optional[List[Callable]] = None
 
     def on_complete(self, callback: Callable[["Waitable"], None]) -> None:
         """Register ``callback(self)``; fired immediately if already done."""
@@ -50,10 +78,27 @@ class Waitable:
         else:
             self._callbacks.append(callback)
 
+    def on_fail(self, callback: Callable[["Waitable"], None]) -> None:
+        """Register ``callback(self)`` for the FAILED transition."""
+        if self.failed:
+            callback(self)
+        elif self._fail_callbacks is None:
+            self._fail_callbacks = [callback]
+        else:
+            self._fail_callbacks.append(callback)
+
     def _fire(self) -> None:
         self.done = True
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
+            callback(self)
+
+    def _fire_failure(self, reason: str) -> None:
+        self.failed = True
+        self.failure = reason
+        self._callbacks = []  # completion callbacks must never run now
+        callbacks, self._fail_callbacks = self._fail_callbacks, None
+        for callback in callbacks or ():
             callback(self)
 
 

@@ -26,7 +26,9 @@ from typing import (
 
 import numpy as np
 
-from .activity import Activity, CommActivity, ExecActivity, Timer, Waitable
+from .activity import (
+    Activity, ActivityFailed, CommActivity, ExecActivity, Timer, Waitable,
+)
 from .lmm import Constraint, VECTOR_THRESHOLD, fill_vectorized
 from .telemetry import EngineMetrics
 
@@ -99,20 +101,39 @@ class _Group:
 
 
 class Process:
-    """A simulated process: a generator driven by the engine."""
+    """A simulated process: a generator driven by the engine.
 
-    __slots__ = ("name", "generator", "alive", "_wait_token", "result")
+    ``daemon`` processes (the fault injector) never count toward the
+    engine's liveness: the run ends when every *non-daemon* process is
+    done, and daemons are excluded from deadlock reports.  ``failure``
+    holds the :class:`ActivityFailed` that killed the process, if any.
+    """
 
-    def __init__(self, name: str, generator: Generator) -> None:
+    __slots__ = ("name", "generator", "alive", "_wait_token", "result",
+                 "daemon", "failure")
+
+    def __init__(self, name: str, generator: Generator,
+                 daemon: bool = False) -> None:
         self.name = name
         self.generator = generator
         self.alive = True
         self._wait_token = 0  # invalidates stale WaitAny registrations
         self.result = None
+        self.daemon = daemon
+        self.failure: Optional[ActivityFailed] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "dead"
         return f"Process({self.name}, {state})"
+
+
+class _FailureWake:
+    """Queued wake-up that throws instead of sending (fault propagation)."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: ActivityFailed) -> None:
+        self.error = error
 
 
 class Engine:
@@ -161,17 +182,46 @@ class Engine:
         self.deadlock_hook: Optional[
             Callable[[List[Process]], Tuple[str, dict]]
         ] = None
+        # Optional fault-propagation callback, called as (proc, exc) when
+        # a process dies of an ActivityFailed (see repro.faults).
+        self.process_failed_hook: Optional[
+            Callable[[Process, ActivityFailed], None]
+        ] = None
 
     # ------------------------------------------------------------------
     # Process management
     # ------------------------------------------------------------------
-    def add_process(self, name: str, generator: Generator) -> Process:
-        """Register a generator as a simulated process, ready to run."""
-        proc = Process(name, generator)
+    def add_process(self, name: str, generator: Generator,
+                    daemon: bool = False) -> Process:
+        """Register a generator as a simulated process, ready to run.
+
+        ``daemon`` processes do not keep the simulation alive (see
+        :class:`Process`); the fault injector is one.
+        """
+        proc = Process(name, generator, daemon=daemon)
         self._processes.append(proc)
-        self._live_count += 1
+        if not daemon:
+            self._live_count += 1
         self._ready.append((proc, None))
         return proc
+
+    def kill_process(self, proc: Process, reason: str = "") -> bool:
+        """Terminate a process from outside (a host crash killing its
+        resident ranks).  Runs the generator's cleanup via ``close()``;
+        returns False if the process was already dead."""
+        if not proc.alive:
+            return False
+        proc.alive = False
+        proc._wait_token += 1  # drop any registered waits
+        proc.generator.close()
+        exc = ActivityFailed(None, reason)
+        proc.failure = exc
+        if not proc.daemon:
+            self._live_count -= 1
+        hook = self.process_failed_hook
+        if hook is not None:
+            hook(proc, exc)
+        return True
 
     # ------------------------------------------------------------------
     # Operations processes can yield (built here, waited on by yielding)
@@ -292,7 +342,8 @@ class Engine:
         """Build the structured no-progress error, consulting the
         diagnostics hook (the replayer installs one) for layer-specific
         context — which action each rank is stuck in, what is unmatched."""
-        blocked_procs = [p for p in self._processes if p.alive]
+        blocked_procs = [p for p in self._processes
+                         if p.alive and not p.daemon]
         blocked = [p.name for p in blocked_procs]
         message = (
             f"t={self.now:g}: no activity can progress; blocked "
@@ -868,6 +919,66 @@ class Engine:
             return
         self._complete(waitable)
 
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults; no-ops in fault-free runs)
+    # ------------------------------------------------------------------
+    def fail_waitable(self, waitable: Waitable, reason: str = "") -> bool:
+        """Move a waitable to the terminal FAILED state.
+
+        Completion callbacks never run; ``on_fail`` callbacks do, and
+        every process blocked on it is woken with an
+        :class:`ActivityFailed` thrown at its yield point.  Returns
+        False if the waitable already reached a terminal state.
+        """
+        if waitable.done or waitable.failed:
+            return False
+        waitable._fire_failure(reason)
+        waiters, waitable.waiters = waitable.waiters, []
+        for proc, token in waiters:
+            if proc.alive and proc._wait_token == token:
+                proc._wait_token += 1  # consume: ignore other WaitAny fires
+                self._ready.append((proc, _FailureWake(
+                    ActivityFailed(waitable, reason))))
+        return True
+
+    def fail_activity(self, act: Activity, reason: str = "") -> bool:
+        """FAIL a kernel activity: unregister it from resource sharing
+        (the survivors are re-rated through the normal lazy recompute,
+        scalar or vectorized alike), invalidate its pending completion
+        event, and propagate the failure to its waiters."""
+        if act.done or act.failed:
+            return False
+        act.remaining = 0.0
+        if act.registered:
+            constraints = act.constraints
+            if constraints:
+                group = constraints[0].group
+                group.acts.discard(act)
+                if group.vectorized:
+                    self._vec_remove(group, act)
+            for cons in constraints:
+                cons.users.discard(act)
+                self._dirty.add(cons)
+            act.registered = False
+        act.epoch += 1  # drop any armed completion/timer event
+        act.finish_time = self.now
+        return self.fail_waitable(act, reason)
+
+    def set_capacity(self, cons: Constraint, capacity: float) -> None:
+        """Change a constraint's capacity mid-run (link degradation or
+        restoration) and re-price its in-flight users through the lazy
+        recompute path.  Array-backed sharing groups snapshot capacities,
+        so the snapshot is patched too."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        cons.capacity = float(capacity)
+        group = cons.group
+        if group is not None and group.vectorized:
+            j = group.col.get(cons)
+            if j is not None:
+                group.caps[j] = cons.capacity
+        self._dirty.add(cons)
+
     def _complete(self, waitable: Waitable) -> None:
         waitable._fire()
         waiters, waitable.waiters = waitable.waiters, []
@@ -884,18 +995,44 @@ class Engine:
             self._step(proc, sendval)
 
     def _step(self, proc: Process, sendval) -> None:
+        generator = proc.generator
         while True:
             try:
-                yielded = proc.generator.send(sendval)
+                if type(sendval) is _FailureWake:
+                    # The waitable this process blocked on FAILED: the
+                    # fault surfaces inside the process as an exception.
+                    yielded = generator.throw(sendval.error)
+                else:
+                    yielded = generator.send(sendval)
             except StopIteration as stop:
                 proc.alive = False
                 proc.result = stop.value
-                self._live_count -= 1
+                if not proc.daemon:
+                    self._live_count -= 1
+                return
+            except ActivityFailed as exc:
+                # The process did not handle the fault: it dies, the rest
+                # of the simulation keeps running (peers blocked on it
+                # surface through the deadlock machinery).
+                proc.alive = False
+                proc.failure = exc
+                proc._wait_token += 1
+                if not proc.daemon:
+                    self._live_count -= 1
+                hook = self.process_failed_hook
+                if hook is not None:
+                    hook(proc, exc)
                 return
             if isinstance(yielded, WaitAny):
                 done = next((w for w in yielded.waitables if w.done), None)
                 if done is not None:
                     sendval = done
+                    continue
+                failed = next(
+                    (w for w in yielded.waitables if w.failed), None)
+                if failed is not None:
+                    sendval = _FailureWake(
+                        ActivityFailed(failed, failed.failure or ""))
                     continue
                 token = proc._wait_token
                 for w in yielded.waitables:
@@ -904,6 +1041,10 @@ class Engine:
             if isinstance(yielded, Waitable):
                 if yielded.done:
                     sendval = yielded
+                    continue
+                if yielded.failed:
+                    sendval = _FailureWake(
+                        ActivityFailed(yielded, yielded.failure or ""))
                     continue
                 yielded.waiters.append((proc, proc._wait_token))
                 return

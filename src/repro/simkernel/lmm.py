@@ -74,6 +74,11 @@ class Constraint:
     ``users`` is maintained by the engine: the set of activities currently
     consuming this constraint.  It is what makes partial (component-wise)
     rate recomputation possible.
+
+    ``capacity`` may change mid-run (link degradation, fault injection),
+    but only through ``Engine.set_capacity`` — array-backed sharing groups
+    snapshot capacities, and that path keeps the snapshot coherent and
+    schedules the re-pricing of in-flight users.
     """
 
     __slots__ = ("capacity", "name", "users", "fatpipe", "group")

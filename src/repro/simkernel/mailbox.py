@@ -64,9 +64,15 @@ class CommRequest(Waitable):
 
 
 class _PendingComm:
-    """A communication being matched and transferred."""
+    """A communication being matched and transferred.
 
-    __slots__ = ("send_req", "recv_req", "activity", "arrived", "eager")
+    ``links`` (the full route, fatpipes included) is only recorded when
+    fault tracking is enabled — it is what lets a link failure find the
+    flows crossing it.
+    """
+
+    __slots__ = ("send_req", "recv_req", "activity", "arrived", "eager",
+                 "links")
 
     def __init__(self) -> None:
         self.send_req: Optional[CommRequest] = None
@@ -74,6 +80,7 @@ class _PendingComm:
         self.activity: Optional[CommActivity] = None
         self.arrived = False
         self.eager = False
+        self.links = None
 
 
 class CommSystem:
@@ -109,6 +116,10 @@ class CommSystem:
         # (regular MPI codes reuse a handful of peer pairs and sizes).
         self._route_cache: Dict[tuple, tuple] = {}
         self._factor_cache: Dict[float, tuple] = {}
+        # Fault tracking (see repro.faults) — None until enabled, so
+        # fault-free runs pay a single falsy attribute test per transfer.
+        self._inflight: Optional[Dict[_PendingComm, None]] = None
+        self._down_links: Optional[set] = None
 
     @property
     def size(self) -> int:
@@ -244,6 +255,16 @@ class CommSystem:
             factors = self.comm_model.factors(send_req.size)
             self._factor_cache[send_req.size] = factors
         lat_factor, bw_factor = factors
+        down = self._down_links
+        if down and not down.isdisjoint(links):
+            # The route crosses a dead link: the transfer is refused and
+            # both posted sides fail with the link's provenance.
+            dead = next(c for c in links if c in down)
+            reason = f"link {dead.name or id(dead)} is down"
+            for req in (comm.send_req, comm.recv_req):
+                if req is not None and not req.done:
+                    self.engine.fail_waitable(req, reason)
+            return
         act = CommActivity(
             links,
             send_req.size,
@@ -252,6 +273,9 @@ class CommSystem:
             name=f"{send_req.src}->{send_req.dst}/{send_req.tag}",
         )
         comm.activity = act
+        if self._inflight is not None:
+            comm.links = links
+            self._inflight[comm] = None
         self.n_transfers += 1
         self.bytes_transferred += send_req.size
         # Transfer/byte/cache-rate telemetry is derived from cache_stats()
@@ -268,6 +292,8 @@ class CommSystem:
 
     def _on_arrival(self, comm: _PendingComm) -> None:
         comm.arrived = True
+        if self._inflight is not None:
+            self._inflight.pop(comm, None)
         if comm.send_req is not None:
             self.engine.complete_waitable(comm.send_req)
         if comm.recv_req is not None:
@@ -276,6 +302,72 @@ class CommSystem:
             recv.src = comm.send_req.src
             recv.data = comm.send_req.data
             self.engine.complete_waitable(recv)
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+    def enable_fault_tracking(self) -> None:
+        """Start tracking in-flight flows and down links; called once by
+        the fault injector before the simulation starts.  Fault-free runs
+        never call this, keeping the transfer path unchanged."""
+        if self._inflight is None:
+            self._inflight = {}  # insertion-ordered set of _PendingComm
+            self._down_links = set()
+
+    def take_link_down(self, constraint, reason: str) -> int:
+        """Mark a link constraint down: refuse new flows crossing it and
+        FAIL the in-flight ones.  Returns the number of flows failed."""
+        self.enable_fault_tracking()
+        self._down_links.add(constraint)
+        victims = [comm for comm in self._inflight
+                   if comm.links and constraint in comm.links]
+        for comm in victims:
+            self._fail_comm(comm, reason)
+        return len(victims)
+
+    def bring_link_up(self, constraint) -> None:
+        """Restore a previously downed link for flows started from now on."""
+        if self._down_links is not None:
+            self._down_links.discard(constraint)
+
+    def _fail_comm(self, comm: _PendingComm, reason: str) -> int:
+        """FAIL one in-flight communication: its kernel flow plus both
+        posted requests (each waiting process gets an ActivityFailed)."""
+        self._inflight.pop(comm, None)
+        failed = 0
+        act = comm.activity
+        if act is not None:
+            self.engine.fail_activity(act, reason)
+        for req in (comm.send_req, comm.recv_req):
+            if req is not None and not req.done and not req.failed:
+                self.engine.fail_waitable(req, reason)
+                failed += 1
+        return failed
+
+    def purge_rank(self, rank: int) -> int:
+        """Drop the match-queue entries of a dead rank.
+
+        Receives it posted and rendezvous sends it never started are
+        removed, so peers blocked on them surface as deadlocked
+        casualties instead of matching against a ghost.  Eager sends
+        whose payload already left stay deliverable (the data was on the
+        wire before the crash).  Returns the number of purged entries.
+        """
+        purged = 0
+        queue = self._pending_recvs.get(rank)
+        if queue:
+            purged += len(queue)
+            queue.clear()
+        for dst_queue in self._pending_sends.values():
+            keep = [comm for comm in dst_queue
+                    if not (comm.send_req is not None
+                            and comm.send_req.src == rank
+                            and comm.activity is None)]
+            if len(keep) != len(dst_queue):
+                purged += len(dst_queue) - len(keep)
+                dst_queue.clear()
+                dst_queue.extend(keep)
+        return purged
 
     # ------------------------------------------------------------------
     # Introspection (used by deadlock diagnostics and tests)

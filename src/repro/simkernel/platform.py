@@ -24,9 +24,16 @@ __all__ = ["Link", "Host", "Route", "Cluster", "Platform"]
 
 
 class Link:
-    """A network link: a bandwidth constraint plus a latency figure."""
+    """A network link: a bandwidth constraint plus a latency figure.
 
-    __slots__ = ("name", "bandwidth", "latency", "constraint", "fatpipe")
+    ``available``/``failed_at`` hold the fault-injection availability
+    state (see :mod:`repro.faults`): a down link refuses new flows and
+    fails in-flight ones.  ``degrade_factor`` scales the constraint's
+    effective capacity; degradations survive a down/up cycle.
+    """
+
+    __slots__ = ("name", "bandwidth", "latency", "constraint", "fatpipe",
+                 "available", "failed_at", "degrade_factor")
 
     def __init__(self, name: str, bandwidth: float, latency: float,
                  fatpipe: bool = False) -> None:
@@ -40,6 +47,13 @@ class Link:
         self.fatpipe = fatpipe
         self.constraint = Constraint(self.bandwidth, name=name,
                                      fatpipe=fatpipe)
+        self.available = True
+        self.failed_at: Optional[float] = None
+        self.degrade_factor = 1.0
+
+    def effective_bandwidth(self) -> float:
+        """Nominal bandwidth after the current degradation factor."""
+        return self.bandwidth * self.degrade_factor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, bw={self.bandwidth:g}, lat={self.latency:g})"
@@ -61,7 +75,7 @@ class Host:
 
     __slots__ = ("name", "speed", "cores", "cpu", "up", "down", "loopback",
                  "cluster", "efficiency_model", "sharing_model",
-                 "resident_ranks")
+                 "resident_ranks", "available", "failed_at")
 
     def __init__(
         self,
@@ -91,6 +105,10 @@ class Host:
         # *more* than x times slower in Table 2.
         self.sharing_model = sharing_model
         self.resident_ranks = 1
+        # Fault-injection availability state (see repro.faults): a crashed
+        # host kills its resident ranks and refuses further work.
+        self.available = True
+        self.failed_at: Optional[float] = None
 
     def _efficiency_factor(self, kind: str, flops: float) -> float:
         factor = 1.0
@@ -130,6 +148,11 @@ class Host:
         duration = n * flops / (speed * eff).
         """
         return 1.0 / self._efficiency_factor(kind, flops)
+
+    def private_links(self) -> List["Link"]:
+        """The host's own links (up/down/loopback), those that die with it."""
+        return [l for l in (self.up, self.down, self.loopback)
+                if l is not None]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Host({self.name}, {self.speed:g} flop/s x{self.cores})"
@@ -201,6 +224,15 @@ class Cluster:
     @property
     def has_cabinets(self) -> bool:
         return bool(self._cabinet_links)
+
+    def iter_links(self):
+        """Every link owned by this cluster (backbone, cabinets, hosts)."""
+        yield self.backbone
+        for up_link, down_link in self._cabinet_links:
+            yield up_link
+            yield down_link
+        for host in self.hosts:
+            yield from host.private_links()
 
     def cabinet_index(self, host: Host) -> Optional[int]:
         return self._cabinet_of.get(host.name)
@@ -329,6 +361,22 @@ class Platform:
         for cluster in self.clusters.values():
             out.extend(cluster.hosts)
         return out
+
+    def iter_links(self):
+        """Every link of the platform (cluster-owned plus WAN)."""
+        for cluster in self.clusters.values():
+            yield from cluster.iter_links()
+        yield from self._wan.values()
+
+    def link(self, name: str) -> Link:
+        """Look up a link by name (fault plans address links this way)."""
+        for link in self.iter_links():
+            if link.name == name:
+                return link
+        raise KeyError(
+            f"unknown link {name!r} (platform has "
+            f"{sum(1 for _ in self.iter_links())} links)"
+        )
 
     # -- routing ----------------------------------------------------------
     def route(self, src: Host, dst: Host) -> Route:

@@ -41,8 +41,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-__all__ = ["EngineMetrics", "CommMetrics", "ReplayMetrics", "Telemetry",
-           "ACTION_CATEGORIES", "action_category"]
+__all__ = ["EngineMetrics", "CommMetrics", "ReplayMetrics", "FaultMetrics",
+           "Telemetry", "ACTION_CATEGORIES", "action_category"]
 
 # Simulated-time attribution buckets for the standard action set; any
 # action not listed here (e.g. user-registered ones) is charged to
@@ -271,15 +271,55 @@ class ReplayMetrics:
         }
 
 
-class Telemetry:
-    """One replay's worth of counters, across all three layers."""
+class FaultMetrics:
+    """Counters for the fault-injection layer (see :mod:`repro.faults`).
 
-    __slots__ = ("engine", "comm", "replay")
+    All zero in fault-free runs — the injector, which is the only writer,
+    simply never exists then.
+    """
+
+    __slots__ = ("events_applied", "host_crashes", "link_downs", "link_ups",
+                 "link_degrades", "activities_failed", "requests_failed",
+                 "processes_killed", "queue_entries_purged")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.events_applied = 0        # fault-plan events executed
+        self.host_crashes = 0          # hosts taken down
+        self.link_downs = 0            # links taken down
+        self.link_ups = 0              # links restored (LinkDown t_up)
+        self.link_degrades = 0         # capacity degradations applied
+        self.activities_failed = 0     # kernel activities moved to FAILED
+        self.requests_failed = 0       # comm requests failed (both sides)
+        self.processes_killed = 0      # rank processes killed outright
+        self.queue_entries_purged = 0  # match-queue entries of dead ranks
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "events_applied": self.events_applied,
+            "host_crashes": self.host_crashes,
+            "link_downs": self.link_downs,
+            "link_ups": self.link_ups,
+            "link_degrades": self.link_degrades,
+            "activities_failed": self.activities_failed,
+            "requests_failed": self.requests_failed,
+            "processes_killed": self.processes_killed,
+            "queue_entries_purged": self.queue_entries_purged,
+        }
+
+
+class Telemetry:
+    """One replay's worth of counters, across all layers."""
+
+    __slots__ = ("engine", "comm", "replay", "faults")
 
     def __init__(self) -> None:
         self.engine = EngineMetrics()
         self.comm = CommMetrics()
         self.replay = ReplayMetrics()
+        self.faults = FaultMetrics()
 
     def as_dict(self) -> Dict[str, object]:
         replay = self.replay.as_dict()
@@ -289,4 +329,5 @@ class Telemetry:
             "comm": self.comm.as_dict(),
             "replay": replay,
             "per_rank": per_rank,
+            "faults": self.faults.as_dict(),
         }

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Sequence
 
-from ..simkernel import CommSystem, Engine, Host, Platform
+from ..faults.plan import FaultPlan
+from ..faults.report import FaultReport, RankFailure, build_fault_report
+from ..simkernel import CommSystem, DeadlockError, Engine, Host, Platform
 from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
 from ..tracer.papi import VirtualCounterBank
 from .api import MpiProcess
@@ -41,6 +43,8 @@ class RunResult:
     n_transfers: int                 # point-to-point messages carried
     bytes_transferred: float
     rank_results: List[object] = field(default_factory=list)
+    # Failure provenance; None unless the runtime ran with a fault plan.
+    fault_report: Optional[FaultReport] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (f"RunResult(time={self.time:.6f}s, ranks={self.n_ranks}, "
@@ -58,9 +62,11 @@ class MpiRuntime:
         eager_threshold: float = 65536,
         hooks=None,
         papi: Optional[VirtualCounterBank] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not rank_hosts:
             raise ValueError("need at least one rank in the deployment")
+        self.fault_plan = fault_plan
         self.platform = platform
         self.rank_hosts: List[Host] = list(rank_hosts)
         self.size = len(self.rank_hosts)
@@ -100,11 +106,82 @@ class MpiRuntime:
             finish[rank] = self.engine.now
             return result
 
+        injector = None
+        rank_failures: List[RankFailure] = []
+        plan = self.fault_plan
+        if plan is not None and plan.events:
+            from ..faults.injector import FaultInjector
+
+            injector = FaultInjector(self.engine, self.platform,
+                                     plan.sorted_events(), comms=self.comms)
+            host_ranks: Dict[str, List[int]] = {}
+            for rank, host in enumerate(self.rank_hosts):
+                host_ranks.setdefault(host.name, []).append(rank)
+            fmetrics = injector.metrics
+
+            def on_host_crash(host, event):
+                reason = event.describe()
+                for rank in host_ranks.get(host.name, ()):
+                    if self.engine.kill_process(procs[rank], reason):
+                        fmetrics.processes_killed += 1
+                    fmetrics.queue_entries_purged += \
+                        self.comms.purge_rank(rank)
+
+            injector.host_crash_hooks.append(on_host_crash)
+
+            def on_proc_failed(proc, exc):
+                name = proc.name
+                if name.startswith("rank") and name[4:].isdigit():
+                    rank = int(name[4:])
+                    rank_failures.append(RankFailure(
+                        rank, self.engine.now,
+                        exc.reason or "resource failure",
+                        host=self.rank_hosts[rank].name,
+                    ))
+
+            self.engine.process_failed_hook = on_proc_failed
+            injector.attach()
+
         for rank in range(self.size):
             procs.append(self.engine.add_process(f"rank{rank}", rank_main(rank)))
-        makespan = self.engine.run()
+        blocked: Dict[int, dict] = {}
+        try:
+            makespan = self.engine.run()
+        except DeadlockError as exc:
+            if injector is None or not rank_failures:
+                raise
+            # Survivors blocked forever on a dead peer: report provenance
+            # instead of surfacing a bare deadlock.
+            makespan = self.engine.now
+            dead_ranks = {f.rank for f in rank_failures}
+            for name in exc.blocked:
+                if name.startswith("rank") and name[4:].isdigit():
+                    rank = int(name[4:])
+                    if rank not in dead_ranks:
+                        blocked[rank] = {"action": None,
+                                         "pending_irecv_srcs": []}
         if self.hooks is not None:
             self.hooks.detach()
+        fault_report = None
+        if injector is not None:
+            dead = {f.rank: f for f in rank_failures}
+            progress = {}
+            for rank in range(self.size):
+                if rank in dead:
+                    status, t = "failed", dead[rank].t
+                elif rank in blocked:
+                    status, t = "blocked", None
+                else:
+                    status, t = "finished", finish[rank]
+                # The runtime replays programs, not action streams, so
+                # there is no per-action counter to report here.
+                progress[rank] = {"actions_completed": 0, "time": t,
+                                  "state": status}
+            fault_report = build_fault_report(
+                mode="abort", n_ranks=self.size, makespan=makespan,
+                events_applied=injector.applied, failures=rank_failures,
+                progress=progress, blocked=blocked,
+            )
         return RunResult(
             time=makespan,
             per_rank_time=finish,
@@ -112,6 +189,7 @@ class MpiRuntime:
             n_transfers=self.comms.n_transfers,
             bytes_transferred=self.comms.bytes_transferred,
             rank_results=[p.result for p in procs],
+            fault_report=fault_report,
         )
 
 

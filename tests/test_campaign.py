@@ -185,6 +185,40 @@ def test_campaign_retries_then_succeeds(tmp_path):
     record = result.records["flaky"]
     assert record.attempts == 3           # 2 failures + 1 success
     assert result.metrics.retries == 2
+    # Why each retry happened is on the record, in attempt order, with
+    # the applied exponential backoff.
+    history = record.retry_history
+    assert [h["attempt"] for h in history] == [1, 2]
+    assert all(h["status"] == "failed" for h in history)
+    assert all(h["error_type"] == "RuntimeError" for h in history)
+    assert "injected failure" in history[0]["message"]
+    assert history[0]["backoff_s"] == pytest.approx(0.05)
+    assert history[1]["backoff_s"] == pytest.approx(0.10)
+    # The history survives the JSON round trip through the run store.
+    from repro.campaign.store import CampaignStore
+    stored = CampaignStore(str(tmp_path / "camp")).read_run("flaky")
+    assert stored.retry_history == history
+    # ... and surfaces in the report's retry summary.
+    from repro.campaign.report import render_retry_summary
+    lines = render_retry_summary([stored])
+    assert any("flaky" in line and "RuntimeError" in line
+               for line in lines)
+
+
+def test_campaign_timeout_retry_reason_is_recorded(tmp_path):
+    spec = CampaignSpec(name="hang2", jobs=1, retry_backoff=0.05,
+                        scenarios=[Scenario(
+                            "stuck", 2,
+                            trace=TraceSpec(kind="sleep", seconds=30.0),
+                            timeout_s=0.3, max_retries=1)])
+    result = run_campaign(spec, str(tmp_path / "camp"))
+    record = result.records["stuck"]
+    assert record.status == "timeout"
+    assert [h["status"] for h in record.retry_history] == \
+        ["timeout", "timeout"]
+    assert all(h["error_type"] == "Timeout" for h in record.retry_history)
+    # The final (give-up) attempt triggered no backoff.
+    assert record.retry_history[-1]["backoff_s"] == 0.0
 
 
 def test_campaign_survives_a_permanently_failing_scenario(tmp_path):

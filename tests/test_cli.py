@@ -133,8 +133,34 @@ def test_cli_validate(tmp_path, capsys):
     bad.mkdir()
     (bad / "SG_process0.trace").write_text("p0 wait\n")
     rc = main_validate([str(bad)])
-    assert rc == 1
+    assert rc == 2  # errors exit 2 (1 is reserved for warnings-only)
     assert "INVALID" in capsys.readouterr().out
+
+
+def test_cli_validate_json_and_warning_taxonomy(tmp_path, capsys):
+    import json
+
+    from repro.cli import main_validate
+
+    # Valid but warn-worthy: comm_size disagrees with the rank count.
+    warn = tmp_path / "warn"
+    warn.mkdir()
+    (warn / "SG_process0.trace").write_text(
+        "p0 comm_size 2\np0 compute 10\n")
+    rc = main_validate([str(warn), "--format", "json"])
+    assert rc == 1  # warnings only
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert doc["n_errors"] == 0 and doc["n_warnings"] >= 1
+    assert all(f["severity"] == "warning" for f in doc["findings"])
+
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / "SG_process0.trace").write_text("p0 wait\n")
+    rc = main_validate([str(bad), "--format", "json"])
+    assert rc == 2
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False and doc["n_errors"] >= 1
 
 
 def test_cli_acquire_cg_and_mg(tmp_path, capsys):
@@ -204,3 +230,82 @@ def test_cli_replay_bad_trace_exits_nonzero(tmp_path, capsys):
                       "--ranks", "1"])
     assert rc == 3
     assert "replay failed" in capsys.readouterr().err
+
+
+def test_cli_replay_with_faults_both_modes(tmp_path, capsys):
+    import json
+
+    from repro.platforms import bordereau
+    from repro.simkernel import dump_platform
+
+    workdir = str(tmp_path / "acq")
+    main_acquire([
+        "--app", "ring", "--ranks", "4", "--platform", "bordereau",
+        "--hosts", "4", "--workdir", workdir, "--skip-application-run",
+    ])
+    capsys.readouterr()
+    ti_dir = os.path.join(workdir, "ti")
+    platform_xml = str(tmp_path / "p.xml")
+    platform = bordereau(n_hosts=4, ground_truth=False)
+    dump_platform(platform, platform_xml)
+    victim = sorted(platform.hosts)[1]
+
+    # Abort mode: the rank on the crashed host dies, the report says so.
+    plan_path = str(tmp_path / "plan.json")
+    with open(plan_path, "w") as handle:
+        json.dump({"events": [
+            {"kind": "host_crash", "host": victim, "t": 1e-5}]}, handle)
+    report_path = str(tmp_path / "fault-report.json")
+    rc = main_replay([ti_dir, "--platform-xml", platform_xml, "--ranks", "4",
+                      "--faults", plan_path, "--fault-report", report_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault report (abort)" in out
+    with open(report_path) as handle:
+        doc = json.load(handle)
+    assert [f["rank"] for f in doc["failures"]] == [1]
+    assert doc["failures"][0]["host"] == victim
+
+    # Checkpoint-restart mode needs a checkpoint block in the plan.
+    with open(plan_path, "w") as handle:
+        json.dump({
+            "events": [{"kind": "host_crash", "host": victim, "t": 1e-5}],
+            "checkpoint": {"interval": 1e-5, "cost": 1e-6, "restart": 1e-5},
+        }, handle)
+    rc = main_replay([ti_dir, "--platform-xml", platform_xml, "--ranks", "4",
+                      "--faults", plan_path,
+                      "--fault-mode", "checkpoint-restart"])
+    assert rc == 0
+    assert "checkpoint-restart" in capsys.readouterr().out
+
+
+def test_cli_replay_bad_fault_plan_exits_2(tmp_path, capsys):
+    from repro.platforms import bordereau
+    from repro.simkernel import dump_platform
+
+    trace_dir = tmp_path / "t"
+    trace_dir.mkdir()
+    (trace_dir / "SG_process0.trace").write_text("p0 compute 10\n")
+    platform_xml = str(tmp_path / "p.xml")
+    dump_platform(bordereau(n_hosts=2, ground_truth=False), platform_xml)
+    plan_path = tmp_path / "plan.json"
+
+    plan_path.write_text('{"events": [{"kind": "meteor", "t": 1}]}')
+    rc = main_replay([str(trace_dir), "--platform-xml", platform_xml,
+                      "--ranks", "1", "--faults", str(plan_path)])
+    assert rc == 2
+    assert "bad fault plan" in capsys.readouterr().err
+
+    # Unknown host names are an input error too.
+    plan_path.write_text(
+        '{"events": [{"kind": "host_crash", "host": "ghost", "t": 1}]}')
+    rc = main_replay([str(trace_dir), "--platform-xml", platform_xml,
+                      "--ranks", "1", "--faults", str(plan_path)])
+    assert rc == 2
+
+    # checkpoint-restart without a checkpoint block: rejected up front.
+    plan_path.write_text('{"events": []}')
+    rc = main_replay([str(trace_dir), "--platform-xml", platform_xml,
+                      "--ranks", "1", "--faults", str(plan_path),
+                      "--fault-mode", "checkpoint-restart"])
+    assert rc == 2

@@ -64,7 +64,10 @@ def test_metrics_off_results_identical_to_seed():
 def test_metrics_document_sections_and_invariants():
     result = make_replayer(4, collect_metrics=True).replay(ring_trace())
     metrics = result.metrics
-    assert set(metrics) == {"engine", "comm", "replay", "per_rank"}
+    assert set(metrics) == {"engine", "comm", "replay", "per_rank",
+                            "faults"}
+    # No fault plan was injected: every fault counter must stay zero.
+    assert set(metrics["faults"].values()) == {0}
     # Counter totals equal ReplayResult.n_actions, at every granularity.
     replay = metrics["replay"]
     assert replay["n_actions"] == result.n_actions == 12
@@ -146,7 +149,8 @@ def test_replay_metrics_reset_between_replays():
 def test_telemetry_container_as_dict_shape():
     telemetry = Telemetry()
     document = telemetry.as_dict()
-    assert set(document) == {"engine", "comm", "replay", "per_rank"}
+    assert set(document) == {"engine", "comm", "replay", "per_rank",
+                             "faults"}
     assert document["per_rank"] == []
     json.dumps(document)
 
@@ -247,7 +251,8 @@ def test_cli_replay_metrics_flag(tmp_path, capsys):
     out = capsys.readouterr().out
     start = out.index("{")
     document = json.loads(out[start:])
-    assert set(document) == {"engine", "comm", "replay", "per_rank"}
+    assert set(document) == {"engine", "comm", "replay", "per_rank",
+                             "faults"}
     assert document["replay"]["n_actions"] == 48  # 4 ranks x 12 actions
     # To a file.
     json_path = str(tmp_path / "metrics.json")
