@@ -43,7 +43,8 @@ __all__ = ["CACHE_FORMAT_VERSION", "canonical_json", "digest_of",
 #: Bump when the record schema or key composition changes; part of every
 #: key, so stale-format records can never be served.
 #: v2: fault-injection specs joined the key composition.
-CACHE_FORMAT_VERSION = 2
+#: v3: ReplaySpec grew the ``compiled`` driver field.
+CACHE_FORMAT_VERSION = 3
 
 
 def canonical_json(obj: Any) -> str:
@@ -73,6 +74,12 @@ def digest_tree(directory: str) -> str:
     for root, dirs, files in sorted(os.walk(directory)):
         dirs.sort()
         for name in sorted(files):
+            if name.endswith(".tic"):
+                # Compiled-program sidecars are derived artifacts keyed
+                # to their source's bytes (repro.core.compile): hashing
+                # them would make a warm compile cache change the trace's
+                # content address.
+                continue
             path = os.path.join(root, name)
             rel = os.path.relpath(path, directory)
             h.update(rel.encode("utf-8"))

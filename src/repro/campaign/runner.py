@@ -210,6 +210,7 @@ def execute_scenario(sdict: dict) -> dict:
             lmm_mode=scenario.replay.lmm_mode,
             fault_plan=fault_plan,
             fault_mode=fault_mode,
+            compiled=scenario.replay.compiled,
         )
         return replayer.replay(source)
 
@@ -221,6 +222,7 @@ def execute_scenario(sdict: dict) -> dict:
             write_synthetic_lu_trace(
                 tdir, scenario.ranks, trace.iterations, cls=trace.cls,
                 inorm=trace.inorm, seed=trace.seed, jitter=trace.jitter,
+                compute_split=trace.compute_split,
             )
             result = replay(tdir, platform)
     elif trace.kind == "dir":

@@ -59,7 +59,9 @@ class TraceSpec:
     :meth:`digest_fields`):
 
     * ``synth`` — the :mod:`repro.core.synth` LU-mix generator:
-      ``cls``, ``iterations``, ``inorm``, ``seed``, ``jitter``.
+      ``cls``, ``iterations``, ``inorm``, ``seed``, ``jitter``,
+      ``compute_split`` (compute records per sweep; > 1 models
+      function-level instrumentation).
     * ``acquire`` — the full §4 pipeline on the scenario's (ground-truth)
       platform: ``app``, ``cls``, ``mode``, ``papi_jitter``,
       ``papi_seed``, ``itmax_cap`` (0 = the class's full ``itmax``).
@@ -86,6 +88,7 @@ class TraceSpec:
     inorm: int = 2
     seed: int = 0
     jitter: float = 0.0
+    compute_split: int = 1
     # acquire
     app: str = "lu"
     mode: str = "R"
@@ -119,7 +122,8 @@ class TraceSpec:
                                 "stage_wait_s": self.stage_wait_s}
         if self.kind == "synth":
             base.update(cls=self.cls, iterations=self.iterations,
-                        inorm=self.inorm, seed=self.seed, jitter=self.jitter)
+                        inorm=self.inorm, seed=self.seed, jitter=self.jitter,
+                        compute_split=self.compute_split)
         elif self.kind == "acquire":
             base.update(app=self.app, cls=self.cls, mode=self.mode,
                         papi_jitter=self.papi_jitter,
@@ -222,6 +226,17 @@ class ReplaySpec:
     eager_threshold: float = 65536.0
     lmm_mode: str = "auto"
     collect_metrics: bool = True
+    # Replay driver: "auto" (compile path sources), "always", "never".
+    # Part of the cache address even though compiled and token replays
+    # agree to 1e-9: a cached record must say which driver produced it.
+    compiled: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.compiled not in ("auto", "always", "never"):
+            raise ValueError(
+                f"unknown compiled mode {self.compiled!r}; use 'auto', "
+                "'always', or 'never'"
+            )
 
     def digest_fields(self) -> Dict[str, Any]:
         # collect_metrics changes what is *recorded*, not the simulated

@@ -243,6 +243,38 @@ def main_convert(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def main_compile(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-compile",
+        description="Compile time-independent traces into columnar op "
+                    "programs cached as .tic sidecars, so later replays "
+                    "skip tokenization and dispatch entirely.",
+    )
+    parser.add_argument("trace", help="trace directory or merged trace file")
+    parser.add_argument("--force", action="store_true",
+                        help="recompile even when fresh .tic sidecars exist")
+    args = parser.parse_args(argv)
+
+    from .core.compile import compile_source, fuse_computes
+
+    try:
+        programs, report = compile_source(args.trace, force=args.force)
+    except (OSError, ValueError) as exc:
+        print(f"compile failed: {exc}", file=sys.stderr)
+        return 2
+    fusible = sum(p.n_src - fuse_computes(p).n_ops for p in programs)
+    print(f"compiled {report.n_ranks} ranks: {report.n_src:,} actions -> "
+          f"{report.n_ops:,} ops ({fusible:,} computes fusible) in "
+          f"{report.wall_seconds:.2f} s")
+    print(f"cache: {report.cache_hits} hits, {report.cache_misses} misses; "
+          f"{len(report.artifacts)} sidecar(s) written")
+    for path in report.artifacts[:8]:
+        print(f"  {path}")
+    if len(report.artifacts) > 8:
+        print(f"  ... and {len(report.artifacts) - 8} more")
+    return 0
+
+
 def main_validate(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-validate",
@@ -322,6 +354,14 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
                              "forces the pure-Python oracle, 'vectorized' "
                              "forces NumPy (default: auto)")
     parser.add_argument("--eager-threshold", type=float, default=65536)
+    parser.add_argument("--compiled", dest="compiled", action="store_const",
+                        const="always", default="auto",
+                        help="force the compiled replay driver (columnar op "
+                             "programs, .tic sidecar cache); default 'auto' "
+                             "compiles directory and merged-file sources")
+    parser.add_argument("--no-compiled", dest="compiled",
+                        action="store_const", const="never",
+                        help="force the token-stream replay driver")
     parser.add_argument("--faults", default=None, metavar="PLAN_JSON",
                         help="fault plan JSON (host crashes, link outages, "
                              "link degradations) to inject during replay")
@@ -372,6 +412,7 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
             lmm_mode=args.lmm,
             fault_plan=fault_plan,
             fault_mode=args.fault_mode,
+            compiled=args.compiled,
         )
     except ValueError as exc:
         # Plan/mode mismatch (e.g. checkpoint-restart without a

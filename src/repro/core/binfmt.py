@@ -45,6 +45,8 @@ __all__ = [
     "read_binary_trace",
     "encode_actions",
     "decode_actions",
+    "OPCODE_OF",
+    "NAME_OF_OPCODE",
 ]
 
 _MAGIC = b"TIBIN001"
@@ -64,6 +66,30 @@ _OP_ALLREDUCE = 8
 _OP_BARRIER = 9
 _OP_COMM_SIZE = 10
 _OP_WAIT = 11
+
+#: Public opcode table: trace action keyword -> opcode.  Shared with the
+#: trace compiler (:mod:`repro.core.compile`), whose columnar programs
+#: use the same opcode space as the binary trace records, so the two
+#: encodings can never drift apart.
+OPCODE_OF = {
+    "compute": _OP_COMPUTE,
+    "send": _OP_SEND,
+    "Isend": _OP_ISEND,
+    "recv": _OP_RECV,
+    "Irecv": _OP_IRECV,
+    "bcast": _OP_BCAST,
+    "reduce": _OP_REDUCE,
+    "allReduce": _OP_ALLREDUCE,
+    "barrier": _OP_BARRIER,
+    "comm_size": _OP_COMM_SIZE,
+    "wait": _OP_WAIT,
+}
+
+#: Inverse table, opcode -> keyword (list-indexable: opcodes are dense
+#: from 1; slot 0 is unused).
+NAME_OF_OPCODE = [""] * (max(OPCODE_OF.values()) + 1)
+for _name, _code in OPCODE_OF.items():
+    NAME_OF_OPCODE[_code] = _name
 
 _P2P_OPS = {
     _OP_SEND: Send, _OP_ISEND: Isend, _OP_RECV: Recv, _OP_IRECV: Irecv,

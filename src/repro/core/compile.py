@@ -1,0 +1,493 @@
+"""Trace compilation: time-independent traces as columnar op programs.
+
+The replay hot path used to re-tokenize one text line and make one dict
+dispatch per action.  This module compiles a trace — text, binary, or
+in-memory — *once* into parallel NumPy columns::
+
+    ops   uint8    the action opcode (the binfmt opcode space)
+    arg   int32    peer rank (p2p) / communicator size (comm_size) / 0
+    vol   float64  flops (compute) or bytes (p2p, bcast, reduce vcomm)
+    vol2  float64  reduce/allReduce vcomp; 0 otherwise
+
+plus an optional ``nsrc`` (uint32) column counting how many *source*
+actions each compiled op stands for — 1 everywhere except fused compute
+runs (see :func:`fuse_computes`).  No strings survive compilation, so
+the replayer's compiled driver allocates zero token lists per action.
+
+Compiled programs are cached on disk as ``.tic`` sidecars next to the
+trace files (``SG_process3.trace.tic``; a merged file gets one container
+sidecar).  A sidecar embeds the SHA-256 of the source file's bytes and
+is rebuilt automatically whenever the source changes — a ``.tic`` can
+never go stale.  Sidecars are *derived* artifacts: the campaign cache's
+tree digest skips them, so warming the compile cache does not change any
+scenario's content address.
+
+Compute fusion (:func:`fuse_computes`) collapses each run of consecutive
+``compute`` ops into a single op whose volume is the run's sum.  This is
+exact whenever per-flop work inflation does not depend on the burst size
+(every replay host has ``efficiency_model is None``): no observable
+event can interleave within a rank's own compute run, and the engine's
+max-min share is insensitive to splitting one burst into back-to-back
+pieces.  The replayer only enables fusion under that condition (and
+never under fault plans or timed-trace recording, which need per-action
+granularity).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import os
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .actions import format_volume
+from .binfmt import NAME_OF_OPCODE, OPCODE_OF
+
+__all__ = [
+    "CompiledProgram", "CompileReport", "compile_source", "fuse_computes",
+    "op_tokens", "tic_path_for", "TIC_SUFFIX",
+    "OP_COMPUTE", "OP_SEND", "OP_ISEND", "OP_RECV", "OP_IRECV", "OP_BCAST",
+    "OP_REDUCE", "OP_ALLREDUCE", "OP_BARRIER", "OP_COMM_SIZE", "OP_WAIT",
+]
+
+OP_COMPUTE = OPCODE_OF["compute"]
+OP_SEND = OPCODE_OF["send"]
+OP_ISEND = OPCODE_OF["Isend"]
+OP_RECV = OPCODE_OF["recv"]
+OP_IRECV = OPCODE_OF["Irecv"]
+OP_BCAST = OPCODE_OF["bcast"]
+OP_REDUCE = OPCODE_OF["reduce"]
+OP_ALLREDUCE = OPCODE_OF["allReduce"]
+OP_BARRIER = OPCODE_OF["barrier"]
+OP_COMM_SIZE = OPCODE_OF["comm_size"]
+OP_WAIT = OPCODE_OF["wait"]
+
+#: Compiled-program sidecar suffix, appended to the source file name.
+TIC_SUFFIX = ".tic"
+
+_TIC_MAGIC = b"TICP0001"
+_TIC_VERSION = 1
+_TIC_HEADER = struct.Struct("<8sHHI")   # magic, version, flags, n_ranks
+_TIC_BLOCK = struct.Struct("<IQQ")      # rank, n_ops, n_src
+
+
+class CompiledProgram:
+    """One rank's compiled op program (see the module docstring)."""
+
+    __slots__ = ("rank", "ops", "arg", "vol", "vol2", "nsrc", "n_src",
+                 "fused")
+
+    def __init__(self, rank: int, ops: np.ndarray, arg: np.ndarray,
+                 vol: np.ndarray, vol2: np.ndarray,
+                 nsrc: Optional[np.ndarray] = None,
+                 n_src: Optional[int] = None, fused: bool = False) -> None:
+        self.rank = rank
+        self.ops = ops
+        self.arg = arg
+        self.vol = vol
+        self.vol2 = vol2
+        # Source-action multiplicity per op; None means all-ones (the
+        # unfused program, where ops map 1:1 onto trace actions).
+        self.nsrc = nsrc
+        self.n_src = len(ops) if n_src is None else int(n_src)
+        self.fused = fused
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "fused" if self.fused else "unfused"
+        return (f"CompiledProgram(p{self.rank}, {self.n_ops} ops / "
+                f"{self.n_src} actions, {tag})")
+
+
+@dataclass
+class CompileReport:
+    """What one :func:`compile_source` call did (cold vs warm cache)."""
+
+    n_ranks: int = 0
+    n_ops: int = 0            # compiled ops across all ranks (unfused)
+    n_src: int = 0            # source actions across all ranks
+    cache_hits: int = 0       # ranks served from a fresh .tic sidecar
+    cache_misses: int = 0     # ranks (re)compiled from source bytes
+    wall_seconds: float = 0.0
+    artifacts: List[str] = field(default_factory=list)  # sidecars touched
+
+
+class _Builder:
+    """Columnar accumulator for one rank's ops."""
+
+    __slots__ = ("ops", "arg", "vol", "vol2")
+
+    def __init__(self) -> None:
+        self.ops: List[int] = []
+        self.arg: List[int] = []
+        self.vol: List[float] = []
+        self.vol2: List[float] = []
+
+    def finish(self, rank: int) -> CompiledProgram:
+        return CompiledProgram(
+            rank,
+            np.asarray(self.ops, dtype=np.uint8),
+            np.asarray(self.arg, dtype=np.int32),
+            np.asarray(self.vol, dtype=np.float64),
+            np.asarray(self.vol2, dtype=np.float64),
+        )
+
+
+def _compile_tokens(builder: _Builder, tokens: List[str], rank: int) -> None:
+    """Append one trace line's op; mirrors the token-stream handlers'
+    parsing (and their error wording) exactly."""
+    try:
+        name = tokens[1]
+        code = OPCODE_OF.get(name)
+        if code is None:
+            raise ValueError(
+                f"p{rank}: unregistered action {name!r}"
+            )
+        if code == OP_COMPUTE or code == OP_BCAST:
+            builder.arg.append(0)
+            builder.vol.append(float(tokens[2]))
+            builder.vol2.append(0.0)
+        elif OP_SEND <= code <= OP_IRECV:
+            builder.arg.append(int(tokens[2][1:]))
+            builder.vol.append(float(tokens[3]))
+            builder.vol2.append(0.0)
+        elif code == OP_REDUCE or code == OP_ALLREDUCE:
+            builder.arg.append(0)
+            builder.vol.append(float(tokens[2]))
+            builder.vol2.append(float(tokens[3]))
+        elif code == OP_COMM_SIZE:
+            builder.arg.append(int(tokens[2]))
+            builder.vol.append(0.0)
+            builder.vol2.append(0.0)
+        else:  # barrier / wait
+            builder.arg.append(0)
+            builder.vol.append(0.0)
+            builder.vol2.append(0.0)
+        builder.ops.append(code)
+    except (IndexError, ValueError) as exc:
+        if isinstance(exc, ValueError) and "unregistered action" in str(exc):
+            raise
+        raise ValueError(
+            f"p{rank}: malformed trace line {' '.join(tokens)!r}"
+        ) from None
+
+
+def _compile_actions(actions, rank: int) -> CompiledProgram:
+    """Compile a stream of :class:`~repro.core.actions.Action` objects."""
+    builder = _Builder()
+    ops = builder.ops
+    arg = builder.arg
+    vol = builder.vol
+    vol2 = builder.vol2
+    for action in actions:
+        code = OPCODE_OF[action.name]
+        ops.append(code)
+        if OP_SEND <= code <= OP_IRECV:
+            arg.append(action.peer)
+            vol.append(action.volume)
+            vol2.append(0.0)
+        elif code == OP_COMPUTE or code == OP_BCAST:
+            arg.append(0)
+            vol.append(action.volume)
+            vol2.append(0.0)
+        elif code == OP_REDUCE or code == OP_ALLREDUCE:
+            arg.append(0)
+            vol.append(action.vcomm)
+            vol2.append(action.vcomp)
+        elif code == OP_COMM_SIZE:
+            arg.append(action.size)
+            vol.append(0.0)
+            vol2.append(0.0)
+        else:
+            arg.append(0)
+            vol.append(0.0)
+            vol2.append(0.0)
+    return builder.finish(rank)
+
+
+def _compile_text_file(path: str, rank: int) -> CompiledProgram:
+    builder = _Builder()
+    opener = gzip.open if path.endswith(".gz") else open
+    prefix = f"p{rank}"
+    with opener(path, "rt", encoding="ascii") as handle:
+        for line in handle:
+            tokens = line.split()
+            if not tokens or tokens[0].startswith("#"):
+                continue
+            if tokens[0] != prefix:
+                raise ValueError(
+                    f"{path}: line for {tokens[0]} in trace of p{rank}"
+                )
+            _compile_tokens(builder, tokens, rank)
+    return builder.finish(rank)
+
+
+def _compile_rank_file(path: str, rank: int) -> CompiledProgram:
+    if path.endswith(".btrace"):
+        from .binfmt import read_binary_trace
+        return _compile_actions(read_binary_trace(path), rank)
+    return _compile_text_file(path, rank)
+
+
+# ---------------------------------------------------------------------------
+# Compute fusion
+# ---------------------------------------------------------------------------
+def fuse_computes(prog: CompiledProgram) -> CompiledProgram:
+    """Collapse runs of consecutive ``compute`` ops into single ops.
+
+    The fused op's volume is the run's sum and its ``nsrc`` the run
+    length, so per-action-type telemetry totals are preserved exactly.
+    Returns a program with an ``nsrc`` column even when nothing fused
+    (all-ones), so the driver's accounting is uniform.
+    """
+    if prog.fused:
+        return prog
+    ops = prog.ops
+    n = len(ops)
+    if n == 0:
+        return CompiledProgram(prog.rank, ops, prog.arg, prog.vol,
+                               prog.vol2,
+                               nsrc=np.zeros(0, dtype=np.uint32),
+                               n_src=0, fused=True)
+    is_comp = ops == OP_COMPUTE
+    prev_comp = np.empty(n, dtype=bool)
+    prev_comp[0] = False
+    prev_comp[1:] = is_comp[:-1]
+    keep = np.nonzero(~(is_comp & prev_comp))[0]
+    if len(keep) == n:
+        nsrc = np.ones(n, dtype=np.uint32)
+        return CompiledProgram(prog.rank, ops, prog.arg, prog.vol,
+                               prog.vol2, nsrc=nsrc, n_src=n, fused=True)
+    nsrc = np.diff(np.append(keep, n)).astype(np.uint32)
+    return CompiledProgram(
+        prog.rank,
+        ops[keep],
+        prog.arg[keep],
+        np.add.reduceat(prog.vol, keep),
+        prog.vol2[keep],
+        nsrc=nsrc,
+        n_src=n,
+        fused=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics: format one op back into trace-line tokens
+# ---------------------------------------------------------------------------
+def op_tokens(prog: CompiledProgram, index: int) -> List[str]:
+    """The trace-line token list of op ``index`` — built lazily for
+    deadlock/fault diagnostics only, never on the replay hot path.  A
+    fused compute renders as the summed compute it executes as."""
+    code = int(prog.ops[index])
+    name = NAME_OF_OPCODE[code]
+    head = [f"p{prog.rank}", name]
+    if code == OP_COMPUTE or code == OP_BCAST:
+        return head + [format_volume(float(prog.vol[index]))]
+    if OP_SEND <= code <= OP_IRECV:
+        return head + [f"p{int(prog.arg[index])}",
+                       format_volume(float(prog.vol[index]))]
+    if code == OP_REDUCE or code == OP_ALLREDUCE:
+        return head + [format_volume(float(prog.vol[index])),
+                       format_volume(float(prog.vol2[index]))]
+    if code == OP_COMM_SIZE:
+        return head + [str(int(prog.arg[index]))]
+    return head  # barrier / wait
+
+
+# ---------------------------------------------------------------------------
+# .tic sidecar I/O
+# ---------------------------------------------------------------------------
+def tic_path_for(source_path: str) -> str:
+    """Sidecar path of a trace file (``SG_process3.trace`` ->
+    ``SG_process3.trace.tic``)."""
+    return source_path + TIC_SUFFIX
+
+
+def _digest_file(path: str) -> bytes:
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+    return h.digest()
+
+
+def _write_tic(path: str, programs: List[CompiledProgram],
+               source_digest: bytes) -> bool:
+    """Write a sidecar (best-effort: a read-only trace directory just
+    means no disk cache, never a failed replay)."""
+    try:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(_TIC_HEADER.pack(_TIC_MAGIC, _TIC_VERSION, 0,
+                                          len(programs)))
+            handle.write(source_digest)
+            for prog in programs:
+                handle.write(_TIC_BLOCK.pack(prog.rank, prog.n_ops,
+                                             prog.n_src))
+                handle.write(np.ascontiguousarray(prog.ops).tobytes())
+                handle.write(np.ascontiguousarray(
+                    prog.arg, dtype="<i4").tobytes())
+                handle.write(np.ascontiguousarray(
+                    prog.vol, dtype="<f8").tobytes())
+                handle.write(np.ascontiguousarray(
+                    prog.vol2, dtype="<f8").tobytes())
+        os.replace(tmp, path)
+        return True
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False
+
+
+def _load_tic(path: str,
+              source_digest: bytes) -> Optional[List[CompiledProgram]]:
+    """Load a sidecar if it exists and matches the source bytes; any
+    mismatch or corruption is a cache miss, never an error."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return None
+    try:
+        if len(data) < _TIC_HEADER.size + 32:
+            return None
+        magic, version, _flags, n_ranks = _TIC_HEADER.unpack_from(data, 0)
+        if magic != _TIC_MAGIC or version != _TIC_VERSION:
+            return None
+        pos = _TIC_HEADER.size
+        if data[pos:pos + 32] != source_digest:
+            return None  # source bytes changed: rebuild
+        pos += 32
+        programs = []
+        for _ in range(n_ranks):
+            rank, n_ops, n_src = _TIC_BLOCK.unpack_from(data, pos)
+            pos += _TIC_BLOCK.size
+            ops = np.frombuffer(data, dtype=np.uint8, count=n_ops,
+                                offset=pos).copy()
+            pos += n_ops
+            arg = np.frombuffer(data, dtype="<i4", count=n_ops,
+                                offset=pos).astype(np.int32, copy=False)
+            pos += 4 * n_ops
+            vol = np.frombuffer(data, dtype="<f8", count=n_ops,
+                                offset=pos).astype(np.float64, copy=False)
+            pos += 8 * n_ops
+            vol2 = np.frombuffer(data, dtype="<f8", count=n_ops,
+                                 offset=pos).astype(np.float64, copy=False)
+            pos += 8 * n_ops
+            programs.append(CompiledProgram(rank, ops, arg, vol, vol2,
+                                            n_src=n_src))
+        return programs
+    except (struct.error, ValueError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def compile_source(source, cache: bool = True,
+                   force: bool = False
+                   ) -> Tuple[List[CompiledProgram], CompileReport]:
+    """Compile a trace source into per-rank programs.
+
+    ``source`` is an :class:`~repro.core.trace.InMemoryTrace`, a trace
+    directory, or a merged trace file — the same sources
+    :meth:`TraceReplayer.replay` accepts.  Path sources use the ``.tic``
+    sidecar cache (unless ``cache`` is False); ``force`` recompiles even
+    when a fresh sidecar exists (and refreshes it).
+    """
+    from .trace import InMemoryTrace
+
+    t0 = time.perf_counter()
+    report = CompileReport()
+    if isinstance(source, InMemoryTrace):
+        ranks = source.ranks()
+        if ranks != list(range(len(ranks))):
+            raise ValueError(
+                f"trace ranks are not contiguous: {ranks[:10]}"
+            )
+        programs = [_compile_actions(source.actions_of(rank), rank)
+                    for rank in ranks]
+        report.cache_misses = len(programs)
+    elif isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        if os.path.isdir(path):
+            programs = _compile_dir(path, cache, force, report)
+        else:
+            programs = _compile_merged(path, cache, force, report)
+    else:
+        raise TypeError(
+            f"unsupported trace source {type(source).__name__}; pass an "
+            "InMemoryTrace, a trace directory, or a merged trace file"
+        )
+    report.n_ranks = len(programs)
+    report.n_ops = sum(p.n_ops for p in programs)
+    report.n_src = sum(p.n_src for p in programs)
+    report.wall_seconds = time.perf_counter() - t0
+    return programs, report
+
+
+def _compile_dir(directory: str, cache: bool, force: bool,
+                 report: CompileReport) -> List[CompiledProgram]:
+    from .trace import discover_trace_paths
+
+    programs = []
+    for rank, path in enumerate(discover_trace_paths(directory)):
+        sidecar = tic_path_for(path)
+        digest = _digest_file(path) if cache else b""
+        loaded = None
+        if cache and not force:
+            loaded = _load_tic(sidecar, digest)
+        if loaded is not None and len(loaded) == 1:
+            report.cache_hits += 1
+            prog = loaded[0]
+            prog.rank = rank
+        else:
+            report.cache_misses += 1
+            prog = _compile_rank_file(path, rank)
+            if cache and _write_tic(sidecar, [prog], digest):
+                report.artifacts.append(sidecar)
+        programs.append(prog)
+    return programs
+
+
+def _compile_merged(path: str, cache: bool, force: bool,
+                    report: CompileReport) -> List[CompiledProgram]:
+    sidecar = tic_path_for(path)
+    digest = _digest_file(path) if cache else b""
+    if cache and not force:
+        loaded = _load_tic(sidecar, digest)
+        if loaded is not None:
+            report.cache_hits += len(loaded)
+            return loaded
+    opener = gzip.open if path.endswith(".gz") else open
+    builders: Dict[int, _Builder] = {}
+    with opener(path, "rt", encoding="ascii") as handle:
+        for line in handle:
+            tokens = line.split()
+            if not tokens or tokens[0].startswith("#"):
+                continue
+            rank = int(tokens[0][1:])
+            builder = builders.get(rank)
+            if builder is None:
+                builder = builders[rank] = _Builder()
+            _compile_tokens(builder, tokens, rank)
+    rank_list = sorted(builders)
+    if rank_list != list(range(len(rank_list))):
+        raise ValueError(
+            f"{path}: ranks are not contiguous: {rank_list[:10]}"
+        )
+    programs = [builders[rank].finish(rank) for rank in rank_list]
+    report.cache_misses += len(programs)
+    if cache and _write_tic(sidecar, programs, digest):
+        report.artifacts.append(sidecar)
+    return programs

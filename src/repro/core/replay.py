@@ -44,6 +44,24 @@ from ..faults.report import FaultReport, RankFailure, build_fault_report
 from ..simkernel import CommSystem, DeadlockError, Engine, Host, Platform, Telemetry
 from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
 from ..smpi import collectives
+from .binfmt import NAME_OF_OPCODE
+from .compile import (
+    OP_ALLREDUCE,
+    OP_BARRIER,
+    OP_BCAST,
+    OP_COMM_SIZE,
+    OP_COMPUTE,
+    OP_IRECV,
+    OP_ISEND,
+    OP_RECV,
+    OP_REDUCE,
+    OP_SEND,
+    OP_WAIT,
+    CompiledProgram,
+    compile_source,
+    fuse_computes,
+    op_tokens,
+)
 from .trace import InMemoryTrace
 
 __all__ = ["TraceReplayer", "ReplayResult"]
@@ -89,14 +107,42 @@ class _RankContext:
         # report names when this rank is stuck.
         self.current_action: Optional[List[str]] = None
 
+    def action_tokens(self) -> Optional[List[str]]:
+        """Token list of the in-flight action (diagnostics only)."""
+        return self.current_action
+
     # Adapter protocol for the collective algorithms ---------------------
     @property
     def size(self) -> int:
         return self.declared_size
 
 
+class _CompiledRankContext(_RankContext):
+    """Rank state for the compiled driver: instead of carrying the live
+    token list (which the compiled path never materializes), it carries
+    the op index and formats tokens back lazily — only when a deadlock
+    or fault report actually needs to name the stuck action."""
+
+    __slots__ = ("prog", "op_index")
+
+    def __init__(self, rank: int, host: Host, prog: CompiledProgram) -> None:
+        super().__init__(rank, host)
+        self.prog = prog
+        self.op_index: Optional[int] = None
+
+    def action_tokens(self) -> Optional[List[str]]:
+        if self.op_index is None:
+            return None
+        return op_tokens(self.prog, self.op_index)
+
+
 class TraceReplayer:
     """Replays time-independent traces on a simulated platform."""
+
+    #: Maximum lines the merged-file demux will buffer for any single
+    #: rank before refusing (see :meth:`_merged_stream`).  Class-level so
+    #: callers with genuinely skewed-but-small traces can raise it.
+    merged_spill_limit = 1_000_000
 
     def __init__(
         self,
@@ -110,9 +156,15 @@ class TraceReplayer:
         lmm_mode: str = "auto",
         fault_plan: Optional[FaultPlan] = None,
         fault_mode: str = "abort",
+        compiled: str = "auto",
     ) -> None:
         if not deployment:
             raise ValueError("deployment must map at least one rank")
+        if compiled not in ("auto", "always", "never"):
+            raise ValueError(
+                f"unknown compiled mode {compiled!r}; use 'auto', "
+                "'always', or 'never'"
+            )
         if collective_algorithm not in ("binomial", "flat"):
             raise ValueError(
                 f"unknown collective algorithm {collective_algorithm!r}; "
@@ -159,6 +211,16 @@ class TraceReplayer:
         self.collective_algorithm = collective_algorithm
         self.record_timed_trace = record_timed_trace
         self.timed_trace: List[tuple] = []
+        # ``compiled`` selects the replay driver: "auto" compiles path
+        # sources (directories, merged files) into columnar op programs
+        # and keeps in-memory traces on the token path; "always" forces
+        # compilation; "never" forces the token path.  Exposed as
+        # ``repro-replay --compiled/--no-compiled``.
+        self.compiled = compiled
+        self._custom_actions = False
+        # CompileReport of the most recent compiled replay (None when the
+        # token path ran).
+        self.last_compile_report = None
         self._handlers: Dict[str, Callable] = {
             "compute": self._do_compute,
             "send": self._do_send,
@@ -180,8 +242,14 @@ class TraceReplayer:
                         handler: Callable[["_RankContext", List[str]],
                                           Iterator]) -> None:
         """The MSG_action_register analogue: bind a trace keyword to a
-        generator handler ``handler(ctx, tokens)``."""
+        generator handler ``handler(ctx, tokens)``.
+
+        Custom actions only exist on the token path, so registering one
+        pins this replayer to it (``compiled="always"`` then fails
+        loudly rather than silently skipping the custom handler).
+        """
         self._handlers[name] = handler
+        self._custom_actions = True
 
     def replay(self, source) -> ReplayResult:
         """The MSG_action_trace_run analogue.
@@ -280,16 +348,29 @@ class TraceReplayer:
         pre-fault-injection pipeline: no injector daemon, no hooks, no
         deadlock interception.
         """
-        streams = self._token_streams(source)
-        n_ranks = len(streams)
+        programs = self._compiled_programs(source, fault_events)
+        if programs is None:
+            streams = self._token_streams(source)
+            n_ranks = len(streams)
+        else:
+            streams = None
+            n_ranks = len(programs)
         if n_ranks > len(self.deployment):
             raise ValueError(
                 f"trace has {n_ranks} ranks but deployment covers only "
                 f"{len(self.deployment)}"
             )
-        contexts = [
-            _RankContext(rank, self.deployment[rank]) for rank in range(n_ranks)
-        ]
+        if programs is None:
+            contexts = [
+                _RankContext(rank, self.deployment[rank])
+                for rank in range(n_ranks)
+            ]
+        else:
+            contexts = [
+                _CompiledRankContext(rank, self.deployment[rank],
+                                     programs[rank])
+                for rank in range(n_ranks)
+            ]
         finish = [0.0] * n_ranks
         # Fresh output per call: a second replay() on the same instance
         # must not return the first run's tuples.
@@ -302,6 +383,10 @@ class TraceReplayer:
             telemetry.engine.reset()
             telemetry.comm.begin(self.comms.cache_stats())
             replay_metrics.reset(n_ranks)
+            if programs is not None:
+                replay_metrics.ops_compiled = sum(p.n_ops for p in programs)
+                replay_metrics.computes_fused = sum(
+                    p.n_src - p.n_ops for p in programs)
         self.engine.deadlock_hook = lambda blocked: self._deadlock_report(
             contexts, blocked
         )
@@ -460,9 +545,21 @@ class TraceReplayer:
             finish[ctx.rank] = self.engine.now
 
         wall_start = time.perf_counter()
-        for ctx, stream in zip(contexts, streams):
-            procs.append(self.engine.add_process(f"p{ctx.rank}",
-                                                 rank_process(ctx, stream)))
+        if programs is None:
+            for ctx, stream in zip(contexts, streams):
+                procs.append(self.engine.add_process(
+                    f"p{ctx.rank}", rank_process(ctx, stream)))
+        else:
+            # Under a fault plan the driver counts actions as they start
+            # (the report's lost-progress walk needs per-rank counts for
+            # ranks that die mid-trace); fault-free runs skip the
+            # per-action increment and stamp the total at stream end.
+            count = fault_events is not None
+            for ctx, prog in zip(contexts, programs):
+                procs.append(self.engine.add_process(
+                    f"p{ctx.rank}",
+                    self._compiled_rank_process(ctx, prog, finish,
+                                                replay_metrics, count)))
         try:
             simulated = self.engine.run()
         except DeadlockError as exc:
@@ -476,9 +573,9 @@ class TraceReplayer:
             blocked_names = set(exc.blocked)
             for ctx in contexts:
                 if f"p{ctx.rank}" in blocked_names and ctx.rank not in dead:
+                    tokens = ctx.action_tokens()
                     fault_state["blocked"][ctx.rank] = {
-                        "action": (list(ctx.current_action)
-                                   if ctx.current_action else None),
+                        "action": list(tokens) if tokens else None,
                         "pending_irecv_srcs": [req.src for req
                                                in ctx.pending_irecvs],
                     }
@@ -494,6 +591,183 @@ class TraceReplayer:
             timed_trace=self.timed_trace,
             metrics=telemetry.as_dict() if telemetry is not None else None,
         ), fault_state
+
+    # ------------------------------------------------------------------
+    # Compiled driver
+    # ------------------------------------------------------------------
+    def _compiled_programs(self, source, fault_events):
+        """Decide whether this replay runs compiled, and compile if so.
+
+        Returns per-rank :class:`CompiledProgram` lists or ``None`` (run
+        the token path).  "auto" compiles path sources — where the win is
+        the skipped tokenize/dispatch work — and leaves already-resident
+        :class:`InMemoryTrace` sources on the token path; "always" forces
+        compilation for any source and refuses configurations the
+        compiled driver cannot honor.
+        """
+        mode = self.compiled
+        if mode == "never":
+            return None
+        if self._custom_actions:
+            if mode == "always":
+                raise ValueError(
+                    "compiled replay cannot drive actions registered via "
+                    "register_action(); use compiled='never'"
+                )
+            return None
+        if self.record_timed_trace:
+            # Timed traces need one (start, end) tuple per *source*
+            # action; the compiled driver's whole point is not doing
+            # per-action bookkeeping, so recording stays on the token
+            # path.
+            if mode == "always":
+                raise ValueError(
+                    "compiled replay does not record timed traces; use "
+                    "compiled='never' with record_timed_trace"
+                )
+            return None
+        if mode == "auto" and isinstance(source, InMemoryTrace):
+            return None
+        programs, report = compile_source(source)
+        self.last_compile_report = report
+        # Fusion gate.  Collapsing a compute run into one exec is exact
+        # only when per-flop inflation is volume-independent (no
+        # efficiency model on any replay host) and nothing needs
+        # per-action granularity: fault runs count per-action progress
+        # for the report's provenance walk, so they run unfused.
+        if fault_events is None and all(
+            host.efficiency_model is None
+            for host in self.deployment[:len(programs)]
+        ):
+            programs = [fuse_computes(prog) for prog in programs]
+        return programs
+
+    def _compiled_rank_process(self, ctx: "_CompiledRankContext",
+                               prog: CompiledProgram, finish,
+                               replay_metrics, count: bool):
+        """One rank's replay over its compiled op program.
+
+        The hot loop is a frequency-ordered if/elif over opcode ints on
+        plain Python lists (``.tolist()`` once per column): no string
+        tokenization, no dict dispatch, no per-action token list, and no
+        sub-generator delegation for the four hottest ops.
+        """
+        engine = self.engine
+        comms = self.comms
+        host = ctx.host
+        cpu = host.cpu
+        speed = host.speed
+        work = host.work_inflation
+        pending = ctx.pending_irecvs
+        rank = ctx.rank
+        binomial = self.collective_algorithm == "binomial"
+        # One C-level conversion per column; list indexing beats NumPy
+        # scalar extraction ~3x in a per-op loop.
+        ops = prog.ops.tolist()
+        arg = prog.arg.tolist()
+        vol = prog.vol.tolist()
+        vol2 = prog.vol2.tolist()
+        nsrc = prog.nsrc.tolist() if prog.nsrc is not None else None
+        n = len(ops)
+        metered = replay_metrics is not None
+        if metered:
+            new_cell = replay_metrics.new_cell
+            cells: List = [None] * len(NAME_OF_OPCODE)
+            start = engine.now
+        i = 0
+        while i < n:
+            op = ops[i]
+            ctx.op_index = i
+            if count:
+                ctx.n_actions += 1
+            volume = None
+            if op == OP_COMPUTE:
+                v = vol[i]
+                volume = v
+                if v > 0.0:
+                    yield engine.exec_activity(
+                        cpu, v * work("compute", v), bound=speed)
+            elif op == OP_ISEND:
+                v = vol[i]
+                volume = v
+                comms.isend(rank, arg[i], v)
+            elif op == OP_IRECV:
+                volume = vol[i]
+                pending.append(comms.irecv(rank, src=arg[i]))
+            elif op == OP_WAIT:
+                if not pending:
+                    raise ValueError(
+                        f"p{rank}: 'wait' with no pending Irecv (trace "
+                        "is inconsistent)"
+                    )
+                yield pending.popleft()
+            elif op == OP_SEND:
+                v = vol[i]
+                volume = v
+                yield comms.isend(rank, arg[i], v)
+            elif op == OP_RECV:
+                req = comms.irecv(rank, src=arg[i])
+                yield req
+                volume = req.size
+            elif op == OP_ALLREDUCE:
+                self._require_comm_size(ctx, "allReduce")
+                v = vol[i]
+                volume = v
+                coll = self._coll_ops(ctx)
+                if binomial:
+                    yield from collectives.reduce_then_bcast_allreduce(
+                        coll, v, flops=vol2[i], tag=coll.tag)
+                else:
+                    yield from _flat_reduce(coll, v, vol2[i])
+                    yield from _flat_bcast(coll, v)
+            elif op == OP_BCAST:
+                self._require_comm_size(ctx, "bcast")
+                v = vol[i]
+                volume = v
+                coll = self._coll_ops(ctx)
+                if binomial:
+                    yield from collectives.binomial_bcast(
+                        coll, v, root=0, tag=coll.tag)
+                else:
+                    yield from _flat_bcast(coll, v)
+            elif op == OP_REDUCE:
+                self._require_comm_size(ctx, "reduce")
+                v = vol[i]
+                volume = v
+                coll = self._coll_ops(ctx)
+                if binomial:
+                    yield from collectives.binomial_reduce(
+                        coll, v, flops=vol2[i], root=0, tag=coll.tag)
+                else:
+                    yield from _flat_reduce(coll, v, vol2[i])
+            elif op == OP_BARRIER:
+                self._require_comm_size(ctx, "barrier")
+                coll = self._coll_ops(ctx)
+                yield from collectives.barrier(coll, tag=coll.tag)
+            elif op == OP_COMM_SIZE:
+                size = arg[i]
+                if size != comms.size and size > len(self.deployment):
+                    raise ValueError(
+                        f"p{rank}: comm_size {size} exceeds the "
+                        f"deployment ({len(self.deployment)} hosts)"
+                    )
+                ctx.declared_size = size
+            if metered:
+                cell = cells[op]
+                if cell is None:
+                    cell = cells[op] = new_cell(rank, NAME_OF_OPCODE[op])
+                end = engine.now
+                cell[1] += nsrc[i] if nsrc is not None else 1
+                if volume is not None:
+                    cell[2] += volume
+                if end is not start:
+                    cell[3] += end - start
+                start = end
+            i += 1
+        ctx.op_index = None
+        if not count:
+            ctx.n_actions = prog.n_src
+        finish[rank] = engine.now
 
     # ------------------------------------------------------------------
     # Failure diagnostics
@@ -518,8 +792,9 @@ class TraceReplayer:
         for ctx in contexts:
             if f"p{ctx.rank}" not in blocked_names:
                 continue
-            action = (" ".join(ctx.current_action)
-                      if ctx.current_action else "<before first action>")
+            tokens = ctx.action_tokens()
+            action = (" ".join(tokens) if tokens
+                      else "<before first action>")
             pending = [
                 f"{fmt_end(req.src)} tag="
                 f"{'any' if req.tag == -1 else req.tag}"
@@ -733,8 +1008,12 @@ class TraceReplayer:
         degrades to O(events) — inherent to the layout, not the reader.
         The per-process directory layout is the scalable representation;
         this path exists for the small-instance convenience format.
+        Rather than degrade silently, the demux refuses to buffer more
+        than :attr:`merged_spill_limit` lines for any single rank and
+        names the offender.
         """
         opener = gzip.open if path.endswith(".gz") else open
+        limit = self.merged_spill_limit
         # Pass 1: the rank set (needed up front to build one stream per
         # rank).  Reads prefixes only; retains O(ranks) state.
         ranks = set()
@@ -764,9 +1043,29 @@ class TraceReplayer:
                 tokens = line.split()
                 if not tokens or tokens[0].startswith("#"):
                     continue
-                buffers[int(tokens[0][1:])].append(tokens)
+                dest = int(tokens[0][1:])
+                buf = buffers[dest]
+                buf.append(tokens)
                 if buffers[rank]:
                     return True
+                if len(buf) > limit:
+                    # One rank's lines are heavily skewed ahead of the
+                    # rank being pumped (a rank-major merged file is the
+                    # canonical trigger): the buffer would otherwise grow
+                    # to O(events).  Fail with provenance instead.
+                    # Mark the cursor exhausted first so sibling streams
+                    # see a clean end-of-file rather than a closed-handle
+                    # error that would mask this one.
+                    exhausted[0] = True
+                    handle.close()
+                    raise ValueError(
+                        f"{path}: merged-trace demux buffered over "
+                        f"{limit} lines for p{dest} while seeking a "
+                        f"line for p{rank}; the layout is too skewed "
+                        "for streaming demux — convert to the "
+                        "per-process directory layout (repro-convert) "
+                        "or raise TraceReplayer.merged_spill_limit"
+                    )
             exhausted[0] = True
             handle.close()
             return False

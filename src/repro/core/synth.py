@@ -80,6 +80,7 @@ def synth_metadata(
     inorm: int = 8,
     seed: int = 0,
     jitter: float = 0.0,
+    compute_split: int = 1,
 ) -> Dict[str, object]:
     """The full parameter tuple that determines a synthetic trace set.
 
@@ -96,6 +97,7 @@ def synth_metadata(
         "inorm": int(inorm),
         "seed": int(seed),
         "jitter": float(jitter),
+        "compute_split": int(compute_split),
     }
 
 
@@ -117,6 +119,7 @@ def synthetic_lu_actions(
     inorm: int = 8,
     seed: int = 0,
     jitter: float = 0.0,
+    compute_split: int = 1,
 ) -> Iterator[Action]:
     """One rank's synthetic LU-mix action stream (lazy).
 
@@ -125,6 +128,14 @@ def synthetic_lu_actions(
     hardware-counter wobble acquired traces carry (§6.2).  The draws come
     from ``default_rng(seed + 7919 * rank)``: explicit, per-rank, and
     deterministic across processes.
+
+    ``compute_split`` controls the granularity of the sweep burst: 1
+    (default) aggregates each SSOR sweep's flops into one ``compute``
+    record — the shape of traces instrumented at MPI-call boundaries —
+    while k > 1 emits k consecutive ``compute`` records of flops/k,
+    the shape function-level instrumentation produces (one record per
+    traced routine: rhs, jacld/blts, jacu/buts, ...).  The total flop
+    volume is unchanged.
     """
     config = lu_class(cls)
     grid = LuGrid.build(config, n_ranks, rank)
@@ -151,10 +162,16 @@ def synthetic_lu_actions(
         for _ in neighbours:
             yield Wait(rank)
         if rng is None:
-            yield Compute(rank, sweep_flops)
+            burst = sweep_flops
         else:
             factor = 1.0 + jitter * float(rng.uniform(-1.0, 1.0))
-            yield Compute(rank, sweep_flops * factor)
+            burst = sweep_flops * factor
+        if compute_split <= 1:
+            yield Compute(rank, burst)
+        else:
+            part = burst / compute_split
+            for _ in range(compute_split):
+                yield Compute(rank, part)
         if istep % inorm == 0:
             yield AllReduce(rank, NORM_BYTES, NORM_FLOPS)
 
@@ -168,6 +185,7 @@ def write_synthetic_lu_trace(
     binary: bool = False,
     seed: int = 0,
     jitter: float = 0.0,
+    compute_split: int = 1,
 ) -> int:
     """Write a per-process (Fig. 2) synthetic trace set; returns the
     total action count.  Streams straight to disk — generating a
@@ -181,7 +199,8 @@ def write_synthetic_lu_trace(
         for rank in range(n_ranks):
             actions = list(
                 synthetic_lu_actions(rank, n_ranks, iterations, cls, inorm,
-                                     seed=seed, jitter=jitter)
+                                     seed=seed, jitter=jitter,
+                                     compute_split=compute_split)
             )
             write_binary_trace(
                 actions, rank,
@@ -195,10 +214,12 @@ def write_synthetic_lu_trace(
                       buffering=1 << 16) as handle:
                 for action in synthetic_lu_actions(rank, n_ranks, iterations,
                                                    cls, inorm, seed=seed,
-                                                   jitter=jitter):
+                                                   jitter=jitter,
+                                                   compute_split=compute_split):
                     handle.write(format_action(action) + "\n")
                     n_actions += 1
-    meta = synth_metadata(n_ranks, iterations, cls, inorm, seed, jitter)
+    meta = synth_metadata(n_ranks, iterations, cls, inorm, seed, jitter,
+                          compute_split)
     meta["n_actions"] = n_actions
     meta["binary"] = bool(binary)
     with open(os.path.join(directory, SYNTH_META_FILE), "w",

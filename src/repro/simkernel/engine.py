@@ -90,7 +90,7 @@ class _Group:
         # Array-backed state (meaningful when vectorized is True):
         "acts_list", "row", "mem_of", "col", "n", "m", "ncols",
         "rem", "rate", "settled", "bnd", "mem_var", "mem_cons", "caps",
-        "armed",
+        "loadv", "work", "armed",
     )
 
     def __init__(self) -> None:
@@ -173,6 +173,9 @@ class Engine:
         # Count of recomputes settled by the vectorized filling (same
         # accumulate-then-window pattern).
         self._vector_fillings = 0
+        # Solo activities started or completed on an otherwise-idle
+        # constraint without any sharing recompute (same pattern).
+        self._idle_advances = 0
         # Optional telemetry; the counters themselves are loop-locals or
         # plain integer accumulators, so enabling metrics never changes
         # the arithmetic the hot paths execute.
@@ -281,6 +284,7 @@ class Engine:
         popped = stale = fast = generic = comp_total = comp_max = 0
         maxmin_iters0 = self._maxmin_iters
         vector_fillings0 = self._vector_fillings
+        idle_advances0 = self._idle_advances
         try:
             while True:
                 self._run_ready()
@@ -322,6 +326,29 @@ class Engine:
                     return self.now
                 if time_ > self.now:
                     self.now = time_
+                # Idle-advance fast path (completion side).  The dirty
+                # set is empty here (the recompute branch above always
+                # restarts the loop), so when the completing activity is
+                # the *only* user of its single, ungrouped-with-anything
+                # constraint — the compiled replay's fused compute burst
+                # — no other activity's rate can change: unregister it
+                # directly and skip dirtying the constraint, which would
+                # only buy a guaranteed-no-op recompute pass.
+                constraints = act.constraints
+                if act.registered and len(constraints) == 1:
+                    cons = constraints[0]
+                    group = cons.group
+                    if (not group.vectorized and len(group.cons) == 1
+                            and len(group.acts) == 1
+                            and len(cons.users) == 1):
+                        self._idle_advances += 1
+                        act.remaining = 0.0
+                        group.acts.discard(act)
+                        cons.users.discard(act)
+                        act.registered = False
+                        self._enter_phase(act, act.on_phase_end(self.now))
+                        self._maybe_compact()
+                        continue
                 self._end_phase(act)
                 self._maybe_compact()
         finally:
@@ -335,6 +362,8 @@ class Engine:
                                               - maxmin_iters0)
                 metrics.vectorized_recomputes += (self._vector_fillings
                                                   - vector_fillings0)
+                metrics.idle_advances += (self._idle_advances
+                                          - idle_advances0)
                 if comp_max > metrics.max_component_acts:
                     metrics.max_component_acts = comp_max
 
@@ -370,6 +399,47 @@ class Engine:
             act.settled_at = self.now
             self._push(self.now + act.remaining, act)
         elif phase == "sharing":
+            constraints = act.constraints
+            if len(constraints) == 1:
+                cons = constraints[0]
+                g = cons.group
+                if not cons.users and (
+                    g is None
+                    or (not g.vectorized and not g.acts
+                        and len(g.cons) == 1)
+                ):
+                    # Idle-advance fast path (start side): a solo
+                    # activity on an otherwise-idle constraint gets the
+                    # full capacity, clipped by its bound — exactly what
+                    # _rerate_single_constraint derives for n=1 — so the
+                    # rate and completion event are set here, without
+                    # dirtying the constraint.  (If the constraint is
+                    # already in the dirty set from an earlier change,
+                    # the pending recompute re-derives this same state —
+                    # redundant but correct.)
+                    act.settled_at = self.now
+                    cons.users.add(act)
+                    if g is None:
+                        g = _Group()
+                        cons.group = g
+                        g.cons.append(cons)
+                    g.acts.add(act)
+                    act.registered = True
+                    self._idle_advances += 1
+                    cap = cons.capacity
+                    bound = act.bound
+                    rate = (bound if bound is not None and bound < cap
+                            else cap)
+                    act.epoch += 1
+                    act.rate = rate
+                    if rate == INF:
+                        self._push(self.now, act)
+                    elif rate > 0.0:
+                        self._push(self.now + act.remaining / rate, act)
+                    # rate == 0: stalled; nothing armed (same contract as
+                    # _arm_earliest — a later re-rate or the deadlock
+                    # report picks it up).
+                    return
             act.settled_at = self.now
             dirty = self._dirty
             group: Optional[_Group] = None
@@ -607,6 +677,15 @@ class Engine:
         mem_cons[:m] = mc
         group.mem_var, group.mem_cons, group.m = mem_var, mem_cons, m
         group.mem_of = mem_of
+        # Per-constraint membership counts, maintained incrementally by
+        # _vec_add/_vec_remove.  Counts are integers, so the float adds
+        # are exact and the solver sees the same loads a bincount would
+        # produce — this just skips recomputing them every solve.
+        loadv = np.zeros(caps.shape[0])
+        if m:
+            loadv[:ncols] = np.bincount(mem_cons[:m], minlength=ncols)
+        group.loadv = loadv
+        group.work = {}
         group.armed = None
         group.vectorized = True
 
@@ -625,6 +704,7 @@ class Engine:
         group.acts_list = group.row = group.mem_of = group.col = None
         group.rem = group.rate = group.settled = group.bnd = None
         group.mem_var = group.mem_cons = group.caps = None
+        group.loadv = group.work = None
 
     def _vec_add(self, group: _Group, act: Activity) -> None:
         """O(1) amortized: append one activity's row and memberships."""
@@ -652,8 +732,11 @@ class Engine:
                 col[c] = j
                 if j >= group.caps.shape[0]:
                     group.caps = self._grown(group.caps, j + 1)
+                    group.loadv = self._grown(group.loadv, j + 1)
                 group.caps[j] = c.capacity
+                group.loadv[j] = 0.0
                 group.ncols = j + 1
+            group.loadv[j] += 1.0
             if m >= group.mem_var.shape[0]:
                 group.mem_var = self._grown(group.mem_var, m + 1)
                 group.mem_cons = self._grown(group.mem_cons, m + 1)
@@ -674,7 +757,9 @@ class Engine:
         # Largest slot first: every position above the slot being freed
         # then belongs to some *other* activity, so the fix-up below
         # never chases the activity being removed.
+        loadv = group.loadv
         for s in sorted(mem_of.pop(act), reverse=True):
+            loadv[int(mem_cons[s])] -= 1.0
             last = m - 1
             if s != last:
                 moved_row = int(mem_var[last])
@@ -738,6 +823,8 @@ class Engine:
             None,  # engine activities are equal-weight
             group.mem_var[:group.m],
             group.mem_cons[:group.m],
+            load=group.loadv[:group.ncols],
+            work=group.work,
         )
         self._maxmin_iters += iterations
         rate[:] = rates

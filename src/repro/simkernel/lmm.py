@@ -239,12 +239,24 @@ def solve_reference(variables: List[Variable]) -> None:
         unfixed = [v for v in unfixed if id(v) not in fixed_set]
 
 
+def _scratch(work: dict, key: str, n: int, dtype=float) -> np.ndarray:
+    """A reusable length-``n`` view from a caller-owned workspace dict
+    (amortized-doubling growth, never shrinks)."""
+    arr = work.get(key)
+    if arr is None or arr.shape[0] < n:
+        arr = np.empty(max(64, 2 * n), dtype=dtype)
+        work[key] = arr
+    return arr[:n]
+
+
 def fill_vectorized(
     caps: np.ndarray,
     bounds: np.ndarray,
     weights: Optional[np.ndarray],
     var_idx: np.ndarray,
     cons_idx: np.ndarray,
+    load: Optional[np.ndarray] = None,
+    work: Optional[dict] = None,
 ) -> Tuple[np.ndarray, int]:
     """Vectorized weighted max-min progressive filling over arrays.
 
@@ -255,48 +267,80 @@ def fill_vectorized(
     entry per (variable, constraint) incidence.  Returns the rate vector
     and the number of filling levels (the telemetry iteration count).
 
+    ``load`` (equal-weight only) lets a caller that maintains per-
+    constraint membership counts incrementally skip the ``bincount`` —
+    the counts are integers, so the arithmetic is unchanged.  ``work``
+    is an optional scratch-buffer dict (see :func:`_scratch`) that
+    eliminates every per-call allocation; when given, the returned rate
+    vector is a view into it and is only valid until the next call with
+    the same workspace — callers must copy it out first.
+
     The state mirrors :func:`solve_reference` exactly — constraint
     remaining/load vectors, an ``unfixed`` boolean mask — so each loop
     iteration is the same filling level, just computed with array ops.
     """
     n_vars = bounds.shape[0]
     n_cons = caps.shape[0]
-    rates = np.zeros(n_vars)
-    remaining = caps.astype(float, copy=True)
+    if work is None:
+        rates = np.zeros(n_vars)
+        remaining = caps.astype(float, copy=True)
+        share = np.empty(n_cons)
+        touches_saturated = np.empty(n_vars, dtype=bool)
+    else:
+        rates = _scratch(work, "rates", n_vars)
+        rates.fill(0.0)
+        remaining = _scratch(work, "remaining", n_cons)
+        np.copyto(remaining, caps)
+        share = _scratch(work, "share", n_cons)
+        touches_saturated = _scratch(work, "touches", n_vars, dtype=bool)
     if weights is None:
         pair_weight = None
-        load = np.bincount(cons_idx, minlength=n_cons).astype(float)
+        if load is None:
+            load = np.bincount(cons_idx, minlength=n_cons).astype(float)
+        elif work is None:
+            load = load.astype(float, copy=True)
+        else:
+            scratch = _scratch(work, "load", n_cons)
+            np.copyto(scratch, load)
+            load = scratch
     else:
         pair_weight = weights[var_idx]
         load = np.bincount(cons_idx, weights=pair_weight, minlength=n_cons)
-    unfixed = np.ones(n_vars, dtype=bool)
+    unfixed = None  # lazily materialized: the first level fixes all vars
     n_unfixed = n_vars
-    share = np.empty(n_cons)
     iterations = 0
     while n_unfixed:
         iterations += 1
+        full = unfixed is None
         # Most restrictive fair share across constraints with load...
         active = load > _EPS
         share.fill(np.inf)
         np.divide(remaining, load, out=share, where=active)
         level = float(share.min()) if n_cons else float("inf")
         # ... and across private bounds of still-unfixed variables.
-        min_bound = float(bounds[unfixed].min())
+        min_bound = float(bounds.min() if full else bounds[unfixed].min())
         if min_bound < level:
             level = min_bound
         if level == float("inf"):
-            rates[unfixed] = np.inf
+            if full:
+                rates.fill(np.inf)
+            else:
+                rates[unfixed] = np.inf
             break
         threshold = level + _EPS * (level if level > 1.0 else 1.0)
         # Fix masks: bound-limited variables, plus variables crossing a
         # constraint saturated at this level.
         saturated = active & (share <= threshold)
-        touches_saturated = np.zeros(n_vars, dtype=bool)
+        touches_saturated.fill(False)
         pair_sat = saturated[cons_idx]
         if pair_sat.any():
             touches_saturated[var_idx[pair_sat]] = True
-        fix_bound = unfixed & (bounds <= threshold)
-        fix_level = unfixed & touches_saturated & ~fix_bound
+        fix_bound = bounds <= threshold
+        if not full:
+            fix_bound &= unfixed
+        fix_level = touches_saturated & ~fix_bound
+        if not full:
+            fix_level &= unfixed
         fixed = fix_bound | fix_level
         n_fixed = int(np.count_nonzero(fixed))
         if n_fixed:
@@ -305,9 +349,20 @@ def fill_vectorized(
         else:
             # Numerical corner: nothing saturates exactly; fix everything
             # at the level to guarantee termination (as the oracle does).
-            fixed = unfixed
+            fixed = unfixed if not full else None
             n_fixed = n_unfixed
-            rates[fixed] = level
+            if full:
+                rates.fill(level)
+            else:
+                rates[fixed] = level
+        if n_fixed == n_unfixed:
+            # Last filling level: every survivor just fixed, so the
+            # remaining/load bookkeeping below has no reader.  Skipping
+            # it saves the dominant share of the call in the common
+            # single-level solve (one bottleneck saturates everyone).
+            break
+        if full:
+            unfixed = np.ones(n_vars, dtype=bool)
         # Subtract the fixed variables' usage from their constraints.
         pair_fixed = fixed[var_idx]
         if pair_fixed.any():

@@ -86,7 +86,8 @@ class EngineMetrics:
     __slots__ = ("events_popped", "stale_skipped", "compactions",
                  "fastpath_recomputes", "generic_recomputes",
                  "component_acts", "max_component_acts",
-                 "maxmin_iterations", "vectorized_recomputes")
+                 "maxmin_iterations", "vectorized_recomputes",
+                 "idle_advances")
 
     def __init__(self) -> None:
         self.reset()
@@ -101,6 +102,8 @@ class EngineMetrics:
         self.max_component_acts = 0   # largest sharing component seen
         self.maxmin_iterations = 0    # filling levels across all fillings
         self.vectorized_recomputes = 0  # fillings done by the NumPy path
+        self.idle_advances = 0        # solo activities advanced with no
+        #                               recompute at all (fast path)
 
     def as_dict(self) -> Dict[str, float]:
         fast = self.fastpath_recomputes
@@ -124,6 +127,10 @@ class EngineMetrics:
             # kernel instead of the pure-Python oracle — the component-size
             # cutoff in action (docs/replay-performance.md).
             "vectorized_recomputes": self.vectorized_recomputes,
+            # Solo activities started/completed on an otherwise-idle
+            # constraint without any sharing recompute — the compiled
+            # replay's fused-compute fast path.
+            "idle_advances": self.idle_advances,
         }
 
 
@@ -214,16 +221,23 @@ class ReplayMetrics:
     :data:`ACTION_CATEGORIES`.
     """
 
-    __slots__ = ("n_ranks", "rank_cells")
+    __slots__ = ("n_ranks", "rank_cells", "ops_compiled", "computes_fused")
 
     def __init__(self) -> None:
         self.n_ranks = 0
         # Per rank: {action name: [handler, count, volume, time, vol_idx]}.
         self.rank_cells: List[Dict[str, list]] = []
+        # Compiled-driver provenance: how many compiled ops drove this
+        # replay (0: the token path ran) and how many source compute
+        # actions were absorbed into fused ops.
+        self.ops_compiled = 0
+        self.computes_fused = 0
 
     def reset(self, n_ranks: int) -> None:
         self.n_ranks = n_ranks
         self.rank_cells = [{} for _ in range(n_ranks)]
+        self.ops_compiled = 0
+        self.computes_fused = 0
 
     def new_cell(self, rank: int, name: str) -> list:
         """Build (and register) the counting cell for one (rank, action).
@@ -267,6 +281,8 @@ class ReplayMetrics:
             "actions_by_type": action_counts,
             "volumes_by_type": action_volumes,
             "time_by_category": time_totals,
+            "ops_compiled": self.ops_compiled,
+            "computes_fused": self.computes_fused,
             "per_rank": per_rank,
         }
 
