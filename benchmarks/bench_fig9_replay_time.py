@@ -422,6 +422,202 @@ def test_fig9_compiled(benchmark):
     assert token / warm >= COMPILED_SPEEDUP_MIN
 
 
+# --- parallel drivers: phase batching + sharded replay --------------------
+#: Shards for the parallel-driver comparison (contiguous rank bands,
+#: forked workers).
+PARALLEL_SHARDS = 4
+#: Compute records per sweep in the parallel-driver traces.  LU class B
+#: function-level instrumentation emits ~400 records per iteration per
+#: rank (jacld/blts/jacu/buts per k-plane); 512 is that shape.  The
+#: token driver pays per-record parsing; the compiled driver fuses each
+#: run into one op, which is where most of the headline speedup lives —
+#: the composition notes in the results file spell this out.
+PARALLEL_SPLIT = 512
+PARALLEL_REPS = 2
+#: Acceptance bar: the full driver stack (warm .tic, phase batching,
+#: 4 shards) over the token driver at 1024 ranks, on the 1-D chain row.
+PARALLEL_SPEEDUP_MIN = 5.0
+
+
+def decoupled_platform(n_ranks: int) -> Platform:
+    """One cluster with per-host links and a fatpipe backbone: flows
+    between distinct host pairs share no constraint, which is what lets
+    sharded replay cut the rank space into independent bands.  The low
+    link latency keeps the post-collective quiet times inside the pack
+    compute, so the traces shard at all (see repro.core.shard)."""
+    platform = Platform()
+    platform.add_cluster(
+        "c", n_ranks, speed=1e9, link_bw=1.25e9, link_lat=1e-6,
+        backbone_bw=1.25e10, backbone_lat=1e-6, backbone_sharing="fatpipe",
+    )
+    return platform
+
+
+def write_chain_trace(directory: str, n_ranks: int, iterations: int,
+                      split: int) -> int:
+    """A 1-D chain ghost-cell exchange (open boundaries, NOT a ring:
+    a periodic wrap makes rank 0 and rank n-1 one hop apart, which
+    forces the sharding halo to cover the whole machine).  Per
+    iteration: post Irecv for each neighbour, pack + blocking send each
+    face, wait, the sweep computes, and a synchronizing allReduce —
+    the LU action mix on a 1-D decomposition.  max_dist is 1, so the
+    halo guard stays a handful of ranks wide and sharding's coupled
+    max-min systems stay band-sized."""
+    face = 65536
+    n_actions = 0
+    for rank in range(n_ranks):
+        neighbours = [p for p in (rank - 1, rank + 1) if 0 <= p < n_ranks]
+        rows = [f"p{rank} comm_size {n_ranks}"]
+        for _ in range(iterations):
+            for peer in neighbours:
+                rows.append(f"p{rank} Irecv p{peer} {face}")
+            for peer in neighbours:
+                rows.append(f"p{rank} compute 10000")
+                rows.append(f"p{rank} send p{peer} {face}")
+            rows.extend(f"p{rank} wait" for _ in neighbours)
+            rows.extend(f"p{rank} compute {1e6 / split!r}"
+                        for _ in range(split))
+            rows.append(f"p{rank} allReduce 40 10")
+        with open(os.path.join(directory, f"SG_process{rank}.trace"),
+                  "w", encoding="ascii") as handle:
+            handle.write("\n".join(rows) + "\n")
+        n_actions += len(rows)
+    return n_actions
+
+
+def run_parallel_comparison():
+    import gc
+    import time
+
+    lines = [
+        "Fig. 9 addendum - parallel replay drivers (phase batching + "
+        "sharded replay) vs the token driver at 1024 ranks",
+        scale_note(),
+        f"decoupled fatpipe platform (sharding requires it; NOT the "
+        "congested platform of fig9_compiled.txt, so columns are not "
+        "comparable across the two files); iterations/rank: "
+        f"{SWEEP_ITERS}, compute_split={PARALLEL_SPLIT} "
+        "(function-level instrumentation shape), warm .tic sidecars",
+        f"all legs wall-clock (process CPU time would not see the "
+        f"{PARALLEL_SHARDS} forked shard workers), gc off, min of "
+        f"{PARALLEL_REPS} interleaved reps (LU rows: 1 rep)",
+        "",
+        f"{'trace':>8} {'ranks':>6} {'actions':>9} {'token':>9} "
+        f"{'warm':>9} {'batched':>9} {'sharded':>9} {'warm x':>7} "
+        f"{'batch x':>8} {'shard x':>8}",
+    ]
+    series = {}
+    cases = [
+        # (label, writer, reps) — the LU 2-D pencil row is the honest
+        # counter-example: at 1024 ranks its stencil reach (max_dist=32)
+        # makes the sharding halo swallow most of the band, so sharding
+        # does NOT pay there; the 1-D chain row (max_dist=1) is where
+        # the acceptance bar lives.
+        ("lu-2d",
+         lambda d, n: write_synthetic_lu_trace(
+             d, n, SWEEP_ITERS, cls="B", inorm=1,
+             compute_split=PARALLEL_SPLIT),
+         1),
+        ("chain-1d",
+         lambda d, n: write_chain_trace(d, n, SWEEP_ITERS, PARALLEL_SPLIT),
+         PARALLEL_REPS),
+    ]
+    n_ranks = 1024
+    for label, writer, reps in cases:
+        with tempfile.TemporaryDirectory() as workdir:
+            n_actions = writer(workdir, n_ranks)
+
+            def replay_once(**kwargs):
+                platform = decoupled_platform(n_ranks)
+                replayer = TraceReplayer(
+                    platform, round_robin_deployment(platform, n_ranks),
+                    **kwargs)
+                start = time.perf_counter()
+                result = replayer.replay(workdir)
+                return time.perf_counter() - start, result
+
+            replay_once(compiled="always")  # warm the .tic sidecars
+            gc.collect()
+            gc.disable()
+            try:
+                walls = {"token": [], "warm": [], "batched": [],
+                         "sharded": []}
+                results = {}
+                for _ in range(reps):
+                    for leg, kwargs in (
+                        ("token", dict(compiled="never")),
+                        ("warm", dict(compiled="always")),
+                        ("batched", dict(compiled="always",
+                                         batch_phases=True)),
+                        ("sharded", dict(compiled="always",
+                                         batch_phases=True,
+                                         shards=PARALLEL_SHARDS)),
+                    ):
+                        wall, result = replay_once(**kwargs)
+                        walls[leg].append(wall)
+                        results[leg] = result
+            finally:
+                gc.enable()
+            token = results["token"]
+            assert token.n_actions == n_actions
+            # In-run equivalence: every driver reproduces the token
+            # schedule to 1e-9 — makespan and per-rank times.
+            for leg in ("warm", "batched", "sharded"):
+                result = results[leg]
+                assert result.n_actions == n_actions
+                assert abs(result.simulated_time - token.simulated_time) \
+                    <= 1e-9 * max(1.0, abs(token.simulated_time))
+                for a, b in zip(result.per_rank_time, token.per_rank_time):
+                    assert abs(a - b) <= 1e-9 * max(1.0, abs(b))
+        best = {leg: min(times) for leg, times in walls.items()}
+        series[label] = best
+        lines.append(
+            f"{label:>8} {n_ranks:>6} {n_actions:>9,} "
+            f"{best['token']:>8.2f}s {best['warm']:>8.2f}s "
+            f"{best['batched']:>8.2f}s {best['sharded']:>8.2f}s "
+            f"{best['token'] / best['warm']:>6.2f}x "
+            f"{best['token'] / best['batched']:>7.2f}x "
+            f"{best['token'] / best['sharded']:>7.2f}x"
+        )
+    lines += [
+        "",
+        "Composition notes (honest accounting):",
+        "- the bulk of the headline ratio is the columnar compiled",
+        "  driver with compute fusion (the 'warm' column): the token",
+        "  driver pays per-record parsing on this record-dominated",
+        "  trace shape, the compiled driver does not,",
+        "- phase batching advances each synchronizing collective as one",
+        "  dependency graph instead of per-rank generator scheduling,",
+        "- sharding's win on one core is WORK reduction, not",
+        "  parallelism: each worker's coupled max-min system is its",
+        "  band + guard ring instead of the whole machine, so the",
+        "  engine's O(group) solve cost per event collapses; with",
+        "  multiple cores the forked workers additionally overlap,",
+        "- sharding does not pay on the lu-2d row: the 2-D pencil's",
+        "  stencil reach (max_dist=32 at 1024 ranks) makes the guard",
+        "  ring swallow most of each band, so the workers re-simulate",
+        "  nearly the whole machine (total simulated work EXCEEDS one",
+        "  sequential replay); the row is kept as the counter-example,",
+        "- both parallel paths are exact, not approximate: the run",
+        "  asserts 1e-9 equivalence with the token driver in-process,",
+        "  and sharded replay additionally cross-validates its guard",
+        "  rings at every window (any drift fails the replay loudly).",
+    ]
+    emit_table("fig9_parallel.txt", lines)
+    return series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_parallel(benchmark):
+    series = benchmark.pedantic(run_parallel_comparison, rounds=1,
+                                iterations=1)
+    best = series["chain-1d"]
+    # Acceptance bar: >= 5x end-to-end over the token driver at 1024
+    # ranks with warm sidecars, batching, and 4 shards (equivalence to
+    # 1e-9 is asserted inside the run itself).
+    assert best["token"] / best["sharded"] >= PARALLEL_SPEEDUP_MIN
+
+
 _RSS_WORKER = r"""
 import resource, sys
 from repro.core.replay import TraceReplayer

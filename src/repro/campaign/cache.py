@@ -44,7 +44,10 @@ __all__ = ["CACHE_FORMAT_VERSION", "canonical_json", "digest_of",
 #: key, so stale-format records can never be served.
 #: v2: fault-injection specs joined the key composition.
 #: v3: ReplaySpec grew the ``compiled`` driver field.
-CACHE_FORMAT_VERSION = 3
+#: v4: ReplaySpec grew batch_phases/shards/shard_halo, and synthetic
+#: trace addresses normalise the seed to 0 when jitter is 0 (the seed
+#: cannot influence a jitter-free trace, so it must not split the key).
+CACHE_FORMAT_VERSION = 4
 
 
 def canonical_json(obj: Any) -> str:
@@ -99,6 +102,13 @@ def _trace_address(scenario: Scenario) -> Dict[str, Any]:
     if trace.kind == "synth":
         # The synth generator needs the rank count too.
         address["n_ranks"] = scenario.ranks
+        # A jitter-free trace never draws from its RNG, so the seed
+        # cannot influence a single byte of it; leaving it in the
+        # address would split identical traces across cache keys
+        # (spurious misses when a sweep varies the seed with jitter 0).
+        # synth_metadata applies the same normalisation.
+        if address.get("jitter") == 0.0:
+            address["seed"] = 0
     return address
 
 

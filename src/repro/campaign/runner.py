@@ -211,6 +211,9 @@ def execute_scenario(sdict: dict) -> dict:
             fault_plan=fault_plan,
             fault_mode=fault_mode,
             compiled=scenario.replay.compiled,
+            batch_phases=scenario.replay.batch_phases,
+            shards=scenario.replay.shards,
+            shard_halo=scenario.replay.shard_halo,
         )
         return replayer.replay(source)
 
@@ -359,10 +362,24 @@ def run_campaign(
         key = scenario_cache_key(scenario)
         served: Optional[dict] = None
         source = ""
+        prior_history: List[dict] = []
         if resume:
             prior = store.read_run(scenario.name)
-            if prior is not None and prior.ok and prior.cache_key == key:
-                served, source = prior.result, "store"
+            if prior is not None and prior.cache_key == key:
+                # The store already knows this exact experiment.  Its
+                # attempt history is provenance worth keeping whatever
+                # happens next — carry it forward (into the served
+                # record, or into the re-run that supersedes a stale
+                # failure), tagging carried entries as resumed.  The
+                # re-run overwrites runs/<name>.json and the manifest
+                # entry; records are never duplicated.
+                prior_history = [
+                    dict(entry, resumed=True)
+                    if not entry.get("resumed") else dict(entry)
+                    for entry in prior.retry_history
+                ]
+                if prior.ok:
+                    served, source = prior.result, "store"
         if served is None and use_cache:
             cached = cache.get(key)
             if cached is not None and cached.get("status") == STATUS_OK:
@@ -372,6 +389,7 @@ def run_campaign(
                 name=scenario.name, cache_key=key, status=STATUS_OK,
                 attempts=0, cache_hit=True, cache_source=source,
                 scenario=scenario.to_dict(), result=served,
+                retry_history=prior_history,
             )
             store.write_run(record)
             records[scenario.name] = record
@@ -382,7 +400,7 @@ def run_campaign(
             emit(f"[{spec.name}] {scenario.name}: served from {source} "
                  f"(key {key[:12]})")
         else:
-            pending.append(_Job(scenario, key))
+            pending.append(_Job(scenario, key, history=prior_history))
 
     # -- phase 2: the fleet ---------------------------------------------
     ctx = multiprocessing.get_context(_START_METHOD)

@@ -230,6 +230,11 @@ class ReplaySpec:
     # Part of the cache address even though compiled and token replays
     # agree to 1e-9: a cached record must say which driver produced it.
     compiled: str = "auto"
+    # Event-loop batching and sharded parallel replay (exact, validated
+    # at run time); cache-addressed for the same provenance reason.
+    batch_phases: bool = False
+    shards: int = 0
+    shard_halo: int = 0
 
     def __post_init__(self) -> None:
         if self.compiled not in ("auto", "always", "never"):
@@ -237,6 +242,8 @@ class ReplaySpec:
                 f"unknown compiled mode {self.compiled!r}; use 'auto', "
                 "'always', or 'never'"
             )
+        if self.shards < 0 or self.shard_halo < 0:
+            raise ValueError("shards and shard_halo must be >= 0")
 
     def digest_fields(self) -> Dict[str, Any]:
         # collect_metrics changes what is *recorded*, not the simulated

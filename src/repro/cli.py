@@ -362,6 +362,22 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-compiled", dest="compiled",
                         action="store_const", const="never",
                         help="force the token-stream replay driver")
+    parser.add_argument("--batch-phases", action="store_true",
+                        help="advance synchronizing collectives as one "
+                             "batched dependency graph instead of N "
+                             "per-rank protocols (exact; falls back "
+                             "silently when the replay is not eligible)")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="replay contiguous rank bands in N forked "
+                             "worker processes, merged at collective "
+                             "windows (decoupled platforms only; results "
+                             "are validated against the band owners to "
+                             "1e-9 and the replay fails loudly if the "
+                             "halo is too thin)")
+    parser.add_argument("--shard-halo", type=int, default=0, metavar="R",
+                        help="guard width in ranks each shard simulates "
+                             "beyond its band (default: auto-sized from "
+                             "the trace's communication pattern)")
     parser.add_argument("--faults", default=None, metavar="PLAN_JSON",
                         help="fault plan JSON (host crashes, link outages, "
                              "link degradations) to inject during replay")
@@ -413,11 +429,15 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
             fault_plan=fault_plan,
             fault_mode=args.fault_mode,
             compiled=args.compiled,
+            batch_phases=args.batch_phases,
+            shards=args.shards,
+            shard_halo=args.shard_halo,
         )
     except ValueError as exc:
-        # Plan/mode mismatch (e.g. checkpoint-restart without a
-        # checkpoint block) is an input error, not a replay failure.
-        print(f"bad fault plan: {exc}", file=sys.stderr)
+        # Option mismatch (checkpoint-restart without a checkpoint
+        # block, --shards with --no-compiled, ...) is an input error,
+        # not a replay failure.
+        print(f"bad replay configuration: {exc}", file=sys.stderr)
         return 2
     try:
         result = replayer.replay(args.trace)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import gzip
 import hashlib
+import logging
 import os
 import struct
 import time
@@ -319,10 +320,17 @@ def _digest_file(path: str) -> bytes:
     return h.digest()
 
 
+#: Directories whose sidecar writes already failed once: the first
+#: failure gets a debug-level note, the rest stay silent.  A read-only
+#: 1024-rank trace directory would otherwise be 1024 chances to spam.
+_TIC_WRITE_FAILED_DIRS: set = set()
+
+
 def _write_tic(path: str, programs: List[CompiledProgram],
                source_digest: bytes) -> bool:
     """Write a sidecar (best-effort: a read-only trace directory just
-    means no disk cache, never a failed replay)."""
+    means no disk cache, never a failed replay — and never a fallback
+    to the token driver; the compiled programs live in memory)."""
     try:
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
@@ -341,11 +349,19 @@ def _write_tic(path: str, programs: List[CompiledProgram],
                     prog.vol2, dtype="<f8").tobytes())
         os.replace(tmp, path)
         return True
-    except OSError:
+    except OSError as exc:
         try:
             os.unlink(tmp)
         except OSError:
             pass
+        directory = os.path.dirname(os.path.abspath(path))
+        if directory not in _TIC_WRITE_FAILED_DIRS:
+            _TIC_WRITE_FAILED_DIRS.add(directory)
+            logging.getLogger(__name__).debug(
+                "cannot cache compiled programs under %s (%s); replay "
+                "proceeds compiled, recompiling on every run",
+                directory, exc,
+            )
         return False
 
 

@@ -44,6 +44,7 @@ from ..faults.report import FaultReport, RankFailure, build_fault_report
 from ..simkernel import CommSystem, DeadlockError, Engine, Host, Platform, Telemetry
 from ..simkernel.pwl import DEFAULT_MPI_MODEL, PiecewiseLinearModel
 from ..smpi import collectives
+from .batch import CollectiveBatcher, batch_eligible
 from .binfmt import NAME_OF_OPCODE
 from .compile import (
     OP_ALLREDUCE,
@@ -157,9 +158,31 @@ class TraceReplayer:
         fault_plan: Optional[FaultPlan] = None,
         fault_mode: str = "abort",
         compiled: str = "auto",
+        batch_phases: bool = False,
+        shards: int = 0,
+        shard_halo: int = 0,
     ) -> None:
         if not deployment:
             raise ValueError("deployment must map at least one rank")
+        if shards < 0 or shard_halo < 0:
+            raise ValueError("shards and shard_halo must be >= 0")
+        if shards > 1:
+            if record_timed_trace:
+                raise ValueError(
+                    "sharded replay does not record timed traces (the "
+                    "compiled driver it builds on refuses them); use "
+                    "shards=0 with record_timed_trace"
+                )
+            if compiled == "never":
+                raise ValueError(
+                    "sharded replay runs on the compiled driver; "
+                    "shards>1 is incompatible with compiled='never'"
+                )
+            if collective_algorithm != "binomial":
+                raise ValueError(
+                    "sharded replay synchronizes shards at binomial "
+                    "collectives; use collective_algorithm='binomial'"
+                )
         if compiled not in ("auto", "always", "never"):
             raise ValueError(
                 f"unknown compiled mode {compiled!r}; use 'auto', "
@@ -217,6 +240,19 @@ class TraceReplayer:
         # compilation; "never" forces the token path.  Exposed as
         # ``repro-replay --compiled/--no-compiled``.
         self.compiled = compiled
+        # Phase batching: advance synchronizing collectives with one
+        # dependency graph instead of per-rank protocol generators (see
+        # repro.core.batch).  Silently inert when the replay is not
+        # eligible (token path, flat collectives, fault plans, folded or
+        # modeled hosts) — eligibility is checked per replay.
+        self.batch_phases = batch_phases
+        # Sharded replay: partition ranks into contiguous bands replayed
+        # in forked worker processes, synchronized at collectives (see
+        # repro.core.shard).  0/1 means in-process replay.  Fault plans
+        # take the sequential path regardless — fault reports are then
+        # byte-identical to unsharded runs by construction.
+        self.shards = shards
+        self.shard_halo = shard_halo
         self._custom_actions = False
         # CompileReport of the most recent compiled replay (None when the
         # token path ran).
@@ -262,6 +298,9 @@ class TraceReplayer:
         """
         plan = self.fault_plan
         if plan is None:
+            if self.shards > 1:
+                from .shard import replay_sharded
+                return replay_sharded(self, source)
             return self._replay_core(source, None)[0]
         if self.fault_mode == "checkpoint-restart":
             return self._replay_checkpoint_restart(source, plan)
@@ -390,6 +429,17 @@ class TraceReplayer:
         self.engine.deadlock_hook = lambda blocked: self._deadlock_report(
             contexts, blocked
         )
+        # Phase batching only exists on the compiled fault-free path and
+        # only when the batched graph is provably the exact protocol
+        # (see batch_eligible).  Ineligible replays silently run the
+        # per-rank generators — same results, fewer assumptions.
+        batcher = None
+        if (self.batch_phases and programs is not None
+                and fault_events is None and batch_eligible(self, n_ranks)):
+            batcher = CollectiveBatcher(
+                self.engine, self.comms.transfer_params, self.deployment,
+                self.comms.eager_threshold,
+            )
 
         procs: List = []
         fault_state = None
@@ -559,7 +609,8 @@ class TraceReplayer:
                 procs.append(self.engine.add_process(
                     f"p{ctx.rank}",
                     self._compiled_rank_process(ctx, prog, finish,
-                                                replay_metrics, count)))
+                                                replay_metrics, count,
+                                                batcher)))
         try:
             simulated = self.engine.run()
         except DeadlockError as exc:
@@ -582,6 +633,8 @@ class TraceReplayer:
         wall = time.perf_counter() - wall_start
         if telemetry is not None:
             telemetry.comm.finish(self.comms.cache_stats())
+            if batcher is not None:
+                replay_metrics.phase_advances = batcher.phase_advances
         return ReplayResult(
             simulated_time=simulated,
             per_rank_time=finish,
@@ -644,7 +697,8 @@ class TraceReplayer:
 
     def _compiled_rank_process(self, ctx: "_CompiledRankContext",
                                prog: CompiledProgram, finish,
-                               replay_metrics, count: bool):
+                               replay_metrics, count: bool,
+                               batcher: Optional[CollectiveBatcher] = None):
         """One rank's replay over its compiled op program.
 
         The hot loop is a frequency-ordered if/elif over opcode ints on
@@ -713,13 +767,22 @@ class TraceReplayer:
                 self._require_comm_size(ctx, "allReduce")
                 v = vol[i]
                 volume = v
-                coll = self._coll_ops(ctx)
-                if binomial:
-                    yield from collectives.reduce_then_bcast_allreduce(
-                        coll, v, flops=vol2[i], tag=coll.tag)
+                if batcher is not None:
+                    # Phase-batched: one dependency graph replaces the
+                    # whole per-rank protocol; this rank parks on its
+                    # exit node.  coll_seq still advances so batched and
+                    # generator replays number collectives identically.
+                    ctx.coll_seq += 1
+                    yield batcher.arrive(rank, ctx.coll_seq, "allReduce",
+                                         v, vol2[i], ctx.declared_size)
                 else:
-                    yield from _flat_reduce(coll, v, vol2[i])
-                    yield from _flat_bcast(coll, v)
+                    coll = self._coll_ops(ctx)
+                    if binomial:
+                        yield from collectives.reduce_then_bcast_allreduce(
+                            coll, v, flops=vol2[i], tag=coll.tag)
+                    else:
+                        yield from _flat_reduce(coll, v, vol2[i])
+                        yield from _flat_bcast(coll, v)
             elif op == OP_BCAST:
                 self._require_comm_size(ctx, "bcast")
                 v = vol[i]
@@ -742,8 +805,15 @@ class TraceReplayer:
                     yield from _flat_reduce(coll, v, vol2[i])
             elif op == OP_BARRIER:
                 self._require_comm_size(ctx, "barrier")
-                coll = self._coll_ops(ctx)
-                yield from collectives.barrier(coll, tag=coll.tag)
+                if batcher is not None:
+                    ctx.coll_seq += 1
+                    yield batcher.arrive(
+                        rank, ctx.coll_seq, "barrier",
+                        float(collectives.BARRIER_TOKEN_BYTES), 0.0,
+                        ctx.declared_size)
+                else:
+                    coll = self._coll_ops(ctx)
+                    yield from collectives.barrier(coll, tag=coll.tag)
             elif op == OP_COMM_SIZE:
                 size = arg[i]
                 if size != comms.size and size > len(self.deployment):

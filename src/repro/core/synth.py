@@ -85,8 +85,12 @@ def synth_metadata(
     """The full parameter tuple that determines a synthetic trace set.
 
     Two directories written with equal metadata hold byte-identical
-    traces; any single differing field (the seed included) yields a
-    different trace.  ``repro.campaign.cache`` digests this dict.
+    traces; any single differing field yields a different trace — with
+    one deliberate exception: when ``jitter`` is 0 the RNG is never
+    drawn from, so the seed cannot influence the trace and is
+    normalised to 0 here (and in the campaign cache's trace address) to
+    keep equal traces under equal keys.  ``repro.campaign.cache``
+    digests this dict.
     """
     return {
         "generator": "lu-synth",
@@ -95,7 +99,7 @@ def synth_metadata(
         "iterations": int(iterations),
         "cls": str(cls),
         "inorm": int(inorm),
-        "seed": int(seed),
+        "seed": int(seed) if float(jitter) > 0.0 else 0,
         "jitter": float(jitter),
         "compute_split": int(compute_split),
     }

@@ -1006,6 +1006,20 @@ class Engine:
             return
         self._complete(waitable)
 
+    def complete_at(self, waitable: Waitable, when: float) -> None:
+        """Complete a derived waitable at absolute time ``when`` (or now,
+        if ``when`` has already passed).  The sharded replay driver uses
+        this to release parked ranks at the collective exit times the
+        coordinator computed for them."""
+        if waitable.done:
+            return
+        if when <= self.now:
+            self._complete(waitable)
+            return
+        t = Timer(when - self.now, name="complete_at")
+        t.on_complete(lambda _t: self.complete_waitable(waitable))
+        self.start_activity(t)
+
     # ------------------------------------------------------------------
     # Fault injection (see repro.faults; no-ops in fault-free runs)
     # ------------------------------------------------------------------

@@ -101,6 +101,14 @@ class Constraint:
         # treats it as a per-activity rate cap, not a constraint.
         self.fatpipe = fatpipe
 
+    def clone(self) -> "Constraint":
+        """A fresh, unused constraint with the same capacity/sharing
+        semantics.  The shard coordinator rebuilds collective phases on
+        throwaway engines; cloning keeps those simulations off the live
+        platform's engine-owned ``users``/``group`` state entirely."""
+        return Constraint(self.capacity, name=self.name,
+                          fatpipe=self.fatpipe)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Constraint({self.name or id(self)}, cap={self.capacity:g})"
 

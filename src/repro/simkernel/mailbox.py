@@ -239,10 +239,15 @@ class CommSystem:
                     return comm
         return None
 
-    def _start_transfer(self, comm: _PendingComm) -> None:
-        send_req = comm.send_req
-        src_host = self.host_of(send_req.src)
-        dst_host = self.host_of(send_req.dst)
+    def transfer_params(self, src: int, dst: int, size: float):
+        """``(links, scaled latency, rate factor)`` for one transfer —
+        the exact flow parameters :meth:`_start_transfer` would use,
+        route- and factor-cached.  The phase-batched collective driver
+        builds its flows through this, so a batched collective crosses
+        the same constraints with the same latency/bandwidth scaling as
+        the per-rank protocol it replaces."""
+        src_host = self.host_of(src)
+        dst_host = self.host_of(dst)
         route_key = (id(src_host), id(dst_host))
         cached = self._route_cache.get(route_key)
         if cached is None:
@@ -250,11 +255,17 @@ class CommSystem:
             cached = (route.links, route.latency)
             self._route_cache[route_key] = cached
         links, latency = cached
-        factors = self._factor_cache.get(send_req.size)
+        factors = self._factor_cache.get(size)
         if factors is None:
-            factors = self.comm_model.factors(send_req.size)
-            self._factor_cache[send_req.size] = factors
+            factors = self.comm_model.factors(size)
+            self._factor_cache[size] = factors
         lat_factor, bw_factor = factors
+        return links, latency * lat_factor, bw_factor
+
+    def _start_transfer(self, comm: _PendingComm) -> None:
+        send_req = comm.send_req
+        links, latency, bw_factor = self.transfer_params(
+            send_req.src, send_req.dst, send_req.size)
         down = self._down_links
         if down and not down.isdisjoint(links):
             # The route crosses a dead link: the transfer is refused and
@@ -268,7 +279,7 @@ class CommSystem:
         act = CommActivity(
             links,
             send_req.size,
-            latency=latency * lat_factor,
+            latency=latency,
             rate_factor=bw_factor,
             name=f"{send_req.src}->{send_req.dst}/{send_req.tag}",
         )

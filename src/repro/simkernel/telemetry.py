@@ -221,7 +221,8 @@ class ReplayMetrics:
     :data:`ACTION_CATEGORIES`.
     """
 
-    __slots__ = ("n_ranks", "rank_cells", "ops_compiled", "computes_fused")
+    __slots__ = ("n_ranks", "rank_cells", "ops_compiled", "computes_fused",
+                 "phase_advances", "shard_merges")
 
     def __init__(self) -> None:
         self.n_ranks = 0
@@ -232,12 +233,21 @@ class ReplayMetrics:
         # actions were absorbed into fused ops.
         self.ops_compiled = 0
         self.computes_fused = 0
+        # Phase-batched/sharded driver provenance: how many synchronizing
+        # collectives were advanced as one batched dependency graph
+        # (0: every collective ran through the per-rank generator
+        # protocol) and how many cross-shard window merges the parallel
+        # driver performed (0: single-process replay).
+        self.phase_advances = 0
+        self.shard_merges = 0
 
     def reset(self, n_ranks: int) -> None:
         self.n_ranks = n_ranks
         self.rank_cells = [{} for _ in range(n_ranks)]
         self.ops_compiled = 0
         self.computes_fused = 0
+        self.phase_advances = 0
+        self.shard_merges = 0
 
     def new_cell(self, rank: int, name: str) -> list:
         """Build (and register) the counting cell for one (rank, action).
@@ -283,6 +293,8 @@ class ReplayMetrics:
             "time_by_category": time_totals,
             "ops_compiled": self.ops_compiled,
             "computes_fused": self.computes_fused,
+            "phase_advances": self.phase_advances,
+            "shard_merges": self.shard_merges,
             "per_rank": per_rank,
         }
 

@@ -78,11 +78,41 @@ def test_cache_key_deterministic_across_objects():
         scenario_cache_key(lu_scenario())
 
 
-def test_cache_key_busted_by_synth_seed():
-    base = lu_scenario()
+def test_cache_key_busted_by_synth_seed_only_with_jitter():
+    # With jitter the RNG shapes the trace, so the seed is part of the
+    # content address ...
+    jittered = lu_scenario(trace=TraceSpec(
+        kind="synth", cls="S", iterations=2, inorm=1, seed=0, jitter=0.05))
     reseeded = lu_scenario(trace=TraceSpec(
+        kind="synth", cls="S", iterations=2, inorm=1, seed=1, jitter=0.05))
+    assert scenario_cache_key(jittered) != scenario_cache_key(reseeded)
+    # ... but a jitter-free generator never draws from its RNG: two
+    # seeds write byte-identical traces and must share one cache key
+    # (the old behaviour split them — spurious misses on seed sweeps).
+    base = lu_scenario()
+    reseeded_flat = lu_scenario(trace=TraceSpec(
         kind="synth", cls="S", iterations=2, inorm=1, seed=1))
-    assert scenario_cache_key(base) != scenario_cache_key(reseeded)
+    assert scenario_cache_key(base) == scenario_cache_key(reseeded_flat)
+
+
+def test_jitter_free_seed_normalisation_matches_trace_bytes(tmp_path):
+    # The key-level normalisation mirrors a byte-level fact: check it.
+    from repro.campaign.cache import digest_tree
+    from repro.core.synth import synth_metadata, write_synthetic_lu_trace
+
+    a, b = str(tmp_path / "a"), str(tmp_path / "b")
+    write_synthetic_lu_trace(a, 4, 2, cls="S", inorm=1, seed=0)
+    write_synthetic_lu_trace(b, 4, 2, cls="S", inorm=1, seed=42)
+    assert digest_tree(a) == digest_tree(b)
+    assert synth_metadata(4, 2, "S", 1, seed=0) == \
+        synth_metadata(4, 2, "S", 1, seed=42)
+    # With jitter the same seeds diverge, byte-level and key-level.
+    c, d = str(tmp_path / "c"), str(tmp_path / "d")
+    write_synthetic_lu_trace(c, 4, 2, cls="S", inorm=1, seed=0, jitter=0.05)
+    write_synthetic_lu_trace(d, 4, 2, cls="S", inorm=1, seed=42, jitter=0.05)
+    assert digest_tree(c) != digest_tree(d)
+    assert synth_metadata(4, 2, "S", 1, seed=0, jitter=0.05) != \
+        synth_metadata(4, 2, "S", 1, seed=42, jitter=0.05)
 
 
 def test_cache_key_busted_by_calibration_change():
@@ -203,6 +233,50 @@ def test_campaign_retries_then_succeeds(tmp_path):
     lines = render_retry_summary([stored])
     assert any("flaky" in line and "RuntimeError" in line
                for line in lines)
+
+
+def test_resume_supersedes_stale_failure_and_keeps_history(tmp_path):
+    # A failed record must not shadow (or survive alongside) the
+    # successful re-run: --resume re-executes it, overwrites
+    # runs/<name>.json and the manifest entry, and carries the old
+    # attempt history forward tagged as resumed.
+    state = str(tmp_path / "state")
+    spec = CampaignSpec(name="res", jobs=1, retry_backoff=0.01,
+                        scenarios=[Scenario(
+                            "flaky", 2,
+                            trace=TraceSpec(kind="fail", fail_times=2,
+                                            state_path=state),
+                            max_retries=0)])
+    out = str(tmp_path / "camp")
+
+    assert not run_campaign(spec, out).ok          # failure 1 of 2
+    second = run_campaign(spec, out, resume=True)  # failure 2 of 2
+    assert not second.ok
+    assert [h.get("resumed", False)
+            for h in second.records["flaky"].retry_history] == [True, False]
+
+    third = run_campaign(spec, out, resume=True)   # succeeds
+    assert third.ok
+    record = third.records["flaky"]
+    assert record.ok and not record.cache_hit
+    assert len(record.retry_history) == 2
+    assert all(h["resumed"] for h in record.retry_history)
+
+    # Superseded, not duplicated: one run file, one manifest entry, ok.
+    store = CampaignStore(out)
+    assert os.listdir(os.path.join(out, "runs")) == ["flaky.json"]
+    stored = store.read_run("flaky")
+    assert stored.ok and stored.retry_history == record.retry_history
+    manifest = store.read_manifest()
+    assert manifest["scenarios"]["flaky"]["status"] == "ok"
+
+    # A fourth resume serves the stored success — and must *keep* the
+    # provenance, not reset it to an empty history.
+    fourth = run_campaign(spec, out, resume=True)
+    assert fourth.ok
+    assert fourth.records["flaky"].cache_source == "store"
+    assert fourth.records["flaky"].retry_history == record.retry_history
+    assert store.read_run("flaky").retry_history == record.retry_history
 
 
 def test_campaign_timeout_retry_reason_is_recorded(tmp_path):

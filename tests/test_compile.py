@@ -290,6 +290,41 @@ def test_unwritable_sidecar_is_best_effort(mixed_dir, monkeypatch):
     assert not any(name.endswith(".tic") for name in os.listdir(mixed_dir))
 
 
+def test_unwritable_sidecar_notes_once_and_stays_compiled(
+        mixed_dir, monkeypatch, caplog):
+    # Repeated replays against a read-only trace directory must stay
+    # quiet — a single debug-level note for the directory, never
+    # per-rank warning spam — and must keep running the compiled driver
+    # under compiled='always' (no silent token fallback).
+    import logging
+
+    from repro.core import compile as compile_mod
+
+    real_replace = os.replace
+
+    def deny_tic(src, dst, *args, **kwargs):
+        if str(dst).endswith(".tic"):
+            raise PermissionError(13, "Read-only file system", str(dst))
+        return real_replace(src, dst, *args, **kwargs)
+
+    monkeypatch.setattr(compile_mod.os, "replace", deny_tic)
+    monkeypatch.setattr(compile_mod, "_TIC_WRITE_FAILED_DIRS", set())
+
+    reference = replay_dir(mixed_dir, compiled="never")
+    with caplog.at_level(logging.DEBUG, logger="repro.core.compile"):
+        results = [replay_dir(mixed_dir, compiled="always",
+                              collect_metrics=True) for _ in range(3)]
+    for result in results:
+        assert_equivalent(reference, result)
+        # Still the compiled driver: the op programs were built and run.
+        assert result.metrics["replay"]["ops_compiled"] > 0
+    assert not any(name.endswith(".tic") for name in os.listdir(mixed_dir))
+    notes = [r for r in caplog.records if "cannot cache" in r.getMessage()]
+    assert len(notes) == 1
+    assert notes[0].levelno == logging.DEBUG
+    assert str(mixed_dir) in notes[0].getMessage()
+
+
 # ---------------------------------------------------------------------------
 # Campaign cache interaction
 # ---------------------------------------------------------------------------
