@@ -47,7 +47,10 @@ __all__ = ["CACHE_FORMAT_VERSION", "canonical_json", "digest_of",
 #: v4: ReplaySpec grew batch_phases/shards/shard_halo, and synthetic
 #: trace addresses normalise the seed to 0 when jitter is 0 (the seed
 #: cannot influence a jitter-free trace, so it must not split the key).
-CACHE_FORMAT_VERSION = 4
+#: v5: TraceSpec grew family/params (AI-workload generators) and the
+#: opcode space grew the allToAll/allGather/reduceScatter/allToAllv
+#: collectives.
+CACHE_FORMAT_VERSION = 5
 
 
 def canonical_json(obj: Any) -> str:
@@ -106,8 +109,10 @@ def _trace_address(scenario: Scenario) -> Dict[str, Any]:
         # cannot influence a single byte of it; leaving it in the
         # address would split identical traces across cache keys
         # (spurious misses when a sweep varies the seed with jitter 0).
-        # synth_metadata applies the same normalisation.
-        if address.get("jitter") == 0.0:
+        # synth_metadata applies the same normalisation.  The moe family
+        # is the exception: its expert-routing splits are a function of
+        # the seed even at jitter 0, so its seed always addresses.
+        if address.get("jitter") == 0.0 and trace.family != "moe":
             address["seed"] = 0
     return address
 

@@ -219,14 +219,22 @@ def execute_scenario(sdict: dict) -> dict:
 
     actual_time: Optional[float] = None
     if trace.kind == "synth":
-        from ..core.synth import write_synthetic_lu_trace
         platform = _replay_platform(scenario, speed)
         with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tdir:
-            write_synthetic_lu_trace(
-                tdir, scenario.ranks, trace.iterations, cls=trace.cls,
-                inorm=trace.inorm, seed=trace.seed, jitter=trace.jitter,
-                compute_split=trace.compute_split,
-            )
+            if trace.family == "lu":
+                from ..core.synth import write_synthetic_lu_trace
+                write_synthetic_lu_trace(
+                    tdir, scenario.ranks, trace.iterations, cls=trace.cls,
+                    inorm=trace.inorm, seed=trace.seed, jitter=trace.jitter,
+                    compute_split=trace.compute_split,
+                )
+            else:
+                from ..core.synth_ai import write_synthetic_ai_trace
+                write_synthetic_ai_trace(
+                    trace.family, tdir, scenario.ranks, trace.iterations,
+                    seed=trace.seed, jitter=trace.jitter,
+                    **trace.generator_params(),
+                )
             result = replay(tdir, platform)
     elif trace.kind == "dir":
         platform = _replay_platform(scenario, speed)

@@ -58,10 +58,17 @@ class TraceSpec:
     (the cache digests kind-relevant fields only, see
     :meth:`digest_fields`):
 
-    * ``synth`` — the :mod:`repro.core.synth` LU-mix generator:
-      ``cls``, ``iterations``, ``inorm``, ``seed``, ``jitter``,
-      ``compute_split`` (compute records per sweep; > 1 models
-      function-level instrumentation).
+    * ``synth`` — a synthetic generator, selected by ``family``:
+
+      - ``lu`` (default) — the :mod:`repro.core.synth` LU-mix generator:
+        ``cls``, ``iterations``, ``inorm``, ``seed``, ``jitter``,
+        ``compute_split`` (compute records per sweep; > 1 models
+        function-level instrumentation).
+      - ``dp`` / ``pp`` / ``moe`` — the :mod:`repro.core.synth_ai`
+        AI-workload generators; ``iterations`` is the training-step
+        count and ``params`` carries the family's keyword arguments
+        (e.g. ``{"bucket_bytes": 1048576}``) as an inline JSON object,
+        canonicalised so equal parameter sets digest identically.
     * ``acquire`` — the full §4 pipeline on the scenario's (ground-truth)
       platform: ``app``, ``cls``, ``mode``, ``papi_jitter``,
       ``papi_seed``, ``itmax_cap`` (0 = the class's full ``itmax``).
@@ -83,12 +90,16 @@ class TraceSpec:
 
     kind: str = "synth"
     # synth
+    family: str = "lu"
     cls: str = "B"
     iterations: int = 4
     inorm: int = 2
     seed: int = 0
     jitter: float = 0.0
     compute_split: int = 1
+    #: Extra generator kwargs for the AI families, as canonical JSON
+    #: (spec files may write an inline object; it is canonicalised).
+    params: str = ""
     # acquire
     app: str = "lu"
     mode: str = "R"
@@ -105,6 +116,7 @@ class TraceSpec:
     stage_wait_s: float = 0.0
 
     _KINDS = ("synth", "acquire", "dir", "sleep", "fail")
+    _FAMILIES = ("lu", "dp", "pp", "moe")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
@@ -113,6 +125,31 @@ class TraceSpec:
             )
         if self.kind == "dir" and not self.path:
             raise ValueError("trace kind 'dir' needs a path")
+        if self.kind == "synth" and self.family not in self._FAMILIES:
+            raise ValueError(
+                f"unknown synth family {self.family!r}; "
+                f"use one of {self._FAMILIES}"
+            )
+        if self.params and not isinstance(self.params, str):
+            # Spec files naturally write the kwargs inline as an object;
+            # canonicalise so equal parameter sets compare and digest
+            # equal.
+            object.__setattr__(
+                self, "params",
+                json.dumps(self.params, sort_keys=True,
+                           separators=(",", ":")),
+            )
+        if self.params:
+            decoded = json.loads(self.params)
+            if not isinstance(decoded, dict):
+                raise ValueError(
+                    "trace params must be a JSON object of generator "
+                    f"keyword arguments, got {type(decoded).__name__}"
+                )
+
+    def generator_params(self) -> Dict[str, Any]:
+        """The decoded ``params`` object (empty dict when unset)."""
+        return json.loads(self.params) if self.params else {}
 
     def digest_fields(self) -> Dict[str, Any]:
         """The kind-relevant parameters (what the cache key digests for
@@ -121,9 +158,19 @@ class TraceSpec:
         base: Dict[str, Any] = {"kind": self.kind,
                                 "stage_wait_s": self.stage_wait_s}
         if self.kind == "synth":
-            base.update(cls=self.cls, iterations=self.iterations,
-                        inorm=self.inorm, seed=self.seed, jitter=self.jitter,
-                        compute_split=self.compute_split)
+            base["family"] = self.family
+            if self.family == "lu":
+                base.update(cls=self.cls, iterations=self.iterations,
+                            inorm=self.inorm, seed=self.seed,
+                            jitter=self.jitter,
+                            compute_split=self.compute_split)
+            else:
+                # AI families: iterations is the step count; the rest of
+                # the generator surface travels in the canonical params
+                # JSON (decoded so the digest sees values, not spelling).
+                base.update(iterations=self.iterations, seed=self.seed,
+                            jitter=self.jitter,
+                            params=self.generator_params())
         elif self.kind == "acquire":
             base.update(app=self.app, cls=self.cls, mode=self.mode,
                         papi_jitter=self.papi_jitter,

@@ -275,6 +275,61 @@ def main_compile(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def main_import(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-import",
+        description="Import a PyTorch/param comms trace (per-rank "
+                    "rank<k>.json files, or one symmetric JSON file of "
+                    "collectives) into a time-independent trace set.",
+    )
+    parser.add_argument("source",
+                        help="directory of rank<k>.json files, or a single "
+                             "JSON trace file")
+    parser.add_argument("out_dir",
+                        help="destination for SG_process*.trace files")
+    parser.add_argument("--format", default="param-comms",
+                        choices=["param-comms"],
+                        help="source trace format (default: param-comms)")
+    parser.add_argument("--world-size", type=int, default=None,
+                        help="communicator size; required for single-file "
+                             "sources, checked against per-rank sources")
+    parser.add_argument("--skip-unsupported", action="store_true",
+                        help="drop records the format cannot express "
+                             "(counted in the report) instead of failing")
+    parser.add_argument("--binary", action="store_true",
+                        help="write .btrace files instead of text")
+    parser.add_argument("--json", action="store_true",
+                        help="print the import report as JSON")
+    args = parser.parse_args(argv)
+
+    from .importers import import_param_comms
+
+    try:
+        report = import_param_comms(
+            args.source, args.out_dir,
+            world_size=args.world_size,
+            skip_unsupported=args.skip_unsupported,
+            binary=args.binary,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"import failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"imported {report.n_ranks} ranks: {report.n_records:,} "
+              f"records -> {report.n_actions:,} actions "
+              f"({report.n_bytes:,} B) into {report.out_dir}")
+        if report.n_skipped:
+            ops = ", ".join(f"{op} x{n}" for op, n
+                            in sorted(report.skipped_ops.items()))
+            print(f"skipped {report.n_skipped} unsupported record(s): "
+                  f"{ops}")
+    return 0
+
+
 def main_validate(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-validate",

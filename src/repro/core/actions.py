@@ -21,6 +21,25 @@ MPI_Comm_size   ``<id> comm_size <#proc>``
 MPI_Wait        ``<id> wait``
 =============== ==========================================
 
+The format is workload-agnostic; four additional collectives cover the
+communication shapes of AI-training traffic (data-parallel gradient
+exchange, expert-parallel token routing) that the original LU-shaped
+prototype never needed:
+
+================== ===============================================
+MPI call           Trace entry
+================== ===============================================
+MPI_Alltoall       ``<id> allToAll <volume>``   (bytes per peer)
+MPI_Alltoallv      ``<id> allToAllv <total> <s0> ... <s_{n-1}>``
+MPI_Allgather      ``<id> allGather <volume>``  (bytes contributed)
+MPI_Reduce_scatter ``<id> reduceScatter <vcomm> <vcomp>``
+================== ===============================================
+
+``allToAllv`` split sizes are per *destination* rank (``s_i`` bytes to
+process i; the own-rank slot stays local) and must sum to ``<total>`` —
+an inconsistent line is rejected at parse time, never silently
+truncated.
+
 Process ids are written ``p<rank>`` as in the paper's Fig. 1.  Collectives
 involve all processes (MPI_Comm_split is not part of the format) and are
 rooted at process 0; a ``comm_size`` action must precede the first
@@ -31,13 +50,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence, Tuple
 
 __all__ = [
     "Action", "Compute", "Send", "Isend", "Recv", "Irecv", "Bcast",
     "Reduce", "AllReduce", "Barrier", "CommSize", "Wait",
+    "AllToAll", "AllToAllv", "AllGather", "ReduceScatter",
     "format_action", "parse_action", "format_volume", "ACTION_NAMES",
 ]
+
+#: Tolerance of the allToAllv split-sum consistency check: exact for the
+#: integral volumes traces normally carry, forgiving only float rounding
+#: for the escape-hatch non-integral ones.
+SPLIT_SUM_ATOL = 1e-6
+SPLIT_SUM_RTOL = 1e-9
 
 
 def format_volume(value: float) -> str:
@@ -155,6 +181,91 @@ class AllReduce(_ReduceLike):
 
 
 @dataclass(frozen=True)
+class AllToAll(Action):
+    """Uniform all-to-all: every rank sends ``volume`` bytes to every
+    other rank (the own-rank share stays local)."""
+
+    volume: float  # bytes per destination rank
+    name = "allToAll"
+
+    def args(self) -> List[str]:
+        return [format_volume(self.volume)]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not math.isfinite(self.volume) or self.volume < 0:
+            raise ValueError(
+                f"allToAll volume must be >= 0, got {self.volume}")
+
+
+@dataclass(frozen=True)
+class AllToAllv(Action):
+    """Vector all-to-all: ``splits[i]`` bytes go to process i (the
+    own-rank slot stays local); the splits must sum to ``total``.
+
+    Unlike every other collective, the volumes legitimately differ per
+    rank — the validator checks split *count* agreement across ranks,
+    and the replay's pairwise exchange takes each edge's volume from the
+    sender's split, so asymmetric routing matrices replay exactly.
+    """
+
+    total: float            # sum of splits, bytes
+    splits: Tuple[float, ...]  # per-destination bytes, len == comm size
+
+    name = "allToAllv"
+
+    def args(self) -> List[str]:
+        return [format_volume(self.total)] + [format_volume(s)
+                                              for s in self.splits]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        splits = tuple(float(s) for s in self.splits)
+        object.__setattr__(self, "splits", splits)
+        if not splits:
+            raise ValueError("allToAllv needs at least one split size")
+        for s in splits:
+            if not math.isfinite(s) or s < 0:
+                raise ValueError(
+                    f"allToAllv split sizes must be >= 0 and finite, got {s}")
+        if not math.isfinite(self.total) or self.total < 0:
+            raise ValueError(
+                f"allToAllv total must be >= 0, got {self.total}")
+        s = math.fsum(splits)
+        if abs(s - self.total) > SPLIT_SUM_ATOL + SPLIT_SUM_RTOL * abs(self.total):
+            raise ValueError(
+                f"allToAllv split sizes sum to {s:g} but the total says "
+                f"{self.total:g} — inconsistent record")
+
+
+@dataclass(frozen=True)
+class AllGather(Action):
+    """All-gather: every rank contributes ``volume`` bytes and ends up
+    with all ``size * volume`` bytes."""
+
+    volume: float  # bytes contributed per rank
+    name = "allGather"
+
+    def args(self) -> List[str]:
+        return [format_volume(self.volume)]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not math.isfinite(self.volume) or self.volume < 0:
+            raise ValueError(
+                f"allGather volume must be >= 0, got {self.volume}")
+
+
+@dataclass(frozen=True)
+class ReduceScatter(_ReduceLike):
+    """Reduce-scatter: ``vcomm`` bytes contributed per rank are reduced
+    (``vcomp`` flops per contribution) and each rank keeps a
+    ``vcomm / size`` share."""
+
+    name = "reduceScatter"
+
+
+@dataclass(frozen=True)
 class Barrier(Action):
     name = "barrier"
 
@@ -190,6 +301,10 @@ ACTION_NAMES = {
     "barrier": Barrier,
     "comm_size": CommSize,
     "wait": Wait,
+    "allToAll": AllToAll,
+    "allToAllv": AllToAllv,
+    "allGather": AllGather,
+    "reduceScatter": ReduceScatter,
 }
 
 
@@ -224,10 +339,21 @@ def parse_action(line: str) -> Action:
         if name == "bcast":
             (vol,) = args
             return Bcast(rank, float(vol))
-        if name in ("reduce", "allReduce"):
+        if name in ("reduce", "allReduce", "reduceScatter"):
             vcomm, vcomp = args
             cls = ACTION_NAMES[name]
             return cls(rank, float(vcomm), float(vcomp))
+        if name in ("allToAll", "allGather"):
+            (vol,) = args
+            cls = ACTION_NAMES[name]
+            return cls(rank, float(vol))
+        if name == "allToAllv":
+            if len(args) < 2:
+                raise ValueError(
+                    "allToAllv needs a total and at least one split size")
+            total = float(args[0])
+            splits = tuple(float(s) for s in args[1:])
+            return AllToAllv(rank, total, splits)
         if name == "barrier":
             if args:
                 raise ValueError("barrier takes no arguments")

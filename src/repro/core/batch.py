@@ -278,6 +278,18 @@ class CollectiveBatcher:
                flops: float, size: int) -> Waitable:
         """Rank ``rank`` reached collective ``seq`` at the current
         simulated instant.  Returns the waitable to park on."""
+        if kind not in ("allReduce", "barrier"):
+            # The batcher's dependency graphs encode exactly the binomial
+            # reduce+bcast trees; any other collective (bcast, reduce,
+            # allToAll(v), allGather, reduceScatter) must stay on the
+            # generator protocols.  The drivers never route them here —
+            # this guard turns a future mis-wiring into a loud error
+            # instead of a silently wrong makespan.
+            raise ValueError(
+                f"phase batching cannot batch {kind!r} — only "
+                "allReduce/barrier have batched trees; replay this "
+                "collective through the generator protocols"
+            )
         graph = self._graphs.get(seq)
         if graph is None:
             graph = _CollectiveGraph(self, seq, kind, nbytes, flops, size)

@@ -26,7 +26,10 @@ from typing import Iterable, Iterator
 
 from .actions import (
     Action,
+    AllGather,
     AllReduce,
+    AllToAll,
+    AllToAllv,
     Barrier,
     Bcast,
     CommSize,
@@ -35,6 +38,7 @@ from .actions import (
     Isend,
     Recv,
     Reduce,
+    ReduceScatter,
     Send,
     Wait,
 )
@@ -47,6 +51,7 @@ __all__ = [
     "decode_actions",
     "OPCODE_OF",
     "NAME_OF_OPCODE",
+    "OPCODE_SPACE_VERSION",
 ]
 
 _MAGIC = b"TIBIN001"
@@ -66,6 +71,19 @@ _OP_ALLREDUCE = 8
 _OP_BARRIER = 9
 _OP_COMM_SIZE = 10
 _OP_WAIT = 11
+_OP_ALLTOALL = 12
+_OP_ALLGATHER = 13
+_OP_REDUCESCATTER = 14
+_OP_ALLTOALLV = 15
+
+#: Version of the opcode *space* (which opcodes exist and what their
+#: payloads mean), independent of the container formats that embed it.
+#: v1: the original Table 1 set (opcodes 1-11).
+#: v2: the AI-workload collectives allToAll/allGather/reduceScatter/
+#: allToAllv (opcodes 12-15).  Derived caches (the ``.tic`` sidecars of
+#: :mod:`repro.core.compile`) key on this so programs compiled under an
+#: older space recompile instead of mis-decoding new opcodes.
+OPCODE_SPACE_VERSION = 2
 
 #: Public opcode table: trace action keyword -> opcode.  Shared with the
 #: trace compiler (:mod:`repro.core.compile`), whose columnar programs
@@ -83,6 +101,10 @@ OPCODE_OF = {
     "barrier": _OP_BARRIER,
     "comm_size": _OP_COMM_SIZE,
     "wait": _OP_WAIT,
+    "allToAll": _OP_ALLTOALL,
+    "allGather": _OP_ALLGATHER,
+    "reduceScatter": _OP_REDUCESCATTER,
+    "allToAllv": _OP_ALLTOALLV,
 }
 
 #: Inverse table, opcode -> keyword (list-indexable: opcodes are dense
@@ -96,8 +118,19 @@ _P2P_OPS = {
 }
 _P2P_CODES = {Send: _OP_SEND, Isend: _OP_ISEND, Recv: _OP_RECV,
               Irecv: _OP_IRECV}
-_RED_OPS = {_OP_REDUCE: Reduce, _OP_ALLREDUCE: AllReduce}
-_RED_CODES = {Reduce: _OP_REDUCE, AllReduce: _OP_ALLREDUCE}
+_RED_OPS = {_OP_REDUCE: Reduce, _OP_ALLREDUCE: AllReduce,
+            _OP_REDUCESCATTER: ReduceScatter}
+_RED_CODES = {Reduce: _OP_REDUCE, AllReduce: _OP_ALLREDUCE,
+              ReduceScatter: _OP_REDUCESCATTER}
+_VOL_OPS = {_OP_BCAST: Bcast, _OP_ALLTOALL: AllToAll,
+            _OP_ALLGATHER: AllGather}
+_VOL_CODES = {Bcast: _OP_BCAST, AllToAll: _OP_ALLTOALL,
+              AllGather: _OP_ALLGATHER}
+
+#: Guard against absurd split counts in corrupt allToAllv records: no
+#: real communicator approaches this, and each split needs at least one
+#: payload byte anyway, so a larger count is corruption by construction.
+_MAX_SPLITS = 1 << 22
 
 
 def binary_trace_file_name(rank: int) -> str:
@@ -171,8 +204,22 @@ def encode_actions(actions: Iterable[Action]) -> bytes:
                 out.append(opcode | _FLOAT_FLAG)
                 _write_varint(out, action.peer)
                 out += struct.pack("<d", action.volume)
-        elif cls is Bcast:
-            _write_volume(out, _OP_BCAST, action.volume)
+        elif cls in _VOL_CODES:
+            _write_volume(out, _VOL_CODES[cls], action.volume)
+        elif cls is AllToAllv:
+            # Varint split count, then total + splits — all varints when
+            # integral, all doubles behind the float flag otherwise.
+            values = (action.total,) + action.splits
+            integral = all(v == int(v) and 0 <= v < 2 ** 63 for v in values)
+            if integral:
+                out.append(_OP_ALLTOALLV)
+                _write_varint(out, len(action.splits))
+                for v in values:
+                    _write_varint(out, int(v))
+            else:
+                out.append(_OP_ALLTOALLV | _FLOAT_FLAG)
+                _write_varint(out, len(action.splits))
+                out += struct.pack(f"<{len(values)}d", *values)
         elif cls in _RED_CODES:
             opcode = _RED_CODES[cls]
             integral = (action.vcomm == int(action.vcomm)
@@ -216,9 +263,31 @@ def _decode_record(buf: bytes, pos: int, rank: int) -> tuple:
         peer, pos = _read_varint(buf, pos)
         volume, pos = _read_volume(buf, pos, is_float)
         return _P2P_OPS[opcode](rank, peer, volume), pos
-    if opcode == _OP_BCAST:
+    if opcode in _VOL_OPS:
         volume, pos = _read_volume(buf, pos, is_float)
-        return Bcast(rank, volume), pos
+        return _VOL_OPS[opcode](rank, volume), pos
+    if opcode == _OP_ALLTOALLV:
+        count, pos = _read_varint(buf, pos)
+        if count < 1 or count > _MAX_SPLITS:
+            raise ValueError(
+                f"allToAllv record declares {count} split sizes — "
+                "inconsistent binary trace")
+        if is_float:
+            need = 8 * (count + 1)
+            if pos + need > len(buf):
+                raise ValueError("truncated allToAllv volumes")
+            values = struct.unpack_from(f"<{count + 1}d", buf, pos)
+            pos += need
+            total, splits = values[0], values[1:]
+        else:
+            total, pos = _read_varint(buf, pos)
+            splits = []
+            for _ in range(count):
+                s, pos = _read_varint(buf, pos)
+                splits.append(float(s))
+        # The constructor enforces the split-sum consistency contract
+        # (ValueError, never a silently wrong volume).
+        return AllToAllv(rank, float(total), tuple(splits)), pos
     if opcode in _RED_OPS:
         if is_float:
             if pos + 16 > len(buf):

@@ -38,6 +38,7 @@ from __future__ import annotations
 import gzip
 import hashlib
 import logging
+import math
 import os
 import struct
 import time
@@ -47,13 +48,14 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .actions import format_volume
-from .binfmt import NAME_OF_OPCODE, OPCODE_OF
+from .binfmt import NAME_OF_OPCODE, OPCODE_OF, OPCODE_SPACE_VERSION
 
 __all__ = [
     "CompiledProgram", "CompileReport", "compile_source", "fuse_computes",
     "op_tokens", "tic_path_for", "TIC_SUFFIX",
     "OP_COMPUTE", "OP_SEND", "OP_ISEND", "OP_RECV", "OP_IRECV", "OP_BCAST",
     "OP_REDUCE", "OP_ALLREDUCE", "OP_BARRIER", "OP_COMM_SIZE", "OP_WAIT",
+    "OP_ALLTOALL", "OP_ALLGATHER", "OP_REDUCESCATTER", "OP_ALLTOALLV",
 ]
 
 OP_COMPUTE = OPCODE_OF["compute"]
@@ -67,26 +69,37 @@ OP_ALLREDUCE = OPCODE_OF["allReduce"]
 OP_BARRIER = OPCODE_OF["barrier"]
 OP_COMM_SIZE = OPCODE_OF["comm_size"]
 OP_WAIT = OPCODE_OF["wait"]
+OP_ALLTOALL = OPCODE_OF["allToAll"]
+OP_ALLGATHER = OPCODE_OF["allGather"]
+OP_REDUCESCATTER = OPCODE_OF["reduceScatter"]
+OP_ALLTOALLV = OPCODE_OF["allToAllv"]
 
 #: Compiled-program sidecar suffix, appended to the source file name.
 TIC_SUFFIX = ".tic"
 
 _TIC_MAGIC = b"TICP0001"
-_TIC_VERSION = 1
-_TIC_HEADER = struct.Struct("<8sHHI")   # magic, version, flags, n_ranks
-_TIC_BLOCK = struct.Struct("<IQQ")      # rank, n_ops, n_src
+#: v2: per-rank aux blocks (allToAllv split tables) joined the layout,
+#: and the header's flags field now carries the opcode-space version —
+#: a sidecar compiled under an older opcode space is a cache miss, so
+#: pre-existing ``.tic`` files recompile instead of being decoded with
+#: opcodes they never knew.
+_TIC_VERSION = 2
+_TIC_HEADER = struct.Struct("<8sHHI")   # magic, version, opcode space, n_ranks
+_TIC_BLOCK = struct.Struct("<IQQI")     # rank, n_ops, n_src, n_aux
+_TIC_AUX = struct.Struct("<QI")         # op index, split count
 
 
 class CompiledProgram:
     """One rank's compiled op program (see the module docstring)."""
 
     __slots__ = ("rank", "ops", "arg", "vol", "vol2", "nsrc", "n_src",
-                 "fused")
+                 "fused", "aux")
 
     def __init__(self, rank: int, ops: np.ndarray, arg: np.ndarray,
                  vol: np.ndarray, vol2: np.ndarray,
                  nsrc: Optional[np.ndarray] = None,
-                 n_src: Optional[int] = None, fused: bool = False) -> None:
+                 n_src: Optional[int] = None, fused: bool = False,
+                 aux: Optional[Dict[int, np.ndarray]] = None) -> None:
         self.rank = rank
         self.ops = ops
         self.arg = arg
@@ -97,6 +110,11 @@ class CompiledProgram:
         self.nsrc = nsrc
         self.n_src = len(ops) if n_src is None else int(n_src)
         self.fused = fused
+        # Variable-length payloads the fixed columns cannot hold: op
+        # index -> float64 split table (allToAllv per-destination bytes;
+        # ``arg`` holds the split count, ``vol`` the total).  None when
+        # the program has no such ops — the common case costs nothing.
+        self.aux = aux
 
     @property
     def n_ops(self) -> int:
@@ -124,13 +142,14 @@ class CompileReport:
 class _Builder:
     """Columnar accumulator for one rank's ops."""
 
-    __slots__ = ("ops", "arg", "vol", "vol2")
+    __slots__ = ("ops", "arg", "vol", "vol2", "aux")
 
     def __init__(self) -> None:
         self.ops: List[int] = []
         self.arg: List[int] = []
         self.vol: List[float] = []
         self.vol2: List[float] = []
+        self.aux: Dict[int, List[float]] = {}
 
     def finish(self, rank: int) -> CompiledProgram:
         return CompiledProgram(
@@ -139,6 +158,8 @@ class _Builder:
             np.asarray(self.arg, dtype=np.int32),
             np.asarray(self.vol, dtype=np.float64),
             np.asarray(self.vol2, dtype=np.float64),
+            aux={i: np.asarray(v, dtype=np.float64)
+                 for i, v in self.aux.items()} or None,
         )
 
 
@@ -152,7 +173,8 @@ def _compile_tokens(builder: _Builder, tokens: List[str], rank: int) -> None:
             raise ValueError(
                 f"p{rank}: unregistered action {name!r}"
             )
-        if code == OP_COMPUTE or code == OP_BCAST:
+        if (code == OP_COMPUTE or code == OP_BCAST
+                or code == OP_ALLTOALL or code == OP_ALLGATHER):
             builder.arg.append(0)
             builder.vol.append(float(tokens[2]))
             builder.vol2.append(0.0)
@@ -160,10 +182,19 @@ def _compile_tokens(builder: _Builder, tokens: List[str], rank: int) -> None:
             builder.arg.append(int(tokens[2][1:]))
             builder.vol.append(float(tokens[3]))
             builder.vol2.append(0.0)
-        elif code == OP_REDUCE or code == OP_ALLREDUCE:
+        elif (code == OP_REDUCE or code == OP_ALLREDUCE
+                or code == OP_REDUCESCATTER):
             builder.arg.append(0)
             builder.vol.append(float(tokens[2]))
             builder.vol2.append(float(tokens[3]))
+        elif code == OP_ALLTOALLV:
+            total = float(tokens[2])
+            splits = [float(t) for t in tokens[3:]]
+            _check_splits(total, splits, rank)
+            builder.aux[len(builder.ops)] = splits
+            builder.arg.append(len(splits))
+            builder.vol.append(total)
+            builder.vol2.append(0.0)
         elif code == OP_COMM_SIZE:
             builder.arg.append(int(tokens[2]))
             builder.vol.append(0.0)
@@ -174,11 +205,34 @@ def _compile_tokens(builder: _Builder, tokens: List[str], rank: int) -> None:
             builder.vol2.append(0.0)
         builder.ops.append(code)
     except (IndexError, ValueError) as exc:
-        if isinstance(exc, ValueError) and "unregistered action" in str(exc):
+        if isinstance(exc, ValueError) and (
+                "unregistered action" in str(exc)
+                or "allToAllv" in str(exc)):
             raise
         raise ValueError(
             f"p{rank}: malformed trace line {' '.join(tokens)!r}"
         ) from None
+
+
+def _check_splits(total: float, splits: List[float], rank: int) -> None:
+    """The allToAllv consistency contract, worded like the token
+    handlers': split sizes finite, non-negative, and summing to the
+    declared total."""
+    from .actions import SPLIT_SUM_ATOL, SPLIT_SUM_RTOL
+
+    if not splits:
+        raise ValueError(
+            f"p{rank}: allToAllv needs at least one split size")
+    for s in splits:
+        if not math.isfinite(s) or s < 0:
+            raise ValueError(
+                f"p{rank}: allToAllv split sizes must be >= 0 and "
+                f"finite, got {s}")
+    s = math.fsum(splits)
+    if abs(s - total) > SPLIT_SUM_ATOL + SPLIT_SUM_RTOL * abs(total):
+        raise ValueError(
+            f"p{rank}: allToAllv split sizes sum to {s:g} but the "
+            f"total says {total:g} — inconsistent record")
 
 
 def _compile_actions(actions, rank: int) -> CompiledProgram:
@@ -190,19 +244,25 @@ def _compile_actions(actions, rank: int) -> CompiledProgram:
     vol2 = builder.vol2
     for action in actions:
         code = OPCODE_OF[action.name]
-        ops.append(code)
         if OP_SEND <= code <= OP_IRECV:
             arg.append(action.peer)
             vol.append(action.volume)
             vol2.append(0.0)
-        elif code == OP_COMPUTE or code == OP_BCAST:
+        elif (code == OP_COMPUTE or code == OP_BCAST
+                or code == OP_ALLTOALL or code == OP_ALLGATHER):
             arg.append(0)
             vol.append(action.volume)
             vol2.append(0.0)
-        elif code == OP_REDUCE or code == OP_ALLREDUCE:
+        elif (code == OP_REDUCE or code == OP_ALLREDUCE
+                or code == OP_REDUCESCATTER):
             arg.append(0)
             vol.append(action.vcomm)
             vol2.append(action.vcomp)
+        elif code == OP_ALLTOALLV:
+            builder.aux[len(ops)] = list(action.splits)
+            arg.append(len(action.splits))
+            vol.append(action.total)
+            vol2.append(0.0)
         elif code == OP_COMM_SIZE:
             arg.append(action.size)
             vol.append(0.0)
@@ -211,6 +271,7 @@ def _compile_actions(actions, rank: int) -> CompiledProgram:
             arg.append(0)
             vol.append(0.0)
             vol2.append(0.0)
+        ops.append(code)
     return builder.finish(rank)
 
 
@@ -257,7 +318,7 @@ def fuse_computes(prog: CompiledProgram) -> CompiledProgram:
         return CompiledProgram(prog.rank, ops, prog.arg, prog.vol,
                                prog.vol2,
                                nsrc=np.zeros(0, dtype=np.uint32),
-                               n_src=0, fused=True)
+                               n_src=0, fused=True, aux=prog.aux)
     is_comp = ops == OP_COMPUTE
     prev_comp = np.empty(n, dtype=bool)
     prev_comp[0] = False
@@ -266,8 +327,15 @@ def fuse_computes(prog: CompiledProgram) -> CompiledProgram:
     if len(keep) == n:
         nsrc = np.ones(n, dtype=np.uint32)
         return CompiledProgram(prog.rank, ops, prog.arg, prog.vol,
-                               prog.vol2, nsrc=nsrc, n_src=n, fused=True)
+                               prog.vol2, nsrc=nsrc, n_src=n, fused=True,
+                               aux=prog.aux)
     nsrc = np.diff(np.append(keep, n)).astype(np.uint32)
+    # Aux keys index ops; re-address them through the keep map.  Every
+    # aux op is a collective, never a compute, so each key survives in
+    # keep and searchsorted (keep is sorted) finds its new position.
+    aux = prog.aux
+    if aux:
+        aux = {int(np.searchsorted(keep, k)): v for k, v in aux.items()}
     return CompiledProgram(
         prog.rank,
         ops[keep],
@@ -277,6 +345,7 @@ def fuse_computes(prog: CompiledProgram) -> CompiledProgram:
         nsrc=nsrc,
         n_src=n,
         fused=True,
+        aux=aux,
     )
 
 
@@ -290,14 +359,21 @@ def op_tokens(prog: CompiledProgram, index: int) -> List[str]:
     code = int(prog.ops[index])
     name = NAME_OF_OPCODE[code]
     head = [f"p{prog.rank}", name]
-    if code == OP_COMPUTE or code == OP_BCAST:
+    if (code == OP_COMPUTE or code == OP_BCAST
+            or code == OP_ALLTOALL or code == OP_ALLGATHER):
         return head + [format_volume(float(prog.vol[index]))]
     if OP_SEND <= code <= OP_IRECV:
         return head + [f"p{int(prog.arg[index])}",
                        format_volume(float(prog.vol[index]))]
-    if code == OP_REDUCE or code == OP_ALLREDUCE:
+    if (code == OP_REDUCE or code == OP_ALLREDUCE
+            or code == OP_REDUCESCATTER):
         return head + [format_volume(float(prog.vol[index])),
                        format_volume(float(prog.vol2[index]))]
+    if code == OP_ALLTOALLV:
+        splits = (prog.aux or {}).get(index)
+        tail = ([format_volume(float(s)) for s in splits]
+                if splits is not None else [])
+        return head + [format_volume(float(prog.vol[index]))] + tail
     if code == OP_COMM_SIZE:
         return head + [str(int(prog.arg[index]))]
     return head  # barrier / wait
@@ -334,12 +410,14 @@ def _write_tic(path: str, programs: List[CompiledProgram],
     try:
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
-            handle.write(_TIC_HEADER.pack(_TIC_MAGIC, _TIC_VERSION, 0,
+            handle.write(_TIC_HEADER.pack(_TIC_MAGIC, _TIC_VERSION,
+                                          OPCODE_SPACE_VERSION,
                                           len(programs)))
             handle.write(source_digest)
             for prog in programs:
+                aux = prog.aux or {}
                 handle.write(_TIC_BLOCK.pack(prog.rank, prog.n_ops,
-                                             prog.n_src))
+                                             prog.n_src, len(aux)))
                 handle.write(np.ascontiguousarray(prog.ops).tobytes())
                 handle.write(np.ascontiguousarray(
                     prog.arg, dtype="<i4").tobytes())
@@ -347,6 +425,10 @@ def _write_tic(path: str, programs: List[CompiledProgram],
                     prog.vol, dtype="<f8").tobytes())
                 handle.write(np.ascontiguousarray(
                     prog.vol2, dtype="<f8").tobytes())
+                for index in sorted(aux):
+                    splits = np.ascontiguousarray(aux[index], dtype="<f8")
+                    handle.write(_TIC_AUX.pack(index, len(splits)))
+                    handle.write(splits.tobytes())
         os.replace(tmp, path)
         return True
     except OSError as exc:
@@ -377,8 +459,12 @@ def _load_tic(path: str,
     try:
         if len(data) < _TIC_HEADER.size + 32:
             return None
-        magic, version, _flags, n_ranks = _TIC_HEADER.unpack_from(data, 0)
-        if magic != _TIC_MAGIC or version != _TIC_VERSION:
+        magic, version, opspace, n_ranks = _TIC_HEADER.unpack_from(data, 0)
+        if (magic != _TIC_MAGIC or version != _TIC_VERSION
+                or opspace != OPCODE_SPACE_VERSION):
+            # A sidecar from an older layout *or* an older opcode space
+            # (pre-v2 files wrote 0 here) is a silent miss: recompile
+            # rather than decode opcodes the writer never knew about.
             return None
         pos = _TIC_HEADER.size
         if data[pos:pos + 32] != source_digest:
@@ -386,7 +472,7 @@ def _load_tic(path: str,
         pos += 32
         programs = []
         for _ in range(n_ranks):
-            rank, n_ops, n_src = _TIC_BLOCK.unpack_from(data, pos)
+            rank, n_ops, n_src, n_aux = _TIC_BLOCK.unpack_from(data, pos)
             pos += _TIC_BLOCK.size
             ops = np.frombuffer(data, dtype=np.uint8, count=n_ops,
                                 offset=pos).copy()
@@ -400,8 +486,21 @@ def _load_tic(path: str,
             vol2 = np.frombuffer(data, dtype="<f8", count=n_ops,
                                  offset=pos).astype(np.float64, copy=False)
             pos += 8 * n_ops
+            aux: Optional[Dict[int, np.ndarray]] = None
+            for _a in range(n_aux):
+                index, count = _TIC_AUX.unpack_from(data, pos)
+                pos += _TIC_AUX.size
+                splits = np.frombuffer(data, dtype="<f8", count=count,
+                                       offset=pos).astype(np.float64,
+                                                          copy=False)
+                if len(splits) != count:
+                    return None
+                pos += 8 * count
+                if aux is None:
+                    aux = {}
+                aux[int(index)] = splits
             programs.append(CompiledProgram(rank, ops, arg, vol, vol2,
-                                            n_src=n_src))
+                                            n_src=n_src, aux=aux))
         return programs
     except (struct.error, ValueError):
         return None

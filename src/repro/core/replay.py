@@ -47,7 +47,10 @@ from ..smpi import collectives
 from .batch import CollectiveBatcher, batch_eligible
 from .binfmt import NAME_OF_OPCODE
 from .compile import (
+    OP_ALLGATHER,
     OP_ALLREDUCE,
+    OP_ALLTOALL,
+    OP_ALLTOALLV,
     OP_BARRIER,
     OP_BCAST,
     OP_COMM_SIZE,
@@ -56,9 +59,11 @@ from .compile import (
     OP_ISEND,
     OP_RECV,
     OP_REDUCE,
+    OP_REDUCESCATTER,
     OP_SEND,
     OP_WAIT,
     CompiledProgram,
+    _check_splits,
     compile_source,
     fuse_computes,
     op_tokens,
@@ -269,6 +274,10 @@ class TraceReplayer:
             "allReduce": self._do_allreduce,
             "barrier": self._do_barrier,
             "comm_size": self._do_comm_size,
+            "allToAll": self._do_alltoall,
+            "allToAllv": self._do_alltoallv,
+            "allGather": self._do_allgather,
+            "reduceScatter": self._do_reducescatter,
         }
 
     # ------------------------------------------------------------------
@@ -722,6 +731,8 @@ class TraceReplayer:
         vol = prog.vol.tolist()
         vol2 = prog.vol2.tolist()
         nsrc = prog.nsrc.tolist() if prog.nsrc is not None else None
+        aux = ({k: a.tolist() for k, a in prog.aux.items()}
+               if prog.aux else None)
         n = len(ops)
         metered = replay_metrics is not None
         if metered:
@@ -822,6 +833,46 @@ class TraceReplayer:
                         f"deployment ({len(self.deployment)} hosts)"
                     )
                 ctx.declared_size = size
+            elif op == OP_ALLTOALL:
+                self._require_comm_size(ctx, "allToAll")
+                v = vol[i]
+                volume = v
+                coll = self._coll_ops(ctx)
+                yield from collectives.pairwise_alltoall(
+                    coll, v, tag=coll.tag)
+            elif op == OP_ALLTOALLV:
+                self._require_comm_size(ctx, "allToAllv")
+                v = vol[i]
+                volume = v
+                splits = None if aux is None else aux.get(i)
+                if splits is None or len(splits) != arg[i]:
+                    raise ValueError(
+                        f"p{rank}: compiled allToAllv op {i} lost its "
+                        "split table (corrupt program)"
+                    )
+                coll = self._coll_ops(ctx)
+                yield from collectives.pairwise_alltoallv(
+                    coll, splits, tag=coll.tag)
+            elif op == OP_ALLGATHER:
+                self._require_comm_size(ctx, "allGather")
+                v = vol[i]
+                volume = v
+                coll = self._coll_ops(ctx)
+                if binomial:
+                    yield from collectives.gather_then_bcast_allgather(
+                        coll, v, tag=coll.tag)
+                else:
+                    yield from _flat_allgather(coll, v)
+            elif op == OP_REDUCESCATTER:
+                self._require_comm_size(ctx, "reduceScatter")
+                v = vol[i]
+                volume = v
+                coll = self._coll_ops(ctx)
+                if binomial:
+                    yield from collectives.reduce_then_scatter(
+                        coll, v, flops=vol2[i], tag=coll.tag)
+                else:
+                    yield from _flat_reducescatter(coll, v, vol2[i])
             if metered:
                 cell = cells[op]
                 if cell is None:
@@ -1003,6 +1054,56 @@ class TraceReplayer:
         self._require_comm_size(ctx, "barrier")
         ops = self._coll_ops(ctx)
         yield from collectives.barrier(ops, tag=ops.tag)
+
+    def _do_alltoall(self, ctx: _RankContext, tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "allToAll")
+        volume = float(tokens[2])
+        ops = self._coll_ops(ctx)
+        # Pairwise exchange under both algorithm settings: flat-tree has
+        # no root to flatten onto — the pairwise schedule *is* the flat
+        # decomposition of an all-to-all.
+        yield from collectives.pairwise_alltoall(ops, volume, tag=ops.tag)
+        return volume
+
+    def _do_alltoallv(self, ctx: _RankContext,
+                      tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "allToAllv")
+        if len(tokens) < 4:
+            raise ValueError(
+                f"p{ctx.rank}: allToAllv needs a total and at least one "
+                "split size")
+        # Token streams bypass parse_action, so the consistency contract
+        # is enforced here too — same wording as the compiler's.
+        total = float(tokens[2])
+        splits = [float(t) for t in tokens[3:]]
+        _check_splits(total, splits, ctx.rank)
+        ops = self._coll_ops(ctx)
+        yield from collectives.pairwise_alltoallv(ops, splits, tag=ops.tag)
+        return total
+
+    def _do_allgather(self, ctx: _RankContext,
+                      tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "allGather")
+        volume = float(tokens[2])
+        ops = self._coll_ops(ctx)
+        if self.collective_algorithm == "binomial":
+            yield from collectives.gather_then_bcast_allgather(
+                ops, volume, tag=ops.tag)
+        else:
+            yield from _flat_allgather(ops, volume)
+        return volume
+
+    def _do_reducescatter(self, ctx: _RankContext,
+                          tokens: List[str]) -> Iterator:
+        self._require_comm_size(ctx, "reduceScatter")
+        vcomm, vcomp = float(tokens[2]), float(tokens[3])
+        ops = self._coll_ops(ctx)
+        if self.collective_algorithm == "binomial":
+            yield from collectives.reduce_then_scatter(
+                ops, vcomm, flops=vcomp, tag=ops.tag)
+        else:
+            yield from _flat_reducescatter(ops, vcomm, vcomp)
+        return vcomm
 
     # ------------------------------------------------------------------
     # Trace sources
@@ -1217,3 +1318,29 @@ def _flat_reduce(ops: _CollOps, vcomm: float, vcomp: float) -> Iterator:
             yield from ops.compute(vcomp)
     else:
         yield from ops.send(0, vcomm, tag=ops.tag)
+
+
+def _flat_allgather(ops: _CollOps, volume: float) -> Iterator:
+    """Flat allgather: gather every contribution to the root, then
+    flat-broadcast the concatenated ``size * volume`` buffer."""
+    if ops.rank == 0:
+        for _ in range(ops.size - 1):
+            yield from ops.recv(tag=ops.tag)
+    else:
+        yield from ops.send(0, volume, tag=ops.tag)
+    yield from _flat_bcast(ops, ops.size * volume)
+
+
+def _flat_reducescatter(ops: _CollOps, vcomm: float,
+                        vcomp: float) -> Iterator:
+    """Flat reduce-scatter: flat reduce to the root, then the root sends
+    each rank its ``vcomm / size`` share directly."""
+    yield from _flat_reduce(ops, vcomm, vcomp)
+    share = vcomm / ops.size
+    if ops.rank == 0:
+        reqs = [ops.isend(dst, share, tag=ops.tag)
+                for dst in range(1, ops.size)]
+        for req in reqs:
+            yield req
+    else:
+        yield from ops.recv(src=0, tag=ops.tag)

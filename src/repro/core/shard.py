@@ -60,7 +60,10 @@ from ..simkernel.engine import Engine
 from ..smpi.collectives import BARRIER_TOKEN_BYTES
 from .batch import CollectiveBatcher
 from .compile import (
+    OP_ALLGATHER,
     OP_ALLREDUCE,
+    OP_ALLTOALL,
+    OP_ALLTOALLV,
     OP_BARRIER,
     OP_BCAST,
     OP_COMM_SIZE,
@@ -69,6 +72,7 @@ from .compile import (
     OP_ISEND,
     OP_RECV,
     OP_REDUCE,
+    OP_REDUCESCATTER,
     OP_SEND,
     OP_WAIT,
     compile_source,
@@ -137,6 +141,21 @@ def _scan_programs(programs, n_ranks: int):
                 "without a synchronizing exit; only allReduce/barrier "
                 "delimit shard windows"
             )
+        # Same gate, named per op: the AI-workload collectives all carry
+        # cross-band traffic the coordinator's window protocol does not
+        # model (pairwise exchange touches every ordered pair; gather/
+        # scatter trees span all bands).  Refuse loudly, never mis-batch.
+        for bad_op, bad_name in ((OP_ALLTOALL, "allToAll"),
+                                 (OP_ALLTOALLV, "allToAllv"),
+                                 (OP_ALLGATHER, "allGather"),
+                                 (OP_REDUCESCATTER, "reduceScatter")):
+            if np.any(ops == bad_op):
+                raise ValueError(
+                    f"p{rank}: sharded replay cannot run {bad_name} "
+                    "actions — their communication spans all bands and "
+                    "is not a shard-window collective; run without "
+                    "--shards (the sequential drivers replay it exactly)"
+                )
         recv_mask = (ops == OP_RECV) | (ops == OP_IRECV)
         if np.any(prog.arg[recv_mask] < 0):
             raise ValueError(

@@ -26,8 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from .actions import (
-    AllReduce, Barrier, Bcast, CommSize, Irecv, Isend, Recv, Reduce, Send,
-    Wait,
+    AllGather, AllReduce, AllToAll, AllToAllv, Barrier, Bcast, CommSize,
+    Irecv, Isend, Recv, Reduce, ReduceScatter, Send, Wait,
 )
 from .trace import InMemoryTrace
 
@@ -152,15 +152,29 @@ def validate_trace(trace: InMemoryTrace,
                     if resolved.peer < len(ranks):
                         received.setdefault(
                             (resolved.peer, rank), []).append(resolved.volume)
-            elif isinstance(action, (Bcast, Reduce, AllReduce, Barrier)):
+            elif isinstance(action, (Bcast, Reduce, AllReduce, Barrier,
+                                     AllToAll, AllToAllv, AllGather,
+                                     ReduceScatter)):
                 if not saw_comm_size:
                     add("error", rank,
                         f"action #{index} ({action.name}) precedes "
                         "comm_size (required by the format, §3)")
-                if isinstance(action, Bcast):
+                if isinstance(action, (Bcast, AllToAll, AllGather)):
                     signature = (action.name, action.volume, 0.0)
                 elif isinstance(action, Barrier):
                     signature = (action.name, 0.0, 0.0)
+                elif isinstance(action, AllToAllv):
+                    # Per-rank split totals legitimately differ (that is
+                    # the point of the v-variant); what must agree across
+                    # ranks is the split *count* — it is the communicator
+                    # size the pairwise exchange iterates over.
+                    declared = comm_sizes.get(rank)
+                    if declared is not None and len(action.splits) != declared:
+                        add("error", rank,
+                            f"action #{index} allToAllv carries "
+                            f"{len(action.splits)} split sizes but "
+                            f"comm_size declares {declared}")
+                    signature = (action.name, float(len(action.splits)), 0.0)
                 else:
                     signature = (action.name, action.vcomm, action.vcomp)
                 collectives.setdefault(rank, []).append(signature)

@@ -31,6 +31,7 @@ calibration procedure (§5).
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -39,7 +40,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.actions import (
     Action,
+    AllGather,
     AllReduce,
+    AllToAll,
     Barrier,
     Bcast,
     CommSize,
@@ -48,6 +51,7 @@ from ..core.actions import (
     Isend,
     Recv,
     Reduce,
+    ReduceScatter,
     Send,
     Wait,
     format_action,
@@ -158,9 +162,24 @@ class _RankExtractor(TfrCallbacks):
                 self._await_enter_fp = False
             self._last_fp = value
         elif event_id == self._coll_comm_event:
-            self._coll_vcomm = float(value)
+            volume = float(value)
+            if not math.isfinite(volume) or volume < 0:
+                raise ValueError(
+                    f"p{self.rank}: collective communication volume "
+                    f"trigger carries {value!r} — negative or non-finite "
+                    "payloads mean a corrupt trace, not a zero-byte "
+                    "collective"
+                )
+            self._coll_vcomm = volume
         elif event_id == self._coll_comp_event:
-            self._coll_vcomp = float(value)
+            volume = float(value)
+            if not math.isfinite(volume) or volume < 0:
+                raise ValueError(
+                    f"p{self.rank}: collective computation volume "
+                    f"trigger carries {value!r} — negative or non-finite "
+                    "payloads mean a corrupt trace"
+                )
+            self._coll_vcomp = volume
 
     def send_message(self, nid: int, tid: int, time_us: float,
                      dst: int, size: int, tag: int, comm: int) -> None:
@@ -220,9 +239,26 @@ class _RankExtractor(TfrCallbacks):
         elif func == "MPI_Allreduce":
             self.actions.append(AllReduce(rank, self._coll_vcomm,
                                           self._coll_vcomp))
+        elif func == "MPI_Alltoall":
+            self.actions.append(AllToAll(rank, self._coll_vcomm))
+        elif func == "MPI_Allgather":
+            self.actions.append(AllGather(rank, self._coll_vcomm))
+        elif func == "MPI_Reduce_scatter":
+            self.actions.append(ReduceScatter(rank, self._coll_vcomm,
+                                              self._coll_vcomp))
         elif func == "MPI_Comm_size":
             self.actions.append(CommSize(rank, self.world_size))
         # MPI_Send / MPI_Isend / MPI_Recv appended their action already.
+        if func in ("MPI_Barrier", "MPI_Bcast", "MPI_Reduce",
+                    "MPI_Allreduce", "MPI_Alltoall", "MPI_Allgather",
+                    "MPI_Reduce_scatter"):
+            # The tracer writes both volume triggers inside every
+            # collective, so the scratch is always fresh by here; reset
+            # it anyway so a trace *missing* a trigger yields a zero-byte
+            # collective rather than silently reusing the previous
+            # call's volumes.
+            self._coll_vcomm = 0.0
+            self._coll_vcomp = 0.0
         self._boundary_fp = self._last_fp
         self._boundary_time_us = time_us
         self._in_mpi = None

@@ -1,0 +1,16 @@
+"""Importers: foreign trace formats -> time-independent action traces.
+
+Each importer normalizes one external trace format into the paper's
+Table 1 action set (plus the AI-workload collectives), writing a
+standard per-process trace directory that every downstream tool —
+``repro-validate``, ``repro-compile``, ``repro-replay``, campaigns —
+consumes unchanged.  See ``docs/importers.md``.
+"""
+
+from .param_comms import (  # noqa: F401
+    ImportReport,
+    import_param_comms,
+    normalize_comm_name,
+)
+
+__all__ = ["ImportReport", "import_param_comms", "normalize_comm_name"]

@@ -54,6 +54,8 @@ ACTION_CATEGORIES: Dict[str, str] = {
     "wait": "wait",
     "send": "comm", "Isend": "comm", "recv": "comm", "Irecv": "comm",
     "bcast": "comm", "reduce": "comm", "allReduce": "comm",
+    "allToAll": "comm", "allToAllv": "comm", "allGather": "comm",
+    "reduceScatter": "comm",
     "barrier": "comm",
     "comm_size": "other",
 }
@@ -67,6 +69,9 @@ _VOLUME_TOKEN: Dict[str, int] = {
     "compute": 2,
     "send": 3, "Isend": 3, "recv": 3, "Irecv": 3,
     "bcast": 2, "reduce": 2, "allReduce": 2,
+    # For allToAllv token 2 is the row total (the nominal volume);
+    # reduceScatter meters vcomm, matching the allReduce convention.
+    "allToAll": 2, "allToAllv": 2, "allGather": 2, "reduceScatter": 2,
 }
 
 

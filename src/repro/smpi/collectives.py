@@ -24,10 +24,15 @@ from typing import Iterator, List, Optional, Tuple
 __all__ = [
     "bcast_plan",
     "reduce_plan",
+    "subtree_size",
     "binomial_bcast",
     "binomial_reduce",
     "reduce_then_bcast_allreduce",
     "barrier",
+    "pairwise_alltoall",
+    "pairwise_alltoallv",
+    "gather_then_bcast_allgather",
+    "reduce_then_scatter",
 ]
 
 #: Byte size of the token messages used by barrier synchronisation.
@@ -77,6 +82,27 @@ def reduce_plan(rank: int, size: int, root: int = 0
     """
     parent, children = bcast_plan(rank, size, root)
     return list(reversed(children)), parent
+
+
+def subtree_size(rank: int, size: int, root: int = 0) -> int:
+    """Number of ranks in ``rank``'s subtree of the binomial broadcast
+    tree (the rank itself included).  The root's subtree is the whole
+    communicator; a leaf's is 1.
+    """
+    if size < 1:
+        raise ValueError(f"communicator size must be >= 1, got {size}")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range for size {size}")
+    relative = (rank - root) % size
+    if relative == 0:
+        return size
+    # The subtree rooted at ``relative`` spans [relative, relative+mask)
+    # where mask is relative's lowest set bit, clipped to the
+    # communicator for non-power-of-two sizes.
+    mask = relative & -relative
+    return min(mask, size - relative)
 
 
 def binomial_bcast(proc, nbytes: float, root: int = 0, tag: int = 0,
@@ -138,3 +164,85 @@ def barrier(proc, tag: int = 0) -> Iterator:
     """Barrier = 1-byte reduce to 0, then 1-byte broadcast from 0."""
     yield from binomial_reduce(proc, BARRIER_TOKEN_BYTES, root=0, tag=tag)
     yield from binomial_bcast(proc, BARRIER_TOKEN_BYTES, root=0, tag=tag)
+
+
+def pairwise_alltoall(proc, nbytes: float, tag: int = 0) -> Iterator:
+    """All-to-all as ``size - 1`` pairwise exchange steps (MPICH's
+    long-message algorithm): at step ``s`` every rank sends ``nbytes``
+    to ``(rank + s) % size`` while receiving from ``(rank - s) % size``.
+
+    One message per ordered rank pair per collective, so FIFO matching
+    inside the private ``tag`` is unambiguous.  The own-rank share stays
+    local and costs nothing.
+    """
+    rank, size = proc.rank, proc.size
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        sreq = proc.isend(dst, nbytes, tag=tag)
+        yield from proc.recv(src=src, tag=tag)
+        yield from proc.wait(sreq)
+
+
+def pairwise_alltoallv(proc, splits, tag: int = 0) -> Iterator:
+    """Vector all-to-all over the same pairwise schedule.
+
+    ``splits[dst]`` is the byte count *this* rank sends to ``dst``; the
+    matched receive's volume comes from the sender's own split, so
+    asymmetric routing matrices replay exactly.  A zero split is still
+    exchanged as an empty message — the receiver cannot know the
+    sender's split size without it, exactly as MPI_Alltoallv posts the
+    full schedule regardless of counts.
+    """
+    rank, size = proc.rank, proc.size
+    if len(splits) != size:
+        raise ValueError(
+            f"p{rank}: allToAllv carries {len(splits)} split sizes for a "
+            f"{size}-process communicator")
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        sreq = proc.isend(dst, float(splits[dst]), tag=tag)
+        yield from proc.recv(src=src, tag=tag)
+        yield from proc.wait(sreq)
+
+
+def gather_then_bcast_allgather(proc, nbytes: float, tag: int = 0
+                                ) -> Iterator:
+    """Allgather as binomial gather-to-0 followed by broadcast-from-0 of
+    the concatenated buffer (§3 roots every collective at process 0).
+
+    In the gather phase each rank forwards its whole subtree's
+    contributions at once — ``subtree_size(child) * nbytes`` per child
+    link — mirroring the reduce tree's message pattern but with growing
+    payloads instead of constant ones.
+    """
+    rank, size = proc.rank, proc.size
+    children, parent = reduce_plan(rank, size, 0)
+    for child in children:
+        yield from proc.recv(src=child, tag=tag)
+    if parent is not None:
+        yield from proc.send(parent, subtree_size(rank, size) * nbytes,
+                             tag=tag)
+    yield from binomial_bcast(proc, size * nbytes, root=0, tag=tag)
+
+
+def reduce_then_scatter(proc, nbytes: float, flops: float = 0.0,
+                        tag: int = 0) -> Iterator:
+    """Reduce-scatter as binomial reduce-to-0 followed by a binomial
+    scatter of the per-rank shares.
+
+    ``nbytes`` is each rank's full contribution (the trace's ``vcomm``);
+    after the reduce, rank 0 scatters ``nbytes / size`` per rank down
+    the broadcast tree — each child link carries its subtree's shares,
+    ``subtree_size(child) * nbytes / size`` bytes.
+    """
+    yield from binomial_reduce(proc, nbytes, flops=flops, root=0, tag=tag)
+    rank, size = proc.rank, proc.size
+    share = nbytes / size
+    parent, children = bcast_plan(rank, size, 0)
+    if parent is not None:
+        yield from proc.recv(src=parent, tag=tag)
+    for dst in children:
+        req = proc.isend(dst, subtree_size(dst, size) * share, tag=tag)
+        yield from proc.wait(req)

@@ -104,6 +104,7 @@ def test_action_names_table_is_complete():
     assert set(ACTION_NAMES) == {
         "compute", "send", "Isend", "recv", "Irecv", "bcast", "reduce",
         "allReduce", "barrier", "comm_size", "wait",
+        "allToAll", "allToAllv", "allGather", "reduceScatter",
     }
     for name, cls in ACTION_NAMES.items():
         assert cls.name == name

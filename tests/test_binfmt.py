@@ -87,8 +87,14 @@ def test_property_roundtrip(kind, rank, peer, volume):
         action = cls(rank, peer, volume)
     elif kind == "bcast":
         action = Bcast(rank, volume)
-    elif kind in ("reduce", "allReduce"):
+    elif kind in ("reduce", "allReduce", "reduceScatter"):
         action = cls(rank, volume, volume / 3 if volume else 0.0)
+    elif kind in ("bcast", "allToAll", "allGather"):
+        action = cls(rank, volume)
+    elif kind == "allToAllv":
+        n_peers = peer % 4 + 2
+        splits = [volume] + [0.0] * (n_peers - 1)
+        action = cls(rank, volume, splits)
     elif kind == "comm_size":
         action = CommSize(rank, peer + 1)
     else:
