@@ -1,0 +1,164 @@
+"""Service throughput — the campaign service vs serial execution, and
+what the scheduler itself costs.
+
+The workload is 9 small campaigns (2 sleep-trace scenarios each, ~0.5s
+apiece) submitted by three tenants — ``ml`` at fair-share weight 2,
+``ci`` and ``adhoc`` at weight 1 — to a service running 2 job slots.
+The same nine specs are first executed back-to-back with plain
+``run_campaign`` calls (what a user scripting the CLI serially would
+get); the difference is the service's throughput win, and the per-job
+gap between *slot occupancy* (started -> finished) and the campaign's
+own wall clock is the scheduling overhead: fork, trace staging,
+verdict collection, and the supervisor's reap-tick latency.
+
+Honesty note: this machine exposes a single effective CPU core, so the
+scenarios are sleep-bound (blocking, non-CPU) — the quantity a worker
+fleet genuinely overlaps here.  Every job is given distinct scenario
+parameters, so the shared artifact store serves zero cross-job hits
+and the speedup is pure scheduling, not caching.  Reap latency is
+bounded by the bench's 50 ms tick cadence (the server defaults to
+200 ms).
+
+Measured claims:
+* 9 jobs through 2 service slots finish >= 1.4x faster than the same
+  specs run serially, with mean per-job scheduling overhead < 1 s;
+* all jobs end DONE and the per-tenant busy-time accounting balances;
+* weighted fair share holds: the weight-2 tenant's virtual time ends
+  at half its busy time, strictly below the weight-1 tenants'.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from _harness import emit_table
+from repro.campaign import CampaignSpec, run_campaign
+from repro.service import STATE_DONE, Supervisor
+
+TENANTS = (("ml", 2.0), ("ci", 1.0), ("adhoc", 1.0))
+JOBS_PER_TENANT = 3
+MAX_JOBS = 2
+SLEEP_S = 0.5
+SCENARIOS_PER_JOB = 2
+TICK_S = 0.05
+
+
+def job_spec_doc(tenant: str, index: int) -> dict:
+    """A 2-scenario sleep campaign, parameters unique per (tenant, job)
+    so no two jobs share a cache key (rank count is part of the key)."""
+    base_rank = 2 + 2 * SCENARIOS_PER_JOB * index + \
+        20 * [name for name, _ in TENANTS].index(tenant)
+    return {
+        "name": f"{tenant}-{index}",
+        "jobs": 1,
+        "base": {"ranks": 2,
+                 "trace": {"kind": "sleep", "seconds": SLEEP_S},
+                 "platform": {"name": "bordereau", "hosts": 64},
+                 "calibration": {"kind": "fixed", "speed": 2e9}},
+        "vary": {"ranks": [base_rank + 2 * s
+                           for s in range(SCENARIOS_PER_JOB)]},
+    }
+
+
+def all_specs():
+    return [(tenant, job_spec_doc(tenant, i))
+            for i in range(JOBS_PER_TENANT)
+            for tenant, _weight in TENANTS]
+
+
+def run_serial(root: str) -> float:
+    t0 = time.monotonic()
+    for n, (tenant, doc) in enumerate(all_specs()):
+        result = run_campaign(CampaignSpec.from_dict(doc),
+                              os.path.join(root, f"serial-{n}"), jobs=1)
+        assert result.ok, result.failed_names
+    return time.monotonic() - t0
+
+
+def run_service(root: str):
+    sup = Supervisor(os.path.join(root, "svc"), max_jobs=MAX_JOBS,
+                     tenant_weights=dict(TENANTS))
+    try:
+        t0 = time.monotonic()
+        ids = [sup.submit(doc, tenant=tenant).id
+               for tenant, doc in all_specs()]
+        while True:
+            sup.tick()
+            jobs = {j.id: j for j in sup.queue.list_jobs()}
+            if all(jobs[i].terminal for i in ids):
+                break
+            time.sleep(TICK_S)
+        wall = time.monotonic() - t0
+        finished = [jobs[i] for i in ids]
+        tenants = {t["name"]: t for t in sup.queue.tenants()}
+    finally:
+        sup.shutdown()
+        sup.queue.close()
+    return wall, finished, tenants
+
+
+def run_service_bench():
+    with tempfile.TemporaryDirectory(prefix="svc-bench-") as root:
+        serial_wall = run_serial(root)
+        service_wall, jobs, tenants = run_service(root)
+
+    assert all(j.state == STATE_DONE for j in jobs), \
+        [(j.id, j.state, j.error) for j in jobs]
+    speedup = serial_wall / service_wall
+    overheads = [(j.finished_at - j.started_at)
+                 - j.metrics["wall_seconds"] for j in jobs]
+    waits = [j.started_at - j.submitted_at for j in jobs]
+    busy = {name: tenants[name]["busy_seconds"] for name, _ in TENANTS}
+    start_order = ",".join(
+        j.tenant for j in sorted(jobs, key=lambda j: j.started_at))
+
+    n_jobs = len(jobs)
+    lines = [
+        f"Campaign service - {n_jobs} jobs ({SCENARIOS_PER_JOB} sleep "
+        f"scenarios x {SLEEP_S:.1f}s each) from 3 tenants",
+        f"(ml weight 2, ci/adhoc weight 1) through {MAX_JOBS} job "
+        f"slots, vs the same specs run serially.",
+        "Scenarios are sleep-bound (single-core machine); all specs "
+        "distinct, so zero cache hits.",
+        "",
+        f"{'configuration':<28} {'wall':>8} {'speedup':>8}",
+        f"{'serial run_campaign x' + str(n_jobs):<28} "
+        f"{serial_wall:>7.2f}s {1.0:>7.2f}x",
+        f"{'service (' + str(MAX_JOBS) + ' slots)':<28} "
+        f"{service_wall:>7.2f}s {speedup:>7.2f}x",
+        "",
+        f"scheduling overhead per job (slot occupancy - campaign "
+        f"wall): mean {sum(overheads) / n_jobs:.3f}s, "
+        f"max {max(overheads):.3f}s",
+        f"queue wait (submit -> start): first {min(waits):.3f}s, "
+        f"mean {sum(waits) / n_jobs:.2f}s, max {max(waits):.2f}s",
+        "",
+        "fair share (virtual time = busy / weight; lowest claims "
+        "next):",
+    ] + [
+        f"  {name:<8} weight {weight:.0f}  "
+        f"busy {busy[name]:>5.2f}s  vtime {tenants[name]['vtime']:>5.2f}"
+        for name, weight in TENANTS
+    ] + [
+        f"start order by tenant: {start_order}",
+    ]
+    emit_table("service_throughput.txt", lines)
+    return speedup, overheads, tenants, busy
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_throughput_and_fair_share(benchmark):
+    speedup, overheads, tenants, busy = benchmark.pedantic(
+        run_service_bench, rounds=1, iterations=1)
+    # 2 slots over sleep-bound jobs: well clear of serial, shy of 2x.
+    assert speedup >= 1.4, f"service speedup {speedup:.2f}x < 1.4x"
+    # Fork + stage + reap-tick must stay small next to a ~1s job.
+    assert sum(overheads) / len(overheads) < 1.0, overheads
+    # Weighted fair share: vtime == busy / weight, so the weight-2
+    # tenant ends with strictly the lowest virtual time.
+    assert tenants["ml"]["vtime"] == pytest.approx(
+        busy["ml"] / 2.0, rel=1e-6)
+    assert tenants["ml"]["vtime"] < tenants["ci"]["vtime"]
+    assert tenants["ml"]["vtime"] < tenants["adhoc"]["vtime"]

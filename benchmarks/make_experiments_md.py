@@ -142,6 +142,18 @@ table.""",
         ["campaign_runner.txt"],
     ),
     (
+        "Infrastructure — campaign service throughput and fair share",
+        """The same campaigns run *as a service* (`repro-service`: a persistent
+job queue, weighted fair-share scheduling across tenants, and a shared
+artifact store — see `docs/service.md`).  This table pushes 9 small
+jobs from 3 tenants through a 2-slot service against serial execution
+of the same specs, and isolates what the scheduler itself costs: the
+per-job gap between slot occupancy and the campaign's own wall clock
+(fork, staging, verdict collection, reap-tick latency).  The ending
+virtual times show the weight-2 tenant charged half per busy second.""",
+        ["service_throughput.txt"],
+    ),
+    (
         "Extension — on-line vs off-line comparison (§7 future work)",
         """The comparison the paper planned: running the application skeleton
 directly on the calibrated platform (on-line simulation) vs replaying

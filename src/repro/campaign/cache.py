@@ -161,12 +161,21 @@ class ResultCache:
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
+                record = json.load(handle)
         except FileNotFoundError:
             return None
         except (ValueError, OSError):
             # A torn/corrupt record is a miss, not a crash.
             return None
+        try:
+            # Recency signal for size-bounded shared caches (the service
+            # artifact store evicts least-recently-*used*, not least-
+            # recently-written).  Best-effort: a read-only cache still
+            # serves hits.
+            os.utime(path, None)
+        except OSError:
+            pass
+        return record
 
     def put(self, key: str, record: Dict[str, Any]) -> str:
         path = self.path_for(key)

@@ -7,19 +7,38 @@
   directory plus the fleet counters.
 * ``repro-campaign report DIR [--output FILE]`` — the actual-vs-simulated
   comparison table over the recorded runs.
+
+Against a running ``repro-service`` the same tool becomes the thin
+client (see :mod:`repro.service`):
+
+* ``repro-campaign submit SPEC.json --server URL [--tenant T]
+  [--priority N] [--wait]`` — enqueue the campaign on the server.
+* ``repro-campaign status --server URL [JOB]`` — list jobs, or show one.
+* ``repro-campaign results JOB --server URL [--output FILE]`` — manifest
+  plus run records of a finished job.
+* ``repro-campaign cancel JOB --server URL`` — cancel (queued jobs die
+  immediately; running jobs drain to a resumable manifest).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .report import render_report, render_status
 from .runner import run_campaign
 from .spec import load_campaign_spec
 
 __all__ = ["main_campaign"]
+
+
+def _fmt_job_line(job: Dict[str, Any]) -> str:
+    error = f"  {job['error']}" if job.get("error") else ""
+    return (f"{job['id']}  {job['state']:<9}  tenant={job['tenant']}"
+            f"  prio={job['priority']}  campaign={job['campaign']}"
+            f"  scenarios={job['n_scenarios']}{error}")
 
 
 def main_campaign(argv: Optional[List[str]] = None) -> int:
@@ -50,8 +69,15 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress per-scenario progress lines")
 
-    status_p = sub.add_parser("status", help="show a campaign directory")
-    status_p.add_argument("out", help="campaign directory")
+    status_p = sub.add_parser("status", help="show a campaign directory, "
+                                             "or jobs on a server")
+    status_p.add_argument("out", nargs="?", default=None,
+                          help="campaign directory (local mode) or job id "
+                               "(with --server; omit to list all jobs)")
+    status_p.add_argument("--server", default=None,
+                          help="repro-service base URL")
+    status_p.add_argument("--tenant", default=None,
+                          help="with --server: only this tenant's jobs")
 
     report_p = sub.add_parser("report", help="comparison table of a "
                                              "campaign's results")
@@ -59,7 +85,42 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
     report_p.add_argument("--output", default=None,
                           help="write the table here instead of stdout")
 
+    submit_p = sub.add_parser("submit", help="submit a campaign spec to a "
+                                             "repro-service server")
+    submit_p.add_argument("spec", help="campaign spec JSON file")
+    submit_p.add_argument("--server", required=True,
+                          help="repro-service base URL, e.g. "
+                               "http://127.0.0.1:8642")
+    submit_p.add_argument("--tenant", default="default",
+                          help="tenant to charge (default: 'default')")
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="higher runs earlier within the tenant")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes, streaming "
+                               "per-scenario events")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          help="with --wait: give up after this many "
+                               "seconds")
+
+    results_p = sub.add_parser("results", help="fetch a job's manifest and "
+                                               "run records from a server")
+    results_p.add_argument("job", help="job id")
+    results_p.add_argument("--server", required=True,
+                           help="repro-service base URL")
+    results_p.add_argument("--output", default=None,
+                           help="write the JSON document here instead of "
+                                "stdout")
+
+    cancel_p = sub.add_parser("cancel", help="cancel a job on a server")
+    cancel_p.add_argument("job", help="job id")
+    cancel_p.add_argument("--server", required=True,
+                          help="repro-service base URL")
+
     args = parser.parse_args(argv)
+
+    if args.command in ("submit", "results", "cancel") or (
+            args.command == "status" and args.server):
+        return _remote_command(args)
 
     if args.command == "run":
         try:
@@ -85,6 +146,10 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "status":
+        if not args.out:
+            print("status: need a campaign directory (or --server URL)",
+                  file=sys.stderr)
+            return 2
         print(render_status(args.out))
         return 0
 
@@ -97,6 +162,84 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
     else:
         print(text)
     return 0
+
+
+def _remote_command(args: argparse.Namespace) -> int:
+    """submit/status/results/cancel against a repro-service server."""
+    from ..service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.command == "submit":
+            try:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    spec_doc = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"bad campaign spec {args.spec!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            job = client.submit(spec_doc, tenant=args.tenant,
+                                priority=args.priority)
+            print(f"submitted job {job['id']} "
+                  f"(campaign={job['campaign']}, tenant={job['tenant']}, "
+                  f"{job['n_scenarios']} scenarios)")
+            if not args.wait:
+                return 0
+
+            def _show(event: Dict[str, Any]) -> None:
+                if event.get("event") == "scenario":
+                    source = (" [" + event["cache_source"] + "]"
+                              if event.get("cache_hit") else "")
+                    print(f"  {event.get('name')}: "
+                          f"{event.get('status')}{source}")
+
+            try:
+                doc = client.wait(job["id"], timeout_s=args.timeout,
+                                  on_event=_show)
+            except TimeoutError as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            print(f"job {doc['id']} {doc['state']}"
+                  + (f": {doc['error']}" if doc.get("error") else ""))
+            return 0 if doc["state"] == "DONE" else 1
+
+        if args.command == "status":
+            if args.out:
+                doc = client.job(args.out)
+                print(_fmt_job_line(doc))
+                progress = doc.get("progress")
+                if progress:
+                    print(f"  progress: {progress['scenarios_done']}/"
+                          f"{progress['scenarios_total']} scenarios")
+                return 0
+            jobs = client.jobs(tenant=args.tenant)
+            if not jobs:
+                print("no jobs")
+                return 0
+            for job in jobs:
+                print(_fmt_job_line(job))
+            return 0
+
+        if args.command == "results":
+            doc = client.results(args.job)
+            text = json.dumps(doc, indent=2, sort_keys=True)
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(text + "\n")
+                print(f"results written to {args.output}")
+            else:
+                print(text)
+            return 0
+
+        # cancel
+        job = client.cancel(args.job)
+        print(f"job {job['id']} -> {job['state']}"
+              + ("" if job["state"] == "CANCELLED"
+                 else " (cancel requested; running job will drain)"))
+        return 0
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

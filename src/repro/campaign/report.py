@@ -38,12 +38,14 @@ def _fmt_err(value: Optional[float]) -> str:
 def render_status(out_dir: str) -> str:
     """One line per scenario plus the campaign counters."""
     store = CampaignStore(out_dir)
-    manifest = store.read_manifest()
+    manifest = store.load_or_rebuild_manifest()
     records = store.read_runs()
     lines: List[str] = []
     if manifest is not None:
         name = manifest.get("campaign", "?")
-        lines.append(f"campaign {name!r} in {out_dir}")
+        note = " (manifest rebuilt from run records)" \
+            if manifest.get("rebuilt") else ""
+        lines.append(f"campaign {name!r} in {out_dir}{note}")
     else:
         lines.append(f"campaign directory {out_dir} (no manifest yet)")
     if not records:
@@ -74,7 +76,7 @@ def render_status(out_dir: str) -> str:
 def render_report(out_dir: str, title: str = "") -> str:
     """The comparison table over every successful run in a campaign."""
     store = CampaignStore(out_dir)
-    manifest = store.read_manifest()
+    manifest = store.load_or_rebuild_manifest()
     records = store.read_runs()
     if not title:
         name = (manifest or {}).get("campaign", os.path.basename(out_dir))

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import tempfile
+import threading
 import time
 import traceback
 from collections import deque
@@ -326,6 +328,11 @@ class CampaignResult:
     out_dir: str
     records: Dict[str, RunRecord] = field(default_factory=dict)
     metrics: Optional[CampaignMetrics] = None
+    #: True when a SIGTERM drained the campaign early: in-flight
+    #: scenarios were finished and recorded, the rest never launched.
+    #: The manifest then carries ``interrupted: true`` and the campaign
+    #: is resumable (``--resume`` re-runs exactly the missing records).
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -344,6 +351,7 @@ def run_campaign(
     resume: bool = False,
     cache_dir: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
+    on_record: Optional[Callable[[RunRecord], None]] = None,
 ) -> CampaignResult:
     """Execute a campaign: cache lookups, then the bounded worker fleet.
 
@@ -352,11 +360,25 @@ def run_campaign(
     serves scenarios whose stored run record already succeeded with the
     same cache key.  ``use_cache=False`` forces every scenario to
     execute (records are still written to the cache for next time).
+
+    ``on_record`` is called with every finalised :class:`RunRecord` the
+    moment it is stored — cache-served and executed alike — which is how
+    a supervisor (the replay service) streams per-scenario completion
+    events to polling clients without waiting for the campaign to end.
+
+    **Graceful shutdown**: when the calling thread is the main thread, a
+    ``SIGTERM`` received mid-campaign drains the fleet instead of
+    killing it — nothing new launches, in-flight scenarios run to their
+    natural end (timeouts still enforced) and are recorded, and the
+    manifest is written with ``interrupted: true`` plus the names never
+    launched.  A later ``--resume`` run re-executes exactly the missing
+    records; everything drained is served from the store.
     """
     jobs = jobs if jobs is not None else spec.jobs
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     emit = log if log is not None else (lambda _msg: None)
+    notify = on_record if on_record is not None else (lambda _rec: None)
     store = CampaignStore(out_dir)
     cache = ResultCache(cache_dir or os.path.join(out_dir, "cache"))
     metrics = CampaignMetrics(jobs)
@@ -364,6 +386,15 @@ def run_campaign(
     records: Dict[str, RunRecord] = {}
     pending: deque = deque()
     t_start = time.perf_counter()
+
+    # -- graceful-drain plumbing ----------------------------------------
+    draining = {"flag": False}
+
+    def _on_sigterm(_signum, _frame):
+        if not draining["flag"]:
+            draining["flag"] = True
+            emit(f"[{spec.name}] SIGTERM: draining — finishing in-flight "
+                 f"scenarios, launching nothing new")
 
     # -- phase 1: serve what is already known ---------------------------
     for scenario in spec.scenarios:
@@ -401,6 +432,7 @@ def run_campaign(
             )
             store.write_run(record)
             records[scenario.name] = record
+            notify(record)
             metrics.completed += 1
             metrics.cached_hits += 1
             if source == "store":
@@ -411,6 +443,18 @@ def run_campaign(
             pending.append(_Job(scenario, key, history=prior_history))
 
     # -- phase 2: the fleet ---------------------------------------------
+    # The drain handler goes in only around the fleet (phase 1 is quick,
+    # pure bookkeeping) and only on the main thread — a campaign driven
+    # from a worker thread keeps the process's own SIGTERM semantics.
+    prev_handler = None
+    handler_installed = False
+    if threading.current_thread() is threading.main_thread():
+        try:
+            prev_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+            handler_installed = True
+        except ValueError:  # pragma: no cover - embedded interpreters
+            pass
+
     ctx = multiprocessing.get_context(_START_METHOD)
     live: Dict[object, _Live] = {}
 
@@ -464,8 +508,10 @@ def run_campaign(
                 "message": (error or {}).get("message", ""),
                 "backoff_s": 0.0,
             })
-            # Failed attempt: retry with backoff while budget remains.
-            if job.attempt <= scenario.max_retries:
+            # Failed attempt: retry with backoff while budget remains —
+            # unless the campaign is draining, in which case a retry
+            # would never launch and the failure is recorded as final.
+            if job.attempt <= scenario.max_retries and not draining["flag"]:
                 delay = spec.retry_backoff * (2 ** (job.attempt - 1))
                 job.history[-1]["backoff_s"] = delay
                 job.ready_at = time.monotonic() + delay
@@ -487,79 +533,101 @@ def run_campaign(
                  f"{(error or {}).get('message', '')}")
         store.write_run(record)
         records[scenario.name] = record
+        notify(record)
 
-    while pending or live:
-        now = time.monotonic()
-        # Launch every ready job a free worker slot can take.
-        if len(live) < jobs and pending:
-            deferred: List[_Job] = []
-            while pending and len(live) < jobs:
-                job = pending.popleft()
-                if job.ready_at <= now:
-                    job.attempt += 1
-                    launch(job)
+    try:
+        while pending or live:
+            now = time.monotonic()
+            # Launch every ready job a free worker slot can take.
+            if not draining["flag"] and len(live) < jobs and pending:
+                deferred: List[_Job] = []
+                while pending and len(live) < jobs:
+                    job = pending.popleft()
+                    if job.ready_at <= now:
+                        job.attempt += 1
+                        launch(job)
+                    else:
+                        deferred.append(job)
+                pending.extendleft(reversed(deferred))
+            if not live:
+                if draining["flag"]:
+                    break   # drained: whatever is pending never launches
+                # Everything pending is backing off; sleep to the earliest.
+                wake = min(job.ready_at for job in pending)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            # Wait for the next completion, timeout, or backoff expiry.
+            next_deadline = min(entry.deadline for entry in live.values())
+            horizon = next_deadline
+            ready_jobs = [job.ready_at for job in pending
+                          if job.ready_at > now]
+            if not draining["flag"] and len(live) < jobs and ready_jobs:
+                horizon = min(horizon, min(ready_jobs))
+            ready = conn_wait(list(live.keys()),
+                              timeout=max(0.0, horizon - time.monotonic()))
+
+            now = time.monotonic()
+            for conn in ready:
+                entry = live.pop(conn)
+                busy = now - entry.started
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    status, payload = "error", {
+                        "type": "WorkerDied",
+                        "message": (f"worker exited without a result "
+                                    f"(exitcode {entry.process.exitcode})"),
+                        "traceback": "",
+                    }
+                conn.close()
+                entry.process.join()
+                metrics.attempts += 1
+                if status == "ok":
+                    record_outcome(entry.job, STATUS_OK, payload, None, busy)
                 else:
-                    deferred.append(job)
-            pending.extendleft(reversed(deferred))
-        if not live:
-            # Everything pending is backing off; sleep to the earliest.
-            wake = min(job.ready_at for job in pending)
-            time.sleep(max(0.0, wake - time.monotonic()))
-            continue
+                    record_outcome(entry.job, STATUS_FAILED, {}, payload,
+                                   busy)
 
-        # Wait for the next completion, timeout, or backoff expiry.
-        next_deadline = min(entry.deadline for entry in live.values())
-        horizon = next_deadline
-        ready_jobs = [job.ready_at for job in pending
-                      if job.ready_at > now]
-        if len(live) < jobs and ready_jobs:
-            horizon = min(horizon, min(ready_jobs))
-        ready = conn_wait(list(live.keys()),
-                          timeout=max(0.0, horizon - time.monotonic()))
-
-        now = time.monotonic()
-        for conn in ready:
-            entry = live.pop(conn)
-            busy = now - entry.started
-            try:
-                status, payload = conn.recv()
-            except (EOFError, OSError):
-                status, payload = "error", {
-                    "type": "WorkerDied",
-                    "message": (f"worker exited without a result "
-                                f"(exitcode {entry.process.exitcode})"),
+            # Enforce timeouts on whoever is still running.
+            for conn in [c for c, e in live.items() if now >= e.deadline]:
+                entry = live.pop(conn)
+                entry.process.terminate()
+                entry.process.join()
+                conn.close()
+                busy = now - entry.started
+                metrics.attempts += 1
+                metrics.timeouts += 1
+                record_outcome(entry.job, STATUS_TIMEOUT, {}, {
+                    "type": "Timeout",
+                    "message": (f"attempt exceeded timeout_s="
+                                f"{entry.job.scenario.timeout_s:g}"),
                     "traceback": "",
-                }
-            conn.close()
-            entry.process.join()
-            metrics.attempts += 1
-            if status == "ok":
-                record_outcome(entry.job, STATUS_OK, payload, None, busy)
-            else:
-                record_outcome(entry.job, STATUS_FAILED, {}, payload, busy)
+                }, busy)
+    finally:
+        if handler_installed:
+            signal.signal(signal.SIGTERM, prev_handler)
 
-        # Enforce timeouts on whoever is still running.
-        for conn in [c for c, e in live.items() if now >= e.deadline]:
-            entry = live.pop(conn)
-            entry.process.terminate()
-            entry.process.join()
-            conn.close()
-            busy = now - entry.started
-            metrics.attempts += 1
-            metrics.timeouts += 1
-            record_outcome(entry.job, STATUS_TIMEOUT, {}, {
-                "type": "Timeout",
-                "message": (f"attempt exceeded timeout_s="
-                            f"{entry.job.scenario.timeout_s:g}"),
-                "traceback": "",
-            }, busy)
-
+    interrupted = draining["flag"]
     metrics.wall_seconds = time.perf_counter() - t_start
     # Manifest in spec order, whatever order scenarios finished in.
     ordered = [records[s.name] for s in spec.scenarios if s.name in records]
-    store.write_manifest(spec.to_dict(), metrics.as_dict(), ordered)
-    emit(f"[{spec.name}] done: {metrics.completed}/{metrics.scenarios_total} "
-         f"ok ({metrics.cached_hits} cached, {metrics.failed} failed) in "
-         f"{metrics.wall_seconds:.2f}s, utilization "
-         f"{100 * metrics.utilization:.0f}%")
-    return CampaignResult(out_dir=out_dir, records=records, metrics=metrics)
+    extra = None
+    if interrupted:
+        unlaunched = [s.name for s in spec.scenarios
+                      if s.name not in records]
+        extra = {"interrupted": True, "unlaunched": unlaunched}
+    store.write_manifest(spec.to_dict(), metrics.as_dict(), ordered,
+                         extra=extra)
+    if interrupted:
+        emit(f"[{spec.name}] drained: {metrics.completed} recorded, "
+             f"{len(spec.scenarios) - len(records)} never launched; "
+             f"manifest is resumable")
+    else:
+        emit(f"[{spec.name}] done: "
+             f"{metrics.completed}/{metrics.scenarios_total} "
+             f"ok ({metrics.cached_hits} cached, {metrics.failed} failed) "
+             f"in {metrics.wall_seconds:.2f}s, utilization "
+             f"{100 * metrics.utilization:.0f}%")
+    return CampaignResult(out_dir=out_dir, records=records, metrics=metrics,
+                          interrupted=interrupted)

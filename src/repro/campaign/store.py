@@ -10,7 +10,12 @@ Layout of a campaign directory (the ``--out`` of ``repro-campaign``)::
 Records are plain JSON documents so downstream tooling (the report
 module, notebooks, `jq`) never needs this package to read them.  Writes
 use temp-file + ``os.replace`` — a campaign killed mid-write leaves the
-previous consistent record, never a torn one.
+previous consistent record, never a torn one.  Should a manifest still
+end up truncated (a pre-atomic writer, a torn copy, disk trouble), it is
+*derived* state: :meth:`CampaignStore.rebuild_manifest` reconstructs it
+from the run records, and :meth:`CampaignStore.load_or_rebuild_manifest`
+does so automatically whenever the file is missing or unparsable while
+run records exist.
 """
 
 from __future__ import annotations
@@ -122,7 +127,8 @@ class CampaignStore:
     # -- manifest --------------------------------------------------------
     def write_manifest(self, spec_doc: Dict[str, Any],
                        metrics_doc: Dict[str, Any],
-                       records: List[RunRecord]) -> str:
+                       records: List[RunRecord],
+                       extra: Optional[Dict[str, Any]] = None) -> str:
         document = {
             "campaign": spec_doc.get("name", ""),
             "spec": spec_doc,
@@ -139,6 +145,8 @@ class CampaignStore:
             },
             "generated_at": time.time(),
         }
+        if extra:
+            document.update(extra)
         _write_json(self.manifest_path, document)
         return self.manifest_path
 
@@ -148,3 +156,29 @@ class CampaignStore:
                 return json.load(handle)
         except (FileNotFoundError, ValueError):
             return None
+
+    def rebuild_manifest(self) -> Optional[Dict[str, Any]]:
+        """Reconstruct the manifest from ``runs/*.json``.
+
+        The manifest is a *view* over the run records — everything in it
+        except the spec echo and the fleet metrics can be derived from
+        them.  A rebuilt manifest says so (``"rebuilt": true``) and
+        carries empty ``spec``/``metrics`` blocks rather than inventing
+        numbers it cannot know.  Returns the document (also written to
+        ``manifest.json``), or ``None`` when there are no run records to
+        rebuild from.
+        """
+        records = self.read_runs()
+        if not records:
+            return None
+        self.write_manifest({}, {}, records, extra={"rebuilt": True})
+        return self.read_manifest()
+
+    def load_or_rebuild_manifest(self) -> Optional[Dict[str, Any]]:
+        """The manifest, rebuilt from run records when the file is
+        missing or torn.  Detection is by parse: ``manifest.json`` either
+        loads as JSON or it is treated as lost and re-derived."""
+        manifest = self.read_manifest()
+        if manifest is not None:
+            return manifest
+        return self.rebuild_manifest()

@@ -1,0 +1,41 @@
+"""repro.service — replay-as-a-service.
+
+The campaign subsystem (:mod:`repro.campaign`) made re-execution cheap:
+acquire a time-independent trace once, then sweep it across platform
+scenarios with content-addressed result caching.  This package makes it
+*shared*: a long-running server owns a persistent job queue, a bounded
+pool of campaign-runner processes, and a multi-tenant artifact store, so
+many clients (CLIs, notebooks, CI) submit campaign specs over HTTP and
+poll incremental results — the "heavy traffic" shape of the ROADMAP,
+with the existing ``repro-campaign`` CLI as just one thin client.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.service.queue` — SQLite-backed :class:`JobQueue`: explicit
+  job lifecycle (QUEUED → STAGING → RUNNING → DONE/FAILED/CANCELLED),
+  per-job priorities, and weighted fair-share across named tenants.
+* :mod:`repro.service.artifacts` — :class:`ArtifactStore`: the
+  content-addressed result cache plus staged trace trees (with their
+  warm ``.tic`` sidecars) under one size-bounded, LRU-evicted root.
+* :mod:`repro.service.supervisor` — :class:`Supervisor`: claims jobs
+  fair-share, stages artifacts, drives :func:`repro.campaign.run_campaign`
+  in child processes, streams per-scenario events, and resumes
+  interrupted jobs across server restarts via ``--resume``.
+* :mod:`repro.service.server` — the asyncio HTTP/JSON front end.
+* :mod:`repro.service.client` — the stdlib-urllib client the CLI uses.
+"""
+
+from .artifacts import ArtifactStore
+from .client import ServiceClient, ServiceError
+from .queue import (
+    STATE_CANCELLED, STATE_DONE, STATE_FAILED, STATE_QUEUED, STATE_RUNNING,
+    STATE_STAGING, TERMINAL_STATES, Job, JobQueue,
+)
+from .supervisor import Supervisor
+
+__all__ = [
+    "ArtifactStore", "Job", "JobQueue", "ServiceClient", "ServiceError",
+    "Supervisor",
+    "STATE_QUEUED", "STATE_STAGING", "STATE_RUNNING", "STATE_DONE",
+    "STATE_FAILED", "STATE_CANCELLED", "TERMINAL_STATES",
+]

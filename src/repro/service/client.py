@@ -1,0 +1,123 @@
+"""Thin stdlib client for the replay service.
+
+``repro-campaign submit/status/results/cancel --server URL`` all go
+through :class:`ServiceClient`; it is equally usable from notebooks and
+tests.  One HTTP request per call (``urllib``), JSON in/out, and a
+:class:`ServiceError` carrying the server's status code and message on
+anything non-2xx — no retry magic, the service is idempotent to poll.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: Job states a client may wait for (mirrors repro.service.queue).
+_TERMINAL = {"DONE", "FAILED", "CANCELLED"}
+
+
+class ServiceError(Exception):
+    """An HTTP-level failure: ``status`` 0 means unreachable."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}" if status else message)
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")) \
+                    .get("error", exc.reason)
+            except Exception:  # noqa: BLE001 - error body is best-effort
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    # -- API -------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def set_tenant(self, name: str, weight: float = 1.0) -> Dict[str, Any]:
+        return self._request("POST", "/v1/tenants",
+                             {"name": name, "weight": weight})
+
+    def submit(self, spec_doc: Dict[str, Any], tenant: str = "default",
+               priority: int = 0) -> Dict[str, Any]:
+        doc = self._request("POST", "/v1/jobs", {
+            "spec": spec_doc, "tenant": tenant, "priority": priority})
+        return doc["job"]
+
+    def jobs(self, tenant: Optional[str] = None,
+             state: Optional[str] = None) -> List[Dict[str, Any]]:
+        query = []
+        if tenant:
+            query.append(f"tenant={tenant}")
+        if state:
+            query.append(f"state={state}")
+        suffix = ("?" + "&".join(query)) if query else ""
+        return self._request("GET", f"/v1/jobs{suffix}")["jobs"]
+
+    def job(self, job_id: str, events_after: int = 0) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}?events_after={events_after}")
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    # -- convenience -----------------------------------------------------
+    def wait(self, job_id: str, timeout_s: Optional[float] = None,
+             poll_s: float = 0.5,
+             on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+             ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state, streaming each
+        new event through ``on_event``.  Raises :class:`TimeoutError`
+        when ``timeout_s`` elapses first."""
+        deadline = None if timeout_s is None else \
+            time.monotonic() + timeout_s
+        cursor = 0
+        while True:
+            doc = self.job(job_id, events_after=cursor)
+            cursor = doc.get("events_next", cursor)
+            if on_event is not None:
+                for event in doc.get("events", []):
+                    on_event(event)
+            if doc["state"] in _TERMINAL:
+                return doc
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after "
+                    f"{timeout_s:g}s")
+            time.sleep(poll_s)

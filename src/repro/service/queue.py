@@ -1,0 +1,353 @@
+"""Persistent job queue with weighted fair-share across tenants.
+
+One job = one campaign spec submitted by one *tenant*.  The queue is a
+single SQLite file (WAL mode) inside the service root, so every
+transition survives a server crash — on restart the supervisor finds
+exactly the jobs it was running and re-queues them for ``--resume``.
+
+**Lifecycle.**  Every job walks the explicit state machine::
+
+    QUEUED ──→ STAGING ──→ RUNNING ──→ DONE
+       │           │           ├─────→ FAILED
+       │           │           ├─────→ CANCELLED
+       └───────────┴───────────┴─────→ CANCELLED
+                   └───────────┴─────→ QUEUED   (crash recovery, resume)
+
+Transitions outside this graph raise — a job can never silently skip a
+state or resurrect from a terminal one.
+
+**Scheduling.**  :meth:`JobQueue.claim_next` implements weighted
+fair-share over *accumulated service*: each tenant carries a virtual
+time ``vtime`` that grows by ``busy_seconds / weight`` whenever one of
+its jobs finishes; the claimable job is the highest-priority, oldest job
+of the tenant with the smallest ``vtime``.  A tenant with weight 2
+therefore receives twice the service of a weight-1 tenant under
+contention, and an idle tenant's first job is served promptly — but
+cannot *starve* the fleet, because its ``vtime`` is clamped up to the
+smallest active ``vtime`` at submit instead of replaying its whole idle
+history as credit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Job", "JobQueue",
+    "STATE_QUEUED", "STATE_STAGING", "STATE_RUNNING", "STATE_DONE",
+    "STATE_FAILED", "STATE_CANCELLED", "TERMINAL_STATES",
+]
+
+STATE_QUEUED = "QUEUED"
+STATE_STAGING = "STAGING"
+STATE_RUNNING = "RUNNING"
+STATE_DONE = "DONE"
+STATE_FAILED = "FAILED"
+STATE_CANCELLED = "CANCELLED"
+
+TERMINAL_STATES = frozenset({STATE_DONE, STATE_FAILED, STATE_CANCELLED})
+
+#: The lifecycle graph: state -> states reachable from it.
+_TRANSITIONS = {
+    STATE_QUEUED: {STATE_STAGING, STATE_CANCELLED},
+    STATE_STAGING: {STATE_RUNNING, STATE_FAILED, STATE_CANCELLED,
+                    STATE_QUEUED},
+    STATE_RUNNING: {STATE_DONE, STATE_FAILED, STATE_CANCELLED,
+                    STATE_QUEUED},
+    STATE_DONE: set(),
+    STATE_FAILED: set(),
+    STATE_CANCELLED: set(),
+}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id              TEXT PRIMARY KEY,
+    tenant          TEXT NOT NULL,
+    priority        INTEGER NOT NULL DEFAULT 0,
+    state           TEXT NOT NULL,
+    campaign        TEXT NOT NULL DEFAULT '',
+    n_scenarios     INTEGER NOT NULL DEFAULT 0,
+    submitted_at    REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL,
+    pid             INTEGER,
+    resume          INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    error           TEXT NOT NULL DEFAULT '',
+    metrics         TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state);
+CREATE TABLE IF NOT EXISTS tenants (
+    name            TEXT PRIMARY KEY,
+    weight          REAL NOT NULL DEFAULT 1.0,
+    vtime           REAL NOT NULL DEFAULT 0.0,
+    jobs_submitted  INTEGER NOT NULL DEFAULT 0,
+    jobs_finished   INTEGER NOT NULL DEFAULT 0,
+    busy_seconds    REAL NOT NULL DEFAULT 0.0,
+    result_hits     INTEGER NOT NULL DEFAULT 0,
+    result_misses   INTEGER NOT NULL DEFAULT 0,
+    stage_hits      INTEGER NOT NULL DEFAULT 0,
+    stage_misses    INTEGER NOT NULL DEFAULT 0,
+    evictions_triggered INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+@dataclass
+class Job:
+    """One queued campaign (the DB row, shaped for JSON)."""
+
+    id: str
+    tenant: str
+    priority: int
+    state: str
+    campaign: str = ""
+    n_scenarios: int = 0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    pid: Optional[int] = None
+    resume: bool = False
+    cancel_requested: bool = False
+    error: str = ""
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id, "tenant": self.tenant,
+            "priority": self.priority, "state": self.state,
+            "campaign": self.campaign, "n_scenarios": self.n_scenarios,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "resume": self.resume,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error, "metrics": self.metrics,
+        }
+
+
+def _row_to_job(row: sqlite3.Row) -> Job:
+    metrics = {}
+    if row["metrics"]:
+        try:
+            metrics = json.loads(row["metrics"])
+        except ValueError:  # pragma: no cover - defensive
+            metrics = {}
+    return Job(
+        id=row["id"], tenant=row["tenant"], priority=row["priority"],
+        state=row["state"], campaign=row["campaign"],
+        n_scenarios=row["n_scenarios"], submitted_at=row["submitted_at"],
+        started_at=row["started_at"], finished_at=row["finished_at"],
+        pid=row["pid"], resume=bool(row["resume"]),
+        cancel_requested=bool(row["cancel_requested"]),
+        error=row["error"], metrics=metrics,
+    )
+
+
+class JobQueue:
+    """SQLite-backed queue; one writer (the server), any readers."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._db.row_factory = sqlite3.Row
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.close()
+
+    # -- tenants ---------------------------------------------------------
+    def ensure_tenant(self, name: str, weight: Optional[float] = None) -> None:
+        """Create the tenant row if needed; set its weight if given."""
+        if not name:
+            raise ValueError("tenant name must be non-empty")
+        if weight is not None and weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+        self._db.execute(
+            "INSERT OR IGNORE INTO tenants (name) VALUES (?)", (name,))
+        if weight is not None:
+            self._db.execute(
+                "UPDATE tenants SET weight = ? WHERE name = ?",
+                (float(weight), name))
+        self._db.commit()
+
+    def tenants(self) -> List[Dict[str, Any]]:
+        rows = self._db.execute(
+            "SELECT * FROM tenants ORDER BY name").fetchall()
+        return [dict(row) for row in rows]
+
+    # -- submit / read ---------------------------------------------------
+    def submit(self, tenant: str, campaign: str, n_scenarios: int,
+               priority: int = 0, job_id: Optional[str] = None) -> Job:
+        job_id = job_id or uuid.uuid4().hex[:12]
+        self.ensure_tenant(tenant)
+        now = time.time()
+        # Idle-tenant clamp: returning after a quiet spell must not grant
+        # unbounded back-service (its vtime would be far below everyone
+        # else's — it would monopolise the fleet until "caught up").
+        row = self._db.execute(
+            "SELECT MIN(t.vtime) AS lo FROM tenants t WHERE EXISTS ("
+            "  SELECT 1 FROM jobs j WHERE j.tenant = t.name"
+            "  AND j.state IN (?, ?, ?))",
+            (STATE_QUEUED, STATE_STAGING, STATE_RUNNING)).fetchone()
+        if row["lo"] is not None:
+            self._db.execute(
+                "UPDATE tenants SET vtime = MAX(vtime, ?) WHERE name = ?",
+                (row["lo"], tenant))
+        self._db.execute(
+            "INSERT INTO jobs (id, tenant, priority, state, campaign,"
+            " n_scenarios, submitted_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (job_id, tenant, int(priority), STATE_QUEUED, campaign,
+             int(n_scenarios), now))
+        self._db.execute(
+            "UPDATE tenants SET jobs_submitted = jobs_submitted + 1 "
+            "WHERE name = ?", (tenant,))
+        self._db.commit()
+        return self.get(job_id)
+
+    def get(self, job_id: str) -> Job:
+        row = self._db.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return _row_to_job(row)
+
+    def list_jobs(self, tenant: Optional[str] = None,
+                  state: Optional[str] = None) -> List[Job]:
+        query = "SELECT * FROM jobs"
+        clauses, args = [], []
+        if tenant:
+            clauses.append("tenant = ?")
+            args.append(tenant)
+        if state:
+            clauses.append("state = ?")
+            args.append(state)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY submitted_at ASC, rowid ASC"
+        return [_row_to_job(r) for r in self._db.execute(query, args)]
+
+    # -- lifecycle -------------------------------------------------------
+    def set_state(self, job_id: str, state: str, *,
+                  pid: Optional[int] = None,
+                  error: Optional[str] = None,
+                  resume: Optional[bool] = None,
+                  metrics: Optional[Dict[str, Any]] = None) -> Job:
+        """Transition a job, enforcing the lifecycle graph."""
+        job = self.get(job_id)
+        if state not in _TRANSITIONS:
+            raise ValueError(f"unknown job state {state!r}")
+        if state not in _TRANSITIONS[job.state]:
+            raise ValueError(
+                f"job {job_id}: illegal transition "
+                f"{job.state} -> {state}")
+        sets = ["state = ?"]
+        args: List[Any] = [state]
+        now = time.time()
+        if state == STATE_RUNNING:
+            sets.append("started_at = COALESCE(started_at, ?)")
+            args.append(now)
+        if state in TERMINAL_STATES:
+            sets.append("finished_at = ?")
+            args.append(now)
+        if state == STATE_QUEUED:   # crash-recovery requeue
+            sets.append("pid = NULL")
+        if pid is not None:
+            sets.append("pid = ?")
+            args.append(int(pid))
+        if error is not None:
+            sets.append("error = ?")
+            args.append(error)
+        if resume is not None:
+            sets.append("resume = ?")
+            args.append(1 if resume else 0)
+        if metrics is not None:
+            sets.append("metrics = ?")
+            args.append(json.dumps(metrics, sort_keys=True))
+        args.append(job_id)
+        self._db.execute(
+            f"UPDATE jobs SET {', '.join(sets)} WHERE id = ?", args)
+        self._db.commit()
+        return self.get(job_id)
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Cancel a job.  QUEUED cancels immediately; STAGING/RUNNING is
+        flagged for the supervisor to drain; terminal states refuse."""
+        job = self.get(job_id)
+        if job.terminal:
+            raise ValueError(
+                f"job {job_id} is already {job.state}; nothing to cancel")
+        if job.state == STATE_QUEUED:
+            return self.set_state(job_id, STATE_CANCELLED,
+                                  error="cancelled while queued")
+        self._db.execute(
+            "UPDATE jobs SET cancel_requested = 1 WHERE id = ?", (job_id,))
+        self._db.commit()
+        return self.get(job_id)
+
+    # -- fair-share claim ------------------------------------------------
+    def claim_next(self) -> Optional[Job]:
+        """The next job to run, or None: smallest tenant ``vtime`` first,
+        then highest priority, then submit order.  The claim itself is
+        the QUEUED → STAGING transition."""
+        row = self._db.execute(
+            "SELECT j.id FROM jobs j JOIN tenants t ON j.tenant = t.name"
+            " WHERE j.state = ?"
+            " ORDER BY t.vtime ASC, t.name ASC, j.priority DESC,"
+            " j.submitted_at ASC, j.rowid ASC LIMIT 1",
+            (STATE_QUEUED,)).fetchone()
+        if row is None:
+            return None
+        return self.set_state(row["id"], STATE_STAGING)
+
+    def charge(self, tenant: str, busy_seconds: float, *,
+               result_hits: int = 0, result_misses: int = 0,
+               stage_hits: int = 0, stage_misses: int = 0,
+               evictions: int = 0, finished: bool = False) -> None:
+        """Fold one job's service + cache economics into its tenant:
+        ``vtime`` advances by ``busy_seconds / weight`` (the fair-share
+        meter), the counters are the per-tenant hit/miss/eviction story
+        the metrics endpoint reports."""
+        self.ensure_tenant(tenant)
+        self._db.execute(
+            "UPDATE tenants SET"
+            " vtime = vtime + ? / weight,"
+            " busy_seconds = busy_seconds + ?,"
+            " jobs_finished = jobs_finished + ?,"
+            " result_hits = result_hits + ?,"
+            " result_misses = result_misses + ?,"
+            " stage_hits = stage_hits + ?,"
+            " stage_misses = stage_misses + ?,"
+            " evictions_triggered = evictions_triggered + ?"
+            " WHERE name = ?",
+            (max(0.0, busy_seconds), max(0.0, busy_seconds),
+             1 if finished else 0, result_hits, result_misses,
+             stage_hits, stage_misses, evictions, tenant))
+        self._db.commit()
+
+    # -- crash recovery --------------------------------------------------
+    def unfinished_jobs(self) -> List[Job]:
+        """Jobs a previous server left in STAGING/RUNNING."""
+        return [job for state in (STATE_STAGING, STATE_RUNNING)
+                for job in self.list_jobs(state=state)]
+
+    def counters_doc(self) -> Dict[str, Any]:
+        states = {state: 0 for state in _TRANSITIONS}
+        for row in self._db.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"):
+            states[row["state"]] = row["n"]
+        return {"jobs_by_state": states, "tenants": self.tenants()}

@@ -1,0 +1,509 @@
+"""Tests for repro.service: the persistent job queue (lifecycle +
+fair-share), the multi-tenant artifact store (staging, LRU eviction),
+the supervisor, and the HTTP server end-to-end (submit / poll /
+results / cancel / crash-resume) through the thin client."""
+
+import json
+import multiprocessing
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.core.synth import write_synthetic_lu_trace
+from repro.service import (
+    STATE_CANCELLED, STATE_DONE, STATE_QUEUED, STATE_RUNNING,
+    STATE_STAGING, ArtifactStore, JobQueue, ServiceClient, ServiceError,
+    Supervisor,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def small_spec_doc(name="svc", ranks=(2, 4)):
+    return {
+        "name": name,
+        "jobs": 2,
+        "base": {"ranks": 4,
+                 "trace": {"kind": "synth", "cls": "S",
+                           "iterations": 2, "inorm": 1},
+                 "platform": {"name": "bordereau", "hosts": 8},
+                 "calibration": {"kind": "fixed", "speed": 2e9}},
+        "vary": {"ranks": list(ranks)},
+    }
+
+
+def sleepy_spec_doc(name="slow", n=3, seconds=1.5):
+    return {
+        "name": name,
+        "jobs": 1,
+        "base": {"ranks": 2,
+                 "trace": {"kind": "sleep", "seconds": seconds},
+                 "platform": {"name": "bordereau", "hosts": 4},
+                 "calibration": {"kind": "fixed", "speed": 2e9}},
+        "vary": {"ranks": list(range(2, 2 + n))},
+    }
+
+
+# ----------------------------------------------------------------------
+# JobQueue: lifecycle, persistence, fair share
+# ----------------------------------------------------------------------
+def test_queue_lifecycle_graph_is_enforced(tmp_path):
+    queue = JobQueue(str(tmp_path / "q.db"))
+    job = queue.submit("alice", "camp", 3)
+    assert job.state == STATE_QUEUED
+    # The claim IS the QUEUED -> STAGING transition.
+    claimed = queue.claim_next()
+    assert claimed.id == job.id and claimed.state == STATE_STAGING
+    queue.set_state(job.id, STATE_RUNNING, pid=1234)
+    assert queue.get(job.id).started_at is not None
+    done = queue.set_state(job.id, STATE_DONE,
+                           metrics={"wall_seconds": 1.0})
+    assert done.terminal and done.finished_at is not None
+    assert done.metrics["wall_seconds"] == 1.0
+    # Terminal states are sinks; skipping states is illegal too.
+    with pytest.raises(ValueError, match="illegal transition"):
+        queue.set_state(job.id, STATE_RUNNING)
+    other = queue.submit("alice", "camp2", 1)
+    with pytest.raises(ValueError, match="illegal transition"):
+        queue.set_state(other.id, STATE_DONE)
+    with pytest.raises(ValueError, match="unknown job state"):
+        queue.set_state(other.id, "PONDERING")
+
+
+def test_queue_persists_across_reopen(tmp_path):
+    path = str(tmp_path / "q.db")
+    queue = JobQueue(path)
+    job = queue.submit("alice", "camp", 2, priority=7)
+    queue.claim_next()
+    queue.set_state(job.id, STATE_RUNNING, pid=42)
+    queue.close()
+
+    reopened = JobQueue(path)
+    job = reopened.get(job.id)
+    assert job.state == STATE_RUNNING and job.pid == 42 \
+        and job.priority == 7
+    assert [j.id for j in reopened.unfinished_jobs()] == [job.id]
+    # Crash-recovery requeue clears the stale pid and arms --resume.
+    requeued = reopened.set_state(job.id, STATE_QUEUED, resume=True)
+    assert requeued.state == STATE_QUEUED and requeued.pid is None \
+        and requeued.resume
+
+
+def test_fair_share_interleaves_tenants_by_weighted_vtime(tmp_path):
+    queue = JobQueue(str(tmp_path / "q.db"))
+    queue.ensure_tenant("heavy", weight=2.0)
+    queue.ensure_tenant("light", weight=1.0)
+    for i in range(4):
+        queue.submit("heavy", f"h{i}", 1)
+        queue.submit("light", f"l{i}", 1)
+
+    order = []
+    for _ in range(8):
+        job = queue.claim_next()
+        order.append(job.tenant)
+        queue.set_state(job.id, STATE_RUNNING)
+        queue.set_state(job.id, STATE_DONE)
+        # Every job costs the same wall time; weight-2 pays half vtime.
+        queue.charge(job.tenant, 10.0, finished=True)
+    # heavy (weight 2) gets twice the service of light under contention:
+    # after both have run once, heavy runs twice per light turn.
+    assert order.count("heavy") == 4 and order.count("light") == 4
+    assert order[:3] in (["heavy", "light", "heavy"],
+                         ["light", "heavy", "heavy"])
+    heavy = [t for t in queue.tenants() if t["name"] == "heavy"][0]
+    light = [t for t in queue.tenants() if t["name"] == "light"][0]
+    assert heavy["vtime"] == pytest.approx(light["vtime"] / 2 * 1)
+    assert heavy["busy_seconds"] == light["busy_seconds"] == 40.0
+
+
+def test_priority_orders_within_a_tenant(tmp_path):
+    queue = JobQueue(str(tmp_path / "q.db"))
+    low = queue.submit("a", "low", 1, priority=0)
+    high = queue.submit("a", "high", 1, priority=5)
+    assert queue.claim_next().id == high.id
+    assert queue.claim_next().id == low.id
+
+
+def test_idle_tenant_vtime_is_clamped_at_submit(tmp_path):
+    queue = JobQueue(str(tmp_path / "q.db"))
+    queue.submit("busy", "b0", 1)
+    queue.charge("busy", 100.0, finished=True)     # vtime 100
+    # A brand-new tenant submitting now must not get 100s of back-credit:
+    # its vtime is clamped up to the smallest *active* vtime.
+    queue.submit("newcomer", "n0", 1)
+    vtimes = {t["name"]: t["vtime"] for t in queue.tenants()}
+    assert vtimes["newcomer"] == pytest.approx(100.0)
+
+
+def test_cancel_semantics_per_state(tmp_path):
+    queue = JobQueue(str(tmp_path / "q.db"))
+    queued = queue.submit("a", "c1", 1)
+    cancelled = queue.request_cancel(queued.id)
+    assert cancelled.state == STATE_CANCELLED
+    # Running jobs are only *flagged*; the supervisor drains them.
+    running = queue.submit("a", "c2", 1)
+    queue.claim_next()
+    queue.set_state(running.id, STATE_RUNNING)
+    flagged = queue.request_cancel(running.id)
+    assert flagged.state == STATE_RUNNING and flagged.cancel_requested
+    # Terminal jobs refuse.
+    queue.set_state(running.id, STATE_CANCELLED)
+    with pytest.raises(ValueError, match="already CANCELLED"):
+        queue.request_cancel(running.id)
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore: staging, dedup, LRU eviction
+# ----------------------------------------------------------------------
+def test_stage_trace_dir_dedups_across_tenants(tmp_path):
+    src_a = str(tmp_path / "ta")
+    src_b = str(tmp_path / "tb")
+    write_synthetic_lu_trace(src_a, 4, 2, cls="S", inorm=1)
+    write_synthetic_lu_trace(src_b, 4, 2, cls="S", inorm=1)
+
+    store = ArtifactStore(str(tmp_path / "store"))
+    staged_a, hit_a = store.stage_trace_dir(src_a, tenant="alice")
+    staged_b, hit_b = store.stage_trace_dir(src_b, tenant="bob")
+    # Byte-identical trees share one staged copy (and its warm .tic set).
+    assert staged_a == staged_b
+    assert (hit_a, hit_b) == (False, True)
+    assert store.counters["alice"]["stage_misses"] == 1
+    assert store.counters["bob"]["stage_hits"] == 1
+    assert len(os.listdir(store.traces_dir)) == 1
+
+
+def test_concurrent_stagers_race_to_one_tree(tmp_path):
+    src = str(tmp_path / "trace")
+    write_synthetic_lu_trace(src, 4, 2, cls="S", inorm=1)
+    root = str(tmp_path / "store")
+
+    def stage(out):
+        store = ArtifactStore(root)
+        path, _hit = store.stage_trace_dir(src)
+        with open(out, "w") as handle:
+            handle.write(path)
+
+    ctx = multiprocessing.get_context("fork")
+    outs = [str(tmp_path / f"out{i}") for i in range(4)]
+    procs = [ctx.Process(target=stage, args=(out,)) for out in outs]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(30)
+        assert p.exitcode == 0
+    paths = {open(out).read() for out in outs}
+    assert len(paths) == 1
+    store = ArtifactStore(root)
+    published = [n for n in os.listdir(store.traces_dir)
+                 if not n.startswith(".tmp-")]
+    assert published == [os.path.basename(paths.pop())]
+    # No leftover temp copies from the losing racers.
+    assert not [n for n in os.listdir(store.traces_dir)
+                if n.startswith(".tmp-")]
+
+
+def test_lru_eviction_is_by_recency_and_respects_protect(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))    # fill unbounded...
+    now = time.time()
+    for i, name in enumerate(["old", "mid", "new"]):
+        path = store.results.put(f"{name}{'0' * 60}", {"i": i})
+        os.utime(path, (now - 100 + i, now - 100 + i))
+    src = str(tmp_path / "trace")
+    write_synthetic_lu_trace(src, 2, 1, cls="S", inorm=1)
+    staged, _hit = store.stage_trace_dir(src)
+    digest = os.path.basename(staged)
+    os.utime(staged, (now - 200, now - 200))       # oldest of all
+    store.max_bytes = 1                            # ...then bound it
+
+    evicted = store.evict(protect=[digest])
+    # Everything evictable goes (max_bytes=1), oldest first — but the
+    # protected trace tree survives despite being least recently used.
+    assert [e["name"][:3] for e in evicted] == ["old", "mid", "new"]
+    assert os.path.isdir(staged)
+    assert store.evictions == 3
+    usage = store.usage()
+    assert usage["result_records"] == 0 and usage["trace_trees"] == 1
+
+    # Unprotected, the tree is fair game too.
+    assert store.evict()[0]["name"] == digest
+    assert not os.path.isdir(staged)
+
+
+def test_result_hit_refreshes_lru_position(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"), max_bytes=1)
+    old = store.results.put("a" * 64, {"v": 1})
+    new = store.results.put("b" * 64, {"v": 2})
+    past = time.time() - 1000
+    os.utime(old, (past, past))
+    os.utime(new, (past + 1, past + 1))
+    # A cache hit bumps the record's mtime: "a" becomes the fresh one...
+    assert store.get_result("a" * 64) == {"v": 1}
+    # ...so eviction takes "b" first.
+    evicted = store.evict()
+    assert [e["name"] for e in evicted] == ["b" * 64, "a" * 64]
+
+
+# ----------------------------------------------------------------------
+# Supervisor driven inline (no HTTP): staging + shared store
+# ----------------------------------------------------------------------
+def drive(supervisor, job_id, timeout_s=90.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        supervisor.tick()
+        job = supervisor.queue.get(job_id)
+        if job.terminal:
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in {timeout_s}s")
+
+
+def test_supervisor_runs_dir_trace_jobs_with_shared_staging(tmp_path):
+    trace_dir = str(tmp_path / "trace")
+    write_synthetic_lu_trace(trace_dir, 4, 2, cls="S", inorm=1)
+    spec_doc = {
+        "name": "dircamp", "jobs": 1,
+        "scenarios": [{"name": "d", "ranks": 4,
+                       "trace": {"kind": "dir", "path": trace_dir},
+                       "platform": {"name": "bordereau", "hosts": 8},
+                       "calibration": {"kind": "fixed", "speed": 2e9}}],
+    }
+    supervisor = Supervisor(str(tmp_path / "root"), max_jobs=1)
+    try:
+        first = drive(supervisor, supervisor.submit(
+            spec_doc, tenant="alice").id)
+        assert first.state == STATE_DONE, first.error
+        # The job ran against the *staged* copy, not the submitted path.
+        with open(os.path.join(supervisor.job_dir(first.id),
+                               "spec.json")) as handle:
+            staged_path = json.load(handle)["scenarios"][0]["trace"]["path"]
+        assert staged_path.startswith(supervisor.store.traces_dir)
+        # ...which now holds warm .tic sidecars for the next tenant.
+        assert any(name.endswith(".tic") for name in
+                   os.listdir(staged_path))
+
+        second = drive(supervisor, supervisor.submit(
+            spec_doc, tenant="bob").id)
+        assert second.state == STATE_DONE, second.error
+        assert second.metrics["cached_hits"] == 1
+        assert second.metrics["replays_executed"] == 0
+        tenants = {t["name"]: t for t in supervisor.queue.tenants()}
+        assert tenants["alice"]["stage_misses"] == 1
+        assert tenants["alice"]["result_misses"] == 1
+        assert tenants["bob"]["stage_hits"] == 1
+        assert tenants["bob"]["result_hits"] == 1
+    finally:
+        supervisor.shutdown()
+
+
+def test_supervisor_rejects_bad_spec_at_submit(tmp_path):
+    supervisor = Supervisor(str(tmp_path / "root"))
+    try:
+        with pytest.raises(ValueError, match="name"):
+            supervisor.submit({"scenarios": []})
+        with pytest.raises(ValueError):
+            supervisor.submit({"name": "x", "scenarios": [
+                {"name": "bad", "ranks": 2,
+                 "trace": {"kind": "nope"}}]})
+    finally:
+        supervisor.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The HTTP service end-to-end (real server process, real client)
+# ----------------------------------------------------------------------
+class ServerProc:
+    """A repro-service subprocess on an ephemeral port."""
+
+    def __init__(self, root, extra_args=()):
+        self.root = str(root)
+        self.extra_args = list(extra_args)
+        self.log_path = self.root + ".server.log"
+        self.proc = None
+        self.port = None
+
+    def start(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        # Logs go to a file (not a pipe): nobody drains the pipe during
+        # the test, and a full pipe buffer would block the server.
+        log = open(self.log_path, "w")
+        try:
+            self.proc = subprocess.Popen(
+                [sys.executable, "-u", "-m", "repro.service.cli",
+                 "--root", self.root, "--port", "0", "--tick-s", "0.05",
+                 *self.extra_args],
+                stdout=log, stderr=subprocess.STDOUT, env=env)
+        finally:
+            log.close()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            try:
+                with open(self.log_path) as handle:
+                    match = re.search(r"listening on http://[^:]+:(\d+)",
+                                      handle.read())
+            except OSError:
+                match = None
+            if match:
+                self.port = int(match.group(1))
+                return self
+            if self.proc.poll() is not None:
+                with open(self.log_path) as handle:
+                    raise AssertionError(
+                        f"server died at startup:\n{handle.read()}")
+            time.sleep(0.05)
+        raise AssertionError("server never reported its port")
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def sigterm(self, timeout_s=30):
+        self.proc.send_signal(signal.SIGTERM)
+        self.proc.communicate(timeout=timeout_s)
+
+    def stop(self):
+        if self.proc and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.communicate()
+
+
+@pytest.fixture
+def server(tmp_path):
+    proc = ServerProc(tmp_path / "root").start()
+    yield proc
+    proc.stop()
+
+
+def test_http_round_trip_matches_local_run_and_caches(tmp_path, server):
+    client = ServiceClient(server.url)
+    assert client.health()["ok"]
+
+    spec_doc = small_spec_doc()
+    job = client.submit(spec_doc, tenant="alice")
+    events = []
+    done = client.wait(job["id"], timeout_s=120, poll_s=0.1,
+                       on_event=events.append)
+    assert done["state"] == STATE_DONE
+    scenario_events = [e for e in events if e["event"] == "scenario"]
+    assert sorted(e["name"] for e in scenario_events) == \
+        ["svc-2", "svc-4"]
+    assert all(e["status"] == "ok" for e in scenario_events)
+
+    # The service's records ARE repro-campaign run's records: same cache
+    # keys, same simulated outcome (host wall-clock fields aside).
+    results = client.results(job["id"])
+    local = run_campaign(CampaignSpec.from_dict(spec_doc),
+                         str(tmp_path / "local"), log=None)
+    by_name = {r["scenario"]["name"]: r for r in results["records"]}
+    for name, local_rec in local.records.items():
+        remote = by_name[name]
+        assert remote["cache_key"] == local_rec.cache_key
+        assert remote["result"]["simulated_time"] == pytest.approx(
+            local_rec.result["simulated_time"])
+        assert remote["result"]["n_actions"] == \
+            local_rec.result["n_actions"]
+        assert remote["scenario"] == local_rec.scenario
+
+    # Resubmission by another tenant: 100% cache hits, zero replays.
+    job2 = client.submit(spec_doc, tenant="bob")
+    done2 = client.wait(job2["id"], timeout_s=60, poll_s=0.1)
+    assert done2["state"] == STATE_DONE
+    assert done2["metrics"]["cached_hits"] == 2
+    assert done2["metrics"]["replays_executed"] == 0
+
+    metrics = client.metrics()
+    tenants = {t["name"]: t for t in metrics["tenants"]}
+    assert tenants["alice"]["result_misses"] == 2
+    assert tenants["bob"]["result_hits"] == 2
+    assert metrics["jobs_by_state"][STATE_DONE] == 2
+
+    # Error taxonomy: unknown job is 404, bad spec 400, cancel-done 409.
+    with pytest.raises(ServiceError) as exc:
+        client.job("nope")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"scenarios": []})
+    assert exc.value.status == 400
+    with pytest.raises(ServiceError) as exc:
+        client.cancel(job["id"])
+    assert exc.value.status == 409
+
+
+def test_http_cancel_queued_and_running(server):
+    client = ServiceClient(server.url)
+    # One slot (--max-jobs default 2): occupy both with slow jobs so the
+    # third stays QUEUED long enough to cancel.
+    slow = sleepy_spec_doc(n=2, seconds=2.0)
+    running = [client.submit(sleepy_spec_doc(f"slow{i}", n=2, seconds=2.0))
+               for i in range(2)]
+    queued = client.submit(sleepy_spec_doc("slow-q", n=2, seconds=2.0))
+    cancelled = client.cancel(queued["id"])
+    assert cancelled["state"] == STATE_CANCELLED
+    assert client.job(queued["id"])["state"] == STATE_CANCELLED
+
+    # Cancelling a running job drains it: in-flight scenario recorded,
+    # terminal state CANCELLED.
+    target = running[0]["id"]
+    deadline = time.monotonic() + 60
+    while client.job(target)["state"] != STATE_RUNNING:
+        assert time.monotonic() < deadline
+        time.sleep(0.1)
+    client.cancel(target)
+    done = client.wait(target, timeout_s=60, poll_s=0.1)
+    assert done["state"] == STATE_CANCELLED
+    assert "drained" in done["error"]
+    # The other running job is untouched.
+    other = client.wait(running[1]["id"], timeout_s=60, poll_s=0.1)
+    assert other["state"] == STATE_DONE
+    del slow
+
+
+def test_server_restart_resumes_running_job_to_done(tmp_path):
+    first = ServerProc(tmp_path / "root", ["--max-jobs", "1"]).start()
+    try:
+        client = ServiceClient(first.url)
+        job = client.submit(sleepy_spec_doc(n=3, seconds=1.2))
+        # Wait for the first scenario to land, then kill the server.
+        deadline = time.monotonic() + 60
+        while True:
+            doc = client.job(job["id"])
+            if doc["progress"]["scenarios_done"] >= 1:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.1)
+        first.sigterm()
+        # The drain re-queued the job for resume.
+        queue = JobQueue(str(tmp_path / "root" / "queue.db"))
+        requeued = queue.get(job["id"])
+        queue.close()
+        assert requeued.state == STATE_QUEUED and requeued.resume
+    finally:
+        first.stop()
+
+    second = ServerProc(tmp_path / "root", ["--max-jobs", "1"]).start()
+    try:
+        client = ServiceClient(second.url)
+        done = client.wait(job["id"], timeout_s=120, poll_s=0.1)
+        assert done["state"] == STATE_DONE
+        results = client.results(job["id"])
+        by_name = {r["scenario"]["name"]: r for r in results["records"]}
+        assert len(by_name) == 3
+        assert all(r["status"] == "ok" for r in by_name.values())
+        # The scenarios recorded before the kill were *resumed* from the
+        # campaign store, not replayed.
+        sources = [r.get("cache_source") for r in by_name.values()]
+        assert "store" in sources
+    finally:
+        second.stop()
