@@ -1,0 +1,199 @@
+"""Distributed dispatch scale-out — worker fleets vs a single host,
+plus what a SIGKILLed worker costs.
+
+The workload is one 16-scenario sleep-trace sweep (0.4 s apiece —
+blocking, non-CPU, the quantity a worker fleet genuinely overlaps on
+this single-core machine).  The same spec runs four ways: single-host
+``run_campaign`` with one job slot (the serial baseline), then through
+a workers-mode service with 1, 2, and 4 ``repro-worker`` processes.
+Every configuration gets a fresh server root and fresh worker roots,
+so nothing is served from cache — the measured quantity is dispatch:
+lease round-trips, per-unit runner forks, result posts.
+
+The **chaos** column repeats the 2-worker run but SIGKILLs one worker
+mid-campaign: its lease expires (no backoff — worker death is not the
+unit's fault), the unit requeues, and the surviving worker finishes
+the sweep.  The cost of losing half the fleet should be bounded by
+roughly the lost worker's share plus one lease timeout, never a hang.
+
+Measured claims:
+* all four distributed configurations finish DONE with every unit
+  accounted (16 DONE units, zero quarantined);
+* 4 workers beat 1 worker by >= 2x on this sleep-bound sweep; 2
+  workers by >= 1.25x;
+* the chaos run still completes, with >= 1 expired lease requeued, and
+  its wall clock stays under the 1-worker configuration's.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from _harness import emit_table
+from repro.campaign import CampaignSpec, run_campaign
+from repro.service import ServiceClient
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+N_SCENARIOS = 16
+SLEEP_S = 0.4
+LEASE_S = 2.0
+
+
+def sweep_spec_doc():
+    return {
+        "name": "scaleout", "jobs": 1,
+        "base": {"ranks": 2,
+                 "trace": {"kind": "sleep", "seconds": SLEEP_S},
+                 "platform": {"name": "bordereau", "hosts": 64},
+                 "calibration": {"kind": "fixed", "speed": 2e9}},
+        "vary": {"ranks": [2 + i for i in range(N_SCENARIOS)]},
+    }
+
+
+def _spawn(args, log_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    log = open(log_path, "w")
+    try:
+        return subprocess.Popen(args, stdout=log,
+                                stderr=subprocess.STDOUT, env=env)
+    finally:
+        log.close()
+
+
+def start_server(root):
+    log_path = root + ".log"
+    proc = _spawn([sys.executable, "-u", "-m", "repro.service.cli",
+                   "--root", root, "--port", "0", "--tick-s", "0.05",
+                   "--dispatch", "workers"], log_path)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            with open(log_path) as handle:
+                match = re.search(r"listening on http://[^:]+:(\d+)",
+                                  handle.read())
+        except OSError:
+            match = None
+        if match:
+            return proc, f"http://127.0.0.1:{match.group(1)}"
+        if proc.poll() is not None:
+            raise AssertionError(f"server died: {open(log_path).read()}")
+        time.sleep(0.05)
+    raise AssertionError("server never reported its port")
+
+
+def start_worker(url, root, name):
+    return _spawn([sys.executable, "-u", "-m", "repro.service.worker",
+                   "--server", url, "--root", root, "--name", name,
+                   "--lease-s", str(LEASE_S), "--poll-s", "0.05"],
+                  root + ".log")
+
+
+def stop(proc):
+    if proc.poll() is None:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def run_single_host(root):
+    t0 = time.monotonic()
+    result = run_campaign(CampaignSpec.from_dict(sweep_spec_doc()),
+                          os.path.join(root, "local"), jobs=1, log=None)
+    assert result.ok, result.failed_names
+    return time.monotonic() - t0
+
+
+def run_distributed(root, n_workers, chaos=False):
+    tag = f"{n_workers}w" + ("-chaos" if chaos else "")
+    server, url = start_server(os.path.join(root, f"sroot-{tag}"))
+    workers = [start_worker(url, os.path.join(root, f"{tag}-w{i}"),
+                            f"{tag}-w{i}") for i in range(n_workers)]
+    try:
+        client = ServiceClient(url)
+        t0 = time.monotonic()
+        job = client.submit(sweep_spec_doc())
+        if chaos:
+            # Let the doomed worker take a lease, then kill -9 it.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                units = client.job_units(job["id"])
+                if any(u["state"] == "LEASED" for u in units):
+                    break
+                time.sleep(0.05)
+            workers[0].kill()
+            workers[0].wait()
+        done = client.wait(job["id"], timeout_s=300, poll_s=0.1)
+        wall = time.monotonic() - t0
+        assert done["state"] == "DONE", done.get("error")
+        units = client.job_units(job["id"])
+        assert len(units) == N_SCENARIOS
+        assert all(u["state"] == "DONE" for u in units)
+        counters = client.metrics()["dispatch"]["counters"]
+    finally:
+        for worker in workers:
+            stop(worker)
+        stop(server)
+    return wall, counters
+
+
+def run_scaleout_bench():
+    with tempfile.TemporaryDirectory(prefix="dist-bench-") as root:
+        serial_wall = run_single_host(root)
+        walls = {}
+        for n_workers in (1, 2, 4):
+            walls[n_workers], _ = run_distributed(root, n_workers)
+        chaos_wall, chaos_counters = run_distributed(root, 2, chaos=True)
+
+    rows = [("single-host run_campaign", serial_wall, None)] + [
+        (f"service + {n} worker(s)", walls[n], serial_wall / walls[n])
+        for n in (1, 2, 4)
+    ] + [("service + 2 workers, 1 SIGKILLed", chaos_wall,
+          serial_wall / chaos_wall)]
+    lines = [
+        f"Distributed dispatch - one {N_SCENARIOS}-scenario sweep "
+        f"({SLEEP_S:.1f}s sleep scenarios, sleep-bound on this "
+        f"single-core machine),",
+        "single-host vs repro-worker fleets (fresh roots per "
+        "configuration: zero cache service).",
+        f"Leases {LEASE_S:.0f}s; the chaos row SIGKILLs one of two "
+        f"workers mid-campaign.",
+        "",
+        f"{'configuration':<34} {'wall':>8} {'vs single-host':>14}",
+    ] + [
+        f"{name:<34} {wall:>7.2f}s "
+        + (f"{speedup:>13.2f}x" if speedup is not None else f"{'-':>14}")
+        for name, wall, speedup in rows
+    ] + [
+        "",
+        f"chaos accounting: {chaos_counters['leases_expired']} lease(s) "
+        f"expired, {chaos_counters['units_requeued']} unit(s) requeued, "
+        f"{chaos_counters['units_quarantined']} quarantined",
+    ]
+    emit_table("distributed_scaleout.txt", lines)
+    return walls, chaos_wall, chaos_counters
+
+
+@pytest.mark.benchmark(group="service")
+def test_distributed_scaleout_and_chaos(benchmark):
+    walls, chaos_wall, chaos_counters = benchmark.pedantic(
+        run_scaleout_bench, rounds=1, iterations=1)
+    # Sleep-bound units overlap across worker processes.
+    assert walls[1] / walls[2] >= 1.25, walls
+    assert walls[1] / walls[4] >= 2.0, walls
+    # Losing half the fleet costs bounded time, not the campaign.
+    assert chaos_counters["leases_expired"] >= 1, chaos_counters
+    assert chaos_counters["units_quarantined"] == 0, chaos_counters
+    assert chaos_wall < walls[1] + LEASE_S, (chaos_wall, walls)

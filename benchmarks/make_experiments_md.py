@@ -154,6 +154,21 @@ virtual times show the weight-2 tenant charged half per busy second.""",
         ["service_throughput.txt"],
     ),
     (
+        "Infrastructure — distributed campaign scale-out and chaos recovery",
+        """With `--dispatch workers` the service fans each campaign out as
+leased work units to remote `repro-worker` processes — heartbeats,
+artifact shipping by content digest, speculative re-execution, and
+quarantine (see `docs/distributed.md`).  This table runs one
+16-scenario sleep-bound sweep single-host and through 1/2/4-worker
+fleets with cold caches, so the dispatch overhead (lease round-trips,
+per-unit forks, result posts) is fully exposed; fleets then claw it
+back by overlapping units.  The chaos row SIGKILLs one of two workers
+mid-campaign: its lease expires, the unit requeues without backoff,
+and the survivor finishes the sweep — bounded delay, zero quarantined
+units, full provenance.""",
+        ["distributed_scaleout.txt"],
+    ),
+    (
         "Extension — on-line vs off-line comparison (§7 future work)",
         """The comparison the paper planned: running the application skeleton
 directly on the calibrated platform (on-line simulation) vs replaying

@@ -13,7 +13,8 @@ client (see :mod:`repro.service`):
 
 * ``repro-campaign submit SPEC.json --server URL [--tenant T]
   [--priority N] [--wait]`` — enqueue the campaign on the server.
-* ``repro-campaign status --server URL [JOB]`` — list jobs, or show one.
+* ``repro-campaign status --server URL [JOB] [--workers]`` — list jobs,
+  show one, or show the worker fleet + dispatch counters.
 * ``repro-campaign results JOB --server URL [--output FILE]`` — manifest
   plus run records of a finished job.
 * ``repro-campaign cancel JOB --server URL`` — cancel (queued jobs die
@@ -78,6 +79,10 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
                           help="repro-service base URL")
     status_p.add_argument("--tenant", default=None,
                           help="with --server: only this tenant's jobs")
+    status_p.add_argument("--workers", action="store_true",
+                          help="with --server: show the worker fleet and "
+                               "distributed-dispatch counters instead of "
+                               "jobs")
 
     report_p = sub.add_parser("report", help="comparison table of a "
                                              "campaign's results")
@@ -164,6 +169,33 @@ def main_campaign(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _fleet_status(client: Any) -> int:
+    """``status --server URL --workers``: fleet + dispatch counters."""
+    workers = client.workers()
+    if not workers:
+        print("no workers registered")
+    for worker in workers:
+        age = worker.get("last_seen_age_s", 0.0)
+        leases = worker.get("active_leases", [])
+        busy = (f"leased: {', '.join(leases)}" if leases else "idle")
+        print(f"{worker['name']}: {busy}  "
+              f"done={worker.get('units_done', 0)} "
+              f"failed={worker.get('units_failed', 0)}  "
+              f"last seen {age:.1f}s ago")
+    dispatch = client.metrics().get("dispatch", {})
+    units = dispatch.get("units_by_state", {})
+    if units:
+        states = " ".join(f"{state}={count}"
+                          for state, count in sorted(units.items()))
+        print(f"units: {states}")
+    counters = dispatch.get("counters", {})
+    if counters:
+        print("counters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name}: {value}")
+    return 0
+
+
 def _remote_command(args: argparse.Namespace) -> int:
     """submit/status/results/cancel against a repro-service server."""
     from ..service.client import ServiceClient, ServiceError
@@ -204,6 +236,8 @@ def _remote_command(args: argparse.Namespace) -> int:
             return 0 if doc["state"] == "DONE" else 1
 
         if args.command == "status":
+            if getattr(args, "workers", False):
+                return _fleet_status(client)
             if args.out:
                 doc = client.job(args.out)
                 print(_fmt_job_line(doc))

@@ -21,21 +21,35 @@ Layering (each module usable on its own):
   fair-share, stages artifacts, drives :func:`repro.campaign.run_campaign`
   in child processes, streams per-scenario events, and resumes
   interrupted jobs across server restarts via ``--resume``.
+* :mod:`repro.service.dispatch` — :class:`Dispatcher`: fans a campaign
+  out as per-scenario *work units* with leases, heartbeats, speculative
+  re-execution of stragglers, and poison-unit quarantine.
+* :mod:`repro.service.worker` — :class:`Worker` / ``repro-worker``: the
+  remote execution process that leases units, stages artifacts by
+  content digest, runs them, and streams results back.
 * :mod:`repro.service.server` — the asyncio HTTP/JSON front end.
 * :mod:`repro.service.client` — the stdlib-urllib client the CLI uses.
 """
 
 from .artifacts import ArtifactStore
 from .client import ServiceClient, ServiceError
+from .dispatch import (
+    DETERMINISTIC_RESULT_FIELDS, Dispatcher, deterministic_projection,
+)
 from .queue import (
     STATE_CANCELLED, STATE_DONE, STATE_FAILED, STATE_QUEUED, STATE_RUNNING,
-    STATE_STAGING, TERMINAL_STATES, Job, JobQueue,
+    STATE_STAGING, TERMINAL_STATES, UNIT_CANCELLED, UNIT_DONE, UNIT_LEASED,
+    UNIT_PENDING, UNIT_QUARANTINED, Job, JobQueue, LeaseLostError, WorkUnit,
 )
 from .supervisor import Supervisor
+from .worker import Worker
 
 __all__ = [
-    "ArtifactStore", "Job", "JobQueue", "ServiceClient", "ServiceError",
-    "Supervisor",
+    "ArtifactStore", "DETERMINISTIC_RESULT_FIELDS", "Dispatcher", "Job",
+    "JobQueue", "LeaseLostError", "ServiceClient", "ServiceError",
+    "Supervisor", "Worker", "WorkUnit", "deterministic_projection",
     "STATE_QUEUED", "STATE_STAGING", "STATE_RUNNING", "STATE_DONE",
     "STATE_FAILED", "STATE_CANCELLED", "TERMINAL_STATES",
+    "UNIT_PENDING", "UNIT_LEASED", "UNIT_DONE", "UNIT_QUARANTINED",
+    "UNIT_CANCELLED",
 ]

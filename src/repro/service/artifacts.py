@@ -36,14 +36,55 @@ campaign metrics — see :meth:`Supervisor._reap`).
 
 from __future__ import annotations
 
+import io
 import os
 import shutil
+import tarfile
 import time
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..campaign.cache import ResultCache, digest_tree
 
-__all__ = ["ArtifactStore"]
+__all__ = ["ArtifactStore", "pack_tree_tar", "unpack_tree_tar"]
+
+
+def pack_tree_tar(root: str) -> bytes:
+    """A directory tree as an (uncompressed) tar archive, members in
+    sorted order — the wire format of the artifact fetch/push endpoints.
+    Trace bytes are already dense; compression would cost CPU on the
+    single-threaded server for little."""
+    buf = io.BytesIO()
+    with tarfile.open(fileobj=buf, mode="w") as tar:
+        for dirpath, dirs, files in os.walk(root):
+            dirs.sort()
+            for name in sorted(files):
+                full = os.path.join(dirpath, name)
+                tar.add(full, arcname=os.path.relpath(full, root),
+                        recursive=False)
+    return buf.getvalue()
+
+
+def _safe_members(tar: tarfile.TarFile) -> Iterator[tarfile.TarInfo]:
+    for member in tar.getmembers():
+        parts = member.name.split("/")
+        if member.name.startswith("/") or ".." in parts:
+            raise ValueError(f"unsafe tar member {member.name!r}")
+        if not (member.isreg() or member.isdir()):
+            raise ValueError(
+                f"unsupported tar member type for {member.name!r}")
+        yield member
+
+
+def unpack_tree_tar(data: bytes, dst: str) -> None:
+    """Extract an artifact tar under ``dst``, refusing absolute paths,
+    ``..`` traversal, and non-file members."""
+    os.makedirs(dst, exist_ok=True)
+    with tarfile.open(fileobj=io.BytesIO(data), mode="r:*") as tar:
+        members = list(_safe_members(tar))
+        try:
+            tar.extractall(dst, members=members, filter="data")
+        except TypeError:   # Python < 3.12: no extraction filters
+            tar.extractall(dst, members=members)
 
 
 def _tree_bytes(root: str) -> int:
@@ -134,6 +175,50 @@ class ArtifactStore:
             # Never evict the tree we just staged — the caller is about
             # to run a job against it.
             self.evict(protect=(digest,))
+        return dst, False
+
+    def export_trace_tar(self, digest: str) -> bytes:
+        """The staged tree as a tar archive (the fetch endpoint body).
+        Raises ``KeyError`` when the digest is not staged.  Counts as a
+        use for LRU purposes."""
+        path = self.trace_path(digest)
+        if not os.path.isdir(path):
+            raise KeyError(f"trace {digest!r} is not staged")
+        os.utime(path, None)
+        return pack_tree_tar(path)
+
+    def import_trace_tar(self, data: bytes, digest: str,
+                         tenant: str = "default") -> Tuple[str, bool]:
+        """Accept a pushed trace tar, verify its content address, and
+        publish it (the push endpoint).  Returns ``(path, hit)``; raises
+        ``ValueError`` when the bytes do not hash to ``digest``."""
+        dst = self.trace_path(digest)
+        if os.path.isdir(dst):
+            os.utime(dst, None)
+            self._count(tenant, "stage_hits")
+            return dst, True
+        tmp = os.path.join(self.traces_dir,
+                           f".tmp-push-{digest}-{os.getpid()}")
+        shutil.rmtree(tmp, ignore_errors=True)
+        try:
+            unpack_tree_tar(data, tmp)
+            actual = digest_tree(tmp)
+            if actual != digest:
+                raise ValueError(
+                    f"pushed artifact hashes to {actual[:12]}, "
+                    f"not {digest[:12]} — refusing corrupt bytes")
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        try:
+            os.rename(tmp, dst)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            if not os.path.isdir(dst):
+                raise
+            self._count(tenant, "stage_hits")
+            return dst, True
+        self._count(tenant, "stage_misses")
         return dst, False
 
     # -- size accounting + LRU eviction ----------------------------------

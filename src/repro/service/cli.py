@@ -63,6 +63,12 @@ def main_service(argv: Optional[List[str]] = None) -> int:
                         help="fair-share weight for a tenant (repeatable)")
     parser.add_argument("--tick-s", type=float, default=0.2,
                         help="scheduler tick interval in seconds")
+    parser.add_argument("--dispatch", choices=("local", "workers"),
+                        default="local",
+                        help="'local' runs campaigns in server-side child "
+                             "processes; 'workers' fans scenarios out as "
+                             "leased work units to repro-worker processes "
+                             "(see docs/distributed.md)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-event log lines")
     args = parser.parse_args(argv)
@@ -76,6 +82,7 @@ def main_service(argv: Optional[List[str]] = None) -> int:
             args.root, host=args.host, port=args.port,
             max_jobs=args.max_jobs, cache_max_bytes=args.cache_bytes,
             tenant_weights=weights or None, tick_s=args.tick_s,
+            dispatch=args.dispatch,
             log=None if args.quiet else print,
         ))
     except KeyboardInterrupt:  # pragma: no cover - belt and braces

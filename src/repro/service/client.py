@@ -60,6 +60,30 @@ class ServiceClient:
             raise ServiceError(
                 0, f"cannot reach {self.base_url}: {exc.reason}") from None
 
+    def _request_raw(self, method: str, path: str,
+                     data: Optional[bytes] = None,
+                     content_type: str = "application/x-tar") -> bytes:
+        """Binary transport (artifact fetch/push): raw bytes in/out."""
+        headers = {}
+        if data is not None:
+            headers["Content-Type"] = content_type
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")) \
+                    .get("error", exc.reason)
+            except Exception:  # noqa: BLE001 - error body is best-effort
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
     # -- API -------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/health")
@@ -96,6 +120,62 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    # -- distributed execution -------------------------------------------
+    def register_worker(self, name: str,
+                        info: Optional[Dict[str, Any]] = None
+                        ) -> Dict[str, Any]:
+        return self._request("POST", "/v1/workers",
+                             {"name": name, "info": info or {}})["worker"]
+
+    def workers(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/workers")["workers"]
+
+    def lease(self, worker: str,
+              lease_s: float = 15.0) -> Optional[Dict[str, Any]]:
+        """Claim the next work unit, or None when the queue is idle."""
+        doc = self._request("POST", "/v1/lease",
+                            {"worker": worker, "lease_s": lease_s})
+        if doc.get("unit") is None:
+            return None
+        return doc
+
+    def heartbeat(self, unit_id: str, worker: str, token: str,
+                  lease_s: float = 15.0) -> float:
+        """Renew a lease; :class:`ServiceError` 409 = lease lost."""
+        return self._request(
+            "POST", f"/v1/units/{unit_id}/heartbeat",
+            {"worker": worker, "token": token,
+             "lease_s": lease_s})["deadline"]
+
+    def post_result(self, unit_id: str, worker: str, token: str,
+                    doc: Dict[str, Any]) -> Dict[str, Any]:
+        body = dict(doc)
+        body.update(worker=worker, token=token)
+        return self._request("POST", f"/v1/units/{unit_id}/result", body)
+
+    def ack_staged(self, unit_id: str, worker: str, *,
+                   fetched_bytes: int = 0,
+                   cached_bytes: int = 0) -> Dict[str, Any]:
+        return self._request(
+            "POST", f"/v1/units/{unit_id}/staged",
+            {"worker": worker, "fetched_bytes": int(fetched_bytes),
+             "cached_bytes": int(cached_bytes)})
+
+    def job_units(self, job_id: str) -> List[Dict[str, Any]]:
+        return self._request("GET", f"/v1/jobs/{job_id}/units")["units"]
+
+    def unit(self, unit_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/units/{unit_id}")["unit"]
+
+    def fetch_trace(self, digest: str) -> bytes:
+        """The staged trace tree as tar bytes (404 = not staged)."""
+        return self._request_raw("GET", f"/v1/artifacts/traces/{digest}")
+
+    def push_trace(self, digest: str, data: bytes) -> Dict[str, Any]:
+        raw = self._request_raw("PUT", f"/v1/artifacts/traces/{digest}",
+                                data=data)
+        return json.loads(raw.decode("utf-8"))
 
     # -- convenience -----------------------------------------------------
     def wait(self, job_id: str, timeout_s: Optional[float] = None,

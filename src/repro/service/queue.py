@@ -36,12 +36,14 @@ import sqlite3
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 __all__ = [
-    "Job", "JobQueue",
+    "Job", "JobQueue", "WorkUnit", "LeaseLostError",
     "STATE_QUEUED", "STATE_STAGING", "STATE_RUNNING", "STATE_DONE",
     "STATE_FAILED", "STATE_CANCELLED", "TERMINAL_STATES",
+    "UNIT_PENDING", "UNIT_LEASED", "UNIT_DONE", "UNIT_QUARANTINED",
+    "UNIT_CANCELLED", "UNIT_TERMINAL_STATES",
 ]
 
 STATE_QUEUED = "QUEUED"
@@ -64,6 +66,27 @@ _TRANSITIONS = {
     STATE_FAILED: set(),
     STATE_CANCELLED: set(),
 }
+
+UNIT_PENDING = "PENDING"
+UNIT_LEASED = "LEASED"
+UNIT_DONE = "DONE"
+UNIT_QUARANTINED = "QUARANTINED"
+UNIT_CANCELLED = "CANCELLED"
+
+UNIT_TERMINAL_STATES = frozenset(
+    {UNIT_DONE, UNIT_QUARANTINED, UNIT_CANCELLED})
+
+
+class LeaseLostError(Exception):
+    """A heartbeat/result arrived under a lease that no longer exists.
+
+    Raised when the (worker, token) pair does not match any active lease
+    on the unit — the lease expired and was requeued, the unit already
+    finished under another lease (speculative race), or the unit was
+    cancelled.  The server maps this to HTTP 409 so the worker stops
+    working on the unit.
+    """
+
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -95,6 +118,43 @@ CREATE TABLE IF NOT EXISTS tenants (
     stage_hits      INTEGER NOT NULL DEFAULT 0,
     stage_misses    INTEGER NOT NULL DEFAULT 0,
     evictions_triggered INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS units (
+    id              TEXT PRIMARY KEY,
+    job_id          TEXT NOT NULL,
+    seq             INTEGER NOT NULL,
+    name            TEXT NOT NULL,
+    scenario        TEXT NOT NULL,
+    cache_key       TEXT NOT NULL DEFAULT '',
+    digests         TEXT NOT NULL DEFAULT '[]',
+    state           TEXT NOT NULL,
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL DEFAULT 3,
+    backoff_s       REAL NOT NULL DEFAULT 0.5,
+    ready_at        REAL NOT NULL DEFAULT 0.0,
+    speculative_eligible INTEGER NOT NULL DEFAULT 0,
+    leases          TEXT NOT NULL DEFAULT '[]',
+    retry_history   TEXT NOT NULL DEFAULT '[]',
+    error           TEXT NOT NULL DEFAULT '',
+    winner          TEXT NOT NULL DEFAULT '',
+    created_at      REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL,
+    duration        REAL
+);
+CREATE INDEX IF NOT EXISTS units_by_job ON units (job_id);
+CREATE INDEX IF NOT EXISTS units_by_state ON units (state);
+CREATE TABLE IF NOT EXISTS workers (
+    name            TEXT PRIMARY KEY,
+    registered_at   REAL NOT NULL,
+    last_seen       REAL NOT NULL,
+    info            TEXT NOT NULL DEFAULT '{}',
+    units_done      INTEGER NOT NULL DEFAULT 0,
+    units_failed    INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS dcounters (
+    name            TEXT PRIMARY KEY,
+    value           INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -151,6 +211,92 @@ def _row_to_job(row: sqlite3.Row) -> Job:
         pid=row["pid"], resume=bool(row["resume"]),
         cancel_requested=bool(row["cancel_requested"]),
         error=row["error"], metrics=metrics,
+    )
+
+
+@dataclass
+class WorkUnit:
+    """One scenario-shard of a job, claimable by a worker under a lease.
+
+    A unit generalizes the job-level ``RUNNING → QUEUED`` crash-recovery
+    edge to per-scenario granularity::
+
+        PENDING ──→ LEASED ──→ DONE
+           │           ├─────→ PENDING      (lease expired / attempt failed)
+           │           ├─────→ QUARANTINED  (attempts exhausted)
+           │           └─────→ CANCELLED
+           └─────────────────→ CANCELLED
+
+    ``leases`` is the list of *active* leases — normally one; two during
+    a speculative re-execution window (first result wins).  ``attempts``
+    counts lease grants, and every lost attempt (expiry or failure)
+    lands in ``retry_history`` with the same shape the campaign runner
+    uses, plus ``worker``/``resumed``/``speculative`` tags.
+    """
+
+    id: str
+    job_id: str
+    seq: int
+    name: str
+    scenario: Dict[str, Any]
+    cache_key: str = ""
+    digests: List[str] = field(default_factory=list)
+    state: str = UNIT_PENDING
+    attempts: int = 0
+    max_attempts: int = 3
+    backoff_s: float = 0.5
+    ready_at: float = 0.0
+    speculative_eligible: bool = False
+    leases: List[Dict[str, Any]] = field(default_factory=list)
+    retry_history: List[Dict[str, Any]] = field(default_factory=list)
+    error: str = ""
+    winner: str = ""
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    duration: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in UNIT_TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id, "job_id": self.job_id, "seq": self.seq,
+            "name": self.name, "scenario": self.scenario,
+            "cache_key": self.cache_key, "digests": list(self.digests),
+            "state": self.state, "attempts": self.attempts,
+            "max_attempts": self.max_attempts, "backoff_s": self.backoff_s,
+            "ready_at": self.ready_at,
+            "speculative_eligible": self.speculative_eligible,
+            "leases": list(self.leases),
+            "retry_history": list(self.retry_history),
+            "error": self.error, "winner": self.winner,
+            "created_at": self.created_at, "started_at": self.started_at,
+            "finished_at": self.finished_at, "duration": self.duration,
+        }
+
+
+def _row_to_unit(row: sqlite3.Row) -> WorkUnit:
+    def _loads(text: str, default: Any) -> Any:
+        try:
+            return json.loads(text) if text else default
+        except ValueError:  # pragma: no cover - defensive
+            return default
+
+    return WorkUnit(
+        id=row["id"], job_id=row["job_id"], seq=row["seq"],
+        name=row["name"], scenario=_loads(row["scenario"], {}),
+        cache_key=row["cache_key"], digests=_loads(row["digests"], []),
+        state=row["state"], attempts=row["attempts"],
+        max_attempts=row["max_attempts"], backoff_s=row["backoff_s"],
+        ready_at=row["ready_at"],
+        speculative_eligible=bool(row["speculative_eligible"]),
+        leases=_loads(row["leases"], []),
+        retry_history=_loads(row["retry_history"], []),
+        error=row["error"], winner=row["winner"],
+        created_at=row["created_at"], started_at=row["started_at"],
+        finished_at=row["finished_at"], duration=row["duration"],
     )
 
 
@@ -351,3 +497,377 @@ class JobQueue:
                 "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"):
             states[row["state"]] = row["n"]
         return {"jobs_by_state": states, "tenants": self.tenants()}
+
+    # =====================================================================
+    # Work units: scenario-shard leases for distributed execution
+    # =====================================================================
+    def create_unit(self, job_id: str, seq: int, name: str,
+                    scenario: Dict[str, Any], *, cache_key: str = "",
+                    digests: Iterable[str] = (), max_attempts: int = 3,
+                    backoff_s: float = 0.5,
+                    retry_history: Optional[List[Dict[str, Any]]] = None,
+                    ) -> WorkUnit:
+        unit_id = uuid.uuid4().hex[:12]
+        self._db.execute(
+            "INSERT INTO units (id, job_id, seq, name, scenario, cache_key,"
+            " digests, state, max_attempts, backoff_s, retry_history,"
+            " created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (unit_id, job_id, int(seq), name,
+             json.dumps(scenario, sort_keys=True), cache_key,
+             json.dumps(sorted(digests)), UNIT_PENDING,
+             max(1, int(max_attempts)), float(backoff_s),
+             json.dumps(retry_history or []), time.time()))
+        self._db.commit()
+        return self.get_unit(unit_id)
+
+    def get_unit(self, unit_id: str) -> WorkUnit:
+        row = self._db.execute(
+            "SELECT * FROM units WHERE id = ?", (unit_id,)).fetchone()
+        if row is None:
+            raise KeyError(f"unknown unit {unit_id!r}")
+        return _row_to_unit(row)
+
+    def units_for_job(self, job_id: str) -> List[WorkUnit]:
+        return [_row_to_unit(r) for r in self._db.execute(
+            "SELECT * FROM units WHERE job_id = ? ORDER BY seq ASC",
+            (job_id,))]
+
+    def list_units(self, state: Optional[str] = None) -> List[WorkUnit]:
+        if state:
+            rows = self._db.execute(
+                "SELECT * FROM units WHERE state = ?"
+                " ORDER BY created_at ASC, rowid ASC", (state,))
+        else:
+            rows = self._db.execute(
+                "SELECT * FROM units ORDER BY created_at ASC, rowid ASC")
+        return [_row_to_unit(r) for r in rows]
+
+    def _update_unit(self, unit: WorkUnit, **cols: Any) -> None:
+        sets, args = [], []
+        for col, value in cols.items():
+            sets.append(f"{col} = ?")
+            if col in ("leases", "retry_history", "digests"):
+                value = json.dumps(value)
+            args.append(value)
+        args.append(unit.id)
+        self._db.execute(
+            f"UPDATE units SET {', '.join(sets)} WHERE id = ?", args)
+        self._db.commit()
+
+    # -- lease lifecycle -------------------------------------------------
+    def lease_unit(self, worker: str, lease_s: float,
+                   now: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Grant the next unit to ``worker`` under a fresh lease.
+
+        PENDING units go first (oldest job, then shard order); when none
+        is ready, a straggling LEASED unit marked ``speculative_eligible``
+        may be re-leased to a *different* worker (one extra copy at most —
+        first result wins).  Returns ``{"unit", "token", "deadline",
+        "speculative"}`` or None when there is nothing to hand out.
+        """
+        now = time.time() if now is None else now
+        self.worker_seen(worker, now)
+        row = self._db.execute(
+            "SELECT u.id FROM units u JOIN jobs j ON u.job_id = j.id"
+            " WHERE u.state = ? AND u.ready_at <= ?"
+            " ORDER BY j.submitted_at ASC, u.seq ASC, u.rowid ASC LIMIT 1",
+            (UNIT_PENDING, now)).fetchone()
+        speculative = False
+        unit: Optional[WorkUnit] = None
+        if row is not None:
+            unit = self.get_unit(row["id"])
+        else:
+            for cand in self._db.execute(
+                    "SELECT * FROM units WHERE state = ?"
+                    " AND speculative_eligible = 1"
+                    " ORDER BY started_at ASC, rowid ASC", (UNIT_LEASED,)):
+                candidate = _row_to_unit(cand)
+                if (len(candidate.leases) == 1
+                        and candidate.leases[0]["worker"] != worker):
+                    unit, speculative = candidate, True
+                    break
+            if unit is None:
+                return None
+        token = uuid.uuid4().hex
+        attempt = unit.attempts + 1
+        lease = {"worker": worker, "token": token, "attempt": attempt,
+                 "granted_at": now, "deadline": now + float(lease_s),
+                 "speculative": speculative}
+        self._update_unit(
+            unit, state=UNIT_LEASED, attempts=attempt,
+            leases=unit.leases + [lease],
+            started_at=unit.started_at if unit.started_at is not None
+            else now,
+            speculative_eligible=0)
+        self.incr_counter("leases_granted")
+        if speculative:
+            self.incr_counter("speculative_leases")
+        fresh = self.get_unit(unit.id)
+        return {"unit": fresh, "token": token,
+                "deadline": lease["deadline"], "speculative": speculative}
+
+    def _find_lease(self, unit: WorkUnit, worker: str,
+                    token: str) -> Optional[Dict[str, Any]]:
+        if unit.state != UNIT_LEASED:
+            return None
+        for lease in unit.leases:
+            if lease["worker"] == worker and lease["token"] == token:
+                return lease
+        return None
+
+    def heartbeat_unit(self, unit_id: str, worker: str, token: str,
+                       lease_s: float,
+                       now: Optional[float] = None) -> float:
+        """Renew a lease; raises :class:`LeaseLostError` if superseded."""
+        now = time.time() if now is None else now
+        unit = self.get_unit(unit_id)
+        self.worker_seen(worker, now)
+        lease = self._find_lease(unit, worker, token)
+        if lease is None:
+            self.incr_counter("late_heartbeats_rejected")
+            raise LeaseLostError(
+                f"unit {unit_id}: no active lease held by {worker!r}"
+                f" (unit is {unit.state})")
+        lease["deadline"] = now + float(lease_s)
+        self._update_unit(unit, leases=unit.leases)
+        return lease["deadline"]
+
+    def complete_unit(self, unit_id: str, worker: str, token: str, *,
+                      duration: Optional[float] = None,
+                      now: Optional[float] = None) -> Dict[str, Any]:
+        """First result wins: the valid lease-holder lands DONE; a result
+        from a superseded lease raises :class:`LeaseLostError` and is
+        counted ``late_results_discarded``."""
+        now = time.time() if now is None else now
+        unit = self.get_unit(unit_id)
+        self.worker_seen(worker, now)
+        lease = self._find_lease(unit, worker, token)
+        if lease is None:
+            self.incr_counter("late_results_discarded")
+            raise LeaseLostError(
+                f"unit {unit_id}: result from superseded lease of"
+                f" {worker!r} discarded (unit is {unit.state})")
+        superseded = [l for l in unit.leases if l["token"] != token]
+        self._update_unit(
+            unit, state=UNIT_DONE, leases=[], winner=worker,
+            finished_at=now, duration=duration, error="",
+            speculative_eligible=0)
+        self._db.execute(
+            "UPDATE workers SET units_done = units_done + 1"
+            " WHERE name = ?", (worker,))
+        self._db.commit()
+        if lease.get("speculative") or superseded:
+            # A race was on (this lease was the extra copy, or an extra
+            # copy is still running) — the winner decides it.
+            self.incr_counter("speculative_wins")
+        return {"unit": self.get_unit(unit_id), "lease": lease,
+                "superseded": superseded}
+
+    def fail_unit(self, unit_id: str, worker: str, token: str, *,
+                  error: str, status: str = "error",
+                  now: Optional[float] = None) -> WorkUnit:
+        """A worker reports an attempt failed: drop its lease, requeue
+        with exponential backoff, or quarantine after ``max_attempts``."""
+        now = time.time() if now is None else now
+        unit = self.get_unit(unit_id)
+        self.worker_seen(worker, now)
+        lease = self._find_lease(unit, worker, token)
+        if lease is None:
+            raise LeaseLostError(
+                f"unit {unit_id}: failure report from superseded lease"
+                f" of {worker!r} ignored (unit is {unit.state})")
+        remaining = [l for l in unit.leases if l["token"] != token]
+        backoff = unit.backoff_s * (2 ** max(0, unit.attempts - 1))
+        entry = {"attempt": lease["attempt"], "status": status,
+                 "worker": worker, "message": str(error)[:1000],
+                 "backoff_s": round(backoff, 6)}
+        if lease.get("speculative"):
+            entry["speculative"] = True
+        history = unit.retry_history + [entry]
+        self._db.execute(
+            "UPDATE workers SET units_failed = units_failed + 1"
+            " WHERE name = ?", (worker,))
+        if remaining:
+            # The other (speculative) copy is still running; let it race.
+            self._update_unit(unit, leases=remaining,
+                              retry_history=history)
+        elif unit.attempts >= unit.max_attempts:
+            self._quarantine(unit, history, error, now)
+        else:
+            self._update_unit(
+                unit, state=UNIT_PENDING, leases=[],
+                retry_history=history, ready_at=now + backoff,
+                speculative_eligible=0)
+            self.incr_counter("units_requeued")
+        return self.get_unit(unit_id)
+
+    def _quarantine(self, unit: WorkUnit, history: List[Dict[str, Any]],
+                    error: str, now: float) -> None:
+        self._update_unit(
+            unit, state=UNIT_QUARANTINED, leases=[],
+            retry_history=history, error=str(error)[:2000],
+            finished_at=now, speculative_eligible=0)
+        self.incr_counter("units_quarantined")
+
+    def expire_leases(self, now: Optional[float] = None, *,
+                      resumed: bool = False) -> List[Dict[str, Any]]:
+        """Drop every lease past its deadline; requeue or quarantine
+        units left leaseless.  Idempotent: a second sweep at the same
+        ``now`` finds nothing.  ``resumed`` tags the history entries
+        (crash-recovery sweep after a server restart)."""
+        now = time.time() if now is None else now
+        events: List[Dict[str, Any]] = []
+        for row in self._db.execute(
+                "SELECT * FROM units WHERE state = ?", (UNIT_LEASED,)):
+            unit = _row_to_unit(row)
+            keep = [l for l in unit.leases if l["deadline"] > now]
+            dropped = [l for l in unit.leases if l["deadline"] <= now]
+            if not dropped:
+                continue
+            history = list(unit.retry_history)
+            for lease in dropped:
+                entry = {"attempt": lease["attempt"],
+                         "status": "lease_expired",
+                         "worker": lease["worker"], "backoff_s": 0.0}
+                if lease.get("speculative"):
+                    entry["speculative"] = True
+                if resumed:
+                    entry["resumed"] = True
+                history.append(entry)
+                self.incr_counter("leases_expired")
+                events.append({
+                    "unit": unit.id, "job_id": unit.job_id,
+                    "name": unit.name, "worker": lease["worker"],
+                    "attempt": lease["attempt"],
+                    "requeued": not keep, "resumed": resumed})
+            if keep:
+                self._update_unit(unit, leases=keep, retry_history=history)
+            elif unit.attempts >= unit.max_attempts:
+                self._quarantine(
+                    unit, history,
+                    f"lease expired on final attempt {unit.attempts}"
+                    f" (worker {dropped[-1]['worker']})", now)
+            else:
+                # Worker death is not the unit's fault: requeue with no
+                # backoff so recovery is immediate.
+                self._update_unit(
+                    unit, state=UNIT_PENDING, leases=[],
+                    retry_history=history, ready_at=now,
+                    speculative_eligible=0)
+                self.incr_counter("units_requeued")
+        return events
+
+    def mark_speculative_eligible(self, unit_id: str) -> None:
+        self._db.execute(
+            "UPDATE units SET speculative_eligible = 1"
+            " WHERE id = ? AND state = ?", (unit_id, UNIT_LEASED))
+        self._db.commit()
+
+    def cancel_units(self, job_id: str,
+                     now: Optional[float] = None) -> int:
+        now = time.time() if now is None else now
+        cur = self._db.execute(
+            "UPDATE units SET state = ?, leases = '[]', finished_at = ?"
+            " WHERE job_id = ? AND state IN (?, ?)",
+            (UNIT_CANCELLED, now, job_id, UNIT_PENDING, UNIT_LEASED))
+        self._db.commit()
+        return cur.rowcount
+
+    def unit_states_for_job(self, job_id: str) -> Dict[str, int]:
+        states = {UNIT_PENDING: 0, UNIT_LEASED: 0, UNIT_DONE: 0,
+                  UNIT_QUARANTINED: 0, UNIT_CANCELLED: 0}
+        for row in self._db.execute(
+                "SELECT state, COUNT(*) AS n FROM units WHERE job_id = ?"
+                " GROUP BY state", (job_id,)):
+            states[row["state"]] = row["n"]
+        return states
+
+    def done_unit_durations(self, tenant: str) -> List[float]:
+        """Durations of this tenant's DONE units (straggler p95 input)."""
+        return [row["duration"] for row in self._db.execute(
+            "SELECT u.duration FROM units u JOIN jobs j ON u.job_id = j.id"
+            " WHERE j.tenant = ? AND u.state = ? AND u.duration IS NOT NULL",
+            (tenant, UNIT_DONE))]
+
+    # -- worker registry -------------------------------------------------
+    def register_worker(self, name: str,
+                        info: Optional[Dict[str, Any]] = None,
+                        now: Optional[float] = None) -> Dict[str, Any]:
+        if not name:
+            raise ValueError("worker name must be non-empty")
+        now = time.time() if now is None else now
+        self._db.execute(
+            "INSERT INTO workers (name, registered_at, last_seen, info)"
+            " VALUES (?, ?, ?, ?) ON CONFLICT(name) DO UPDATE SET"
+            " last_seen = ?, info = ?",
+            (name, now, now, json.dumps(info or {}, sort_keys=True),
+             now, json.dumps(info or {}, sort_keys=True)))
+        self._db.commit()
+        return {"name": name, "registered_at": now}
+
+    def worker_seen(self, name: str, now: Optional[float] = None) -> None:
+        now = time.time() if now is None else now
+        self._db.execute(
+            "INSERT INTO workers (name, registered_at, last_seen)"
+            " VALUES (?, ?, ?) ON CONFLICT(name) DO UPDATE SET"
+            " last_seen = ?", (name, now, now, now))
+        self._db.commit()
+
+    def workers_doc(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        now = time.time() if now is None else now
+        active: Dict[str, int] = {}
+        for row in self._db.execute(
+                "SELECT leases FROM units WHERE state = ?", (UNIT_LEASED,)):
+            try:
+                leases = json.loads(row["leases"])
+            except ValueError:  # pragma: no cover - defensive
+                leases = []
+            for lease in leases:
+                active[lease["worker"]] = active.get(lease["worker"], 0) + 1
+        docs = []
+        for row in self._db.execute(
+                "SELECT * FROM workers ORDER BY name"):
+            try:
+                info = json.loads(row["info"]) if row["info"] else {}
+            except ValueError:  # pragma: no cover - defensive
+                info = {}
+            docs.append({
+                "name": row["name"],
+                "registered_at": row["registered_at"],
+                "last_seen": row["last_seen"],
+                "last_seen_age_s": round(max(0.0, now - row["last_seen"]), 3),
+                "active_leases": active.get(row["name"], 0),
+                "units_done": row["units_done"],
+                "units_failed": row["units_failed"],
+                "info": info,
+            })
+        return docs
+
+    # -- dispatch counters -----------------------------------------------
+    _DISPATCH_COUNTERS = (
+        "leases_granted", "leases_expired", "units_requeued",
+        "speculative_leases", "speculative_wins", "units_quarantined",
+        "late_heartbeats_rejected", "late_results_discarded",
+        "bytes_shipped", "bytes_saved_by_cache", "dedup_mismatches",
+    )
+
+    def incr_counter(self, name: str, n: int = 1) -> None:
+        self._db.execute(
+            "INSERT INTO dcounters (name, value) VALUES (?, ?)"
+            " ON CONFLICT(name) DO UPDATE SET value = value + ?",
+            (name, int(n), int(n)))
+        self._db.commit()
+
+    def dispatch_counters(self) -> Dict[str, int]:
+        counters = {name: 0 for name in self._DISPATCH_COUNTERS}
+        for row in self._db.execute("SELECT name, value FROM dcounters"):
+            counters[row["name"]] = row["value"]
+        return counters
+
+    def units_by_state_doc(self) -> Dict[str, int]:
+        states = {UNIT_PENDING: 0, UNIT_LEASED: 0, UNIT_DONE: 0,
+                  UNIT_QUARANTINED: 0, UNIT_CANCELLED: 0}
+        for row in self._db.execute(
+                "SELECT state, COUNT(*) AS n FROM units GROUP BY state"):
+            states[row["state"]] = row["n"]
+        return states

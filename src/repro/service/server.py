@@ -18,7 +18,20 @@ POST    /v1/jobs/<id>/cancel           cancel (queued: now; running: drain)
 POST    /v1/tenants                    {name, weight} — fair-share weight
 GET     /v1/metrics                    queue/tenant/artifact-store counters
 GET     /v1/health                     liveness + fleet occupancy
+GET     /v1/jobs/<id>/units            the job's work units (workers mode)
+POST    /v1/workers                    register {name, info?}
+GET     /v1/workers                    worker fleet + heartbeat ages
+POST    /v1/lease                      {worker, lease_s?} — claim a unit
+POST    /v1/units/<id>/heartbeat       {worker, token, lease_s?} — renew
+POST    /v1/units/<id>/result          {worker, token, status, result|error}
+POST    /v1/units/<id>/staged          {worker, cached_bytes, fetched_bytes}
+GET     /v1/units/<id>                 one unit (state, leases, history)
+GET     /v1/artifacts/traces/<digest>  staged trace tree as a tar body
+PUT     /v1/artifacts/traces/<digest>  push a trace tar (digest-verified)
 ======  =============================  =======================================
+
+The bodies of the two ``/v1/artifacts/`` transfers are raw tar bytes
+(``application/x-tar``); everything else stays JSON.
 
 Error taxonomy: 400 malformed request or spec, 404 unknown job, 409
 illegal lifecycle transition (e.g. cancelling a DONE job), 405 wrong
@@ -33,6 +46,7 @@ import signal
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from .queue import LeaseLostError
 from .supervisor import Supervisor
 
 __all__ = ["ServiceServer", "serve"]
@@ -99,9 +113,15 @@ class ServiceServer:
             status, document = exc.status, {"error": exc.message}
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
             status, document = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        if isinstance(document, (bytes, bytearray)):
+            body = bytes(document)          # artifact fetch: raw tar
+            ctype = "application/x-tar"
+        else:
+            body = (json.dumps(document, sort_keys=True)
+                    + "\n").encode("utf-8")
+            ctype = "application/json"
         head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("ascii")
         try:
@@ -131,21 +151,24 @@ class ServiceServer:
         length = int(headers.get("content-length", "0") or "0")
         if length > _MAX_BODY:
             raise _HttpError(400, f"body too large ({length} bytes)")
+        split = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        path = split.path.rstrip("/")
+        raw = await reader.readexactly(length) if length else b""
+        if method.upper() == "PUT" and path.startswith("/v1/artifacts/"):
+            # Artifact push: the body is the artifact, not JSON.
+            return self._route(method.upper(), path, query, {}, raw=raw)
         body: Dict[str, Any] = {}
-        if length:
-            raw = await reader.readexactly(length)
+        if raw:
             try:
                 body = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, ValueError):
                 raise _HttpError(400, "request body is not valid JSON")
-        split = urlsplit(target)
-        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
-        return self._route(method.upper(), split.path.rstrip("/"), query,
-                           body)
+        return self._route(method.upper(), path, query, body)
 
     # -- routing ---------------------------------------------------------
     def _route(self, method: str, path: str, query: Dict[str, str],
-               body: Dict[str, Any]) -> Tuple[int, Any]:
+               body: Dict[str, Any], raw: bytes = b"") -> Tuple[int, Any]:
         parts = [p for p in path.split("/") if p]
         if parts[:1] != ["v1"]:
             raise _HttpError(404, f"unknown path {path!r}")
@@ -189,6 +212,72 @@ class ServiceServer:
             if tail[2:] == ["cancel"]:
                 self._need(method, "POST")
                 return self._cancel(job_id)
+            if tail[2:] == ["units"]:
+                self._need(method, "GET")
+                try:
+                    self.supervisor.queue.get(job_id)
+                except KeyError:
+                    raise _HttpError(404, f"unknown job {job_id!r}")
+                units = self.supervisor.queue.units_for_job(job_id)
+                return 200, {"units": [u.to_dict() for u in units]}
+
+        # -- distributed execution: workers, leases, units, artifacts ----
+        if tail == ["workers"]:
+            if method == "POST":
+                name = body.get("name")
+                if not name:
+                    raise _HttpError(400, "worker needs a 'name'")
+                doc = self.supervisor.queue.register_worker(
+                    str(name), info=body.get("info") or {})
+                return 201, {"worker": doc}
+            self._need(method, "GET")
+            return 200, {"workers": self.supervisor.queue.workers_doc()}
+        if tail == ["lease"]:
+            self._need(method, "POST")
+            worker = body.get("worker")
+            if not worker:
+                raise _HttpError(400, "lease request needs a 'worker'")
+            lease_s = float(body.get("lease_s", 15.0))
+            if lease_s <= 0:
+                raise _HttpError(400, "lease_s must be > 0")
+            grant = self.supervisor.queue.lease_unit(str(worker), lease_s)
+            if grant is None:
+                return 200, {"unit": None}
+            return 200, {"unit": grant["unit"].to_dict(),
+                         "token": grant["token"],
+                         "deadline": grant["deadline"],
+                         "speculative": grant["speculative"]}
+        if len(tail) >= 2 and tail[0] == "units":
+            unit_id = tail[1]
+            if tail[2:] == []:
+                self._need(method, "GET")
+                return 200, {"unit": self._unit(unit_id).to_dict()}
+            if tail[2:] == ["heartbeat"]:
+                self._need(method, "POST")
+                return self._heartbeat(unit_id, body)
+            if tail[2:] == ["result"]:
+                self._need(method, "POST")
+                return self._unit_result(unit_id, body)
+            if tail[2:] == ["staged"]:
+                self._need(method, "POST")
+                return self._unit_staged(unit_id, body)
+        if len(tail) == 3 and tail[:2] == ["artifacts", "traces"]:
+            digest = tail[2]
+            if method == "GET":
+                try:
+                    data = self.supervisor.store.export_trace_tar(digest)
+                except KeyError:
+                    raise _HttpError(404, f"trace {digest!r} not staged")
+                self.supervisor.queue.incr_counter("bytes_shipped",
+                                                   len(data))
+                return 200, data
+            self._need(method, "PUT")
+            try:
+                path_, hit = self.supervisor.store.import_trace_tar(
+                    raw, digest, tenant=str(query.get("tenant", "default")))
+            except ValueError as exc:
+                raise _HttpError(400, str(exc))
+            return 201, {"digest": digest, "hit": hit}
         raise _HttpError(404, f"unknown path {path!r}")
 
     @staticmethod
@@ -230,15 +319,67 @@ class ServiceServer:
             raise _HttpError(409, str(exc))
         return 200, {"job": job.to_dict()}
 
+    # -- distributed-execution handlers -----------------------------------
+    def _unit(self, unit_id: str):
+        try:
+            return self.supervisor.queue.get_unit(unit_id)
+        except KeyError:
+            raise _HttpError(404, f"unknown unit {unit_id!r}")
+
+    @staticmethod
+    def _lease_fields(body: Dict[str, Any]) -> Tuple[str, str]:
+        worker, token = body.get("worker"), body.get("token")
+        if not worker or not token:
+            raise _HttpError(400, "need 'worker' and 'token'")
+        return str(worker), str(token)
+
+    def _heartbeat(self, unit_id: str,
+                   body: Dict[str, Any]) -> Tuple[int, Any]:
+        worker, token = self._lease_fields(body)
+        self._unit(unit_id)
+        try:
+            deadline = self.supervisor.queue.heartbeat_unit(
+                unit_id, worker, token,
+                float(body.get("lease_s", 15.0)))
+        except LeaseLostError as exc:
+            raise _HttpError(409, str(exc))
+        return 200, {"deadline": deadline}
+
+    def _unit_result(self, unit_id: str,
+                     body: Dict[str, Any]) -> Tuple[int, Any]:
+        worker, token = self._lease_fields(body)
+        self._unit(unit_id)
+        try:
+            doc = self.supervisor.dispatcher.on_result(
+                unit_id, worker, token, body)
+        except LeaseLostError as exc:
+            raise _HttpError(409, str(exc))
+        return 200, doc
+
+    def _unit_staged(self, unit_id: str,
+                     body: Dict[str, Any]) -> Tuple[int, Any]:
+        """A worker finished staging a unit's artifacts: fold its cache
+        economics (bytes it did NOT have to fetch) into the counters."""
+        unit = self._unit(unit_id)
+        saved = int(body.get("cached_bytes", 0) or 0)
+        if saved > 0:
+            self.supervisor.queue.incr_counter("bytes_saved_by_cache",
+                                               saved)
+        if body.get("worker"):
+            self.supervisor.queue.worker_seen(str(body["worker"]))
+        return 200, {"unit": unit.id}
+
 
 async def serve(root: str, host: str = "127.0.0.1", port: int = 8642,
                 max_jobs: int = 2, cache_max_bytes: int = 0,
                 tenant_weights: Optional[Dict[str, float]] = None,
-                tick_s: float = 0.2, log=print) -> None:
+                tick_s: float = 0.2, dispatch: str = "local",
+                log=print) -> None:
     """Run the service until SIGTERM/SIGINT, then drain and re-queue."""
     supervisor = Supervisor(root, max_jobs=max_jobs,
                             cache_max_bytes=cache_max_bytes,
-                            tenant_weights=tenant_weights, log=log)
+                            tenant_weights=tenant_weights,
+                            dispatch=dispatch, log=log)
     server = ServiceServer(supervisor, host=host, port=port, tick_s=tick_s)
     await server.start()
     if log:

@@ -47,7 +47,7 @@ from ..campaign.store import CampaignStore
 from .artifacts import ArtifactStore
 from .queue import (
     STATE_CANCELLED, STATE_DONE, STATE_FAILED, STATE_QUEUED, STATE_RUNNING,
-    Job, JobQueue,
+    STATE_STAGING, Job, JobQueue,
 )
 
 __all__ = ["Supervisor", "append_event", "read_events"]
@@ -76,19 +76,31 @@ def append_event(path: str, event: str, **fields: Any) -> None:
 
 def read_events(path: str, after: int = 0) -> Tuple[List[Dict[str, Any]], int]:
     """Events ``after`` the given index (0 = from the start) plus the
-    next index to poll from.  A torn final line (reader racing a writer
-    mid-append) is simply not surfaced yet."""
+    next index to poll from.
+
+    Robust against a concurrent writer: the file is read as *bytes* and
+    only newline-terminated lines are surfaced, so a torn final line —
+    a reader racing ``append_event`` mid-write, including a torn
+    multi-byte UTF-8 sequence that would not even decode — is simply
+    not visible yet, and the cursor stays stable until the writer
+    finishes it.  A complete-but-corrupt line (disk trouble) is skipped
+    instead of hiding every event after it.
+    """
     events: List[Dict[str, Any]] = []
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
+        with open(path, "rb") as handle:
+            data = handle.read()
     except FileNotFoundError:
         return [], 0
-    for line in lines:
+    # Drop the final fragment: either b"" (file ends with a newline) or
+    # a line still being appended.
+    for line in data.split(b"\n")[:-1]:
+        if not line:
+            continue
         try:
-            events.append(json.loads(line))
-        except ValueError:
-            break
+            events.append(json.loads(line.decode("utf-8")))
+        except (UnicodeDecodeError, ValueError):
+            continue
     return events[after:], len(events)
 
 
@@ -188,12 +200,16 @@ class Supervisor:
                  cache_max_bytes: int = 0,
                  tenant_weights: Optional[Dict[str, float]] = None,
                  drain_timeout_s: float = 30.0,
+                 dispatch: str = "local",
                  log: Optional[Callable[[str], None]] = None) -> None:
         if max_jobs < 1:
             raise ValueError("max_jobs must be >= 1")
+        if dispatch not in ("local", "workers"):
+            raise ValueError("dispatch must be 'local' or 'workers'")
         self.root = os.path.abspath(root)
         self.max_jobs = max_jobs
         self.drain_timeout_s = drain_timeout_s
+        self.dispatch = dispatch
         self.jobs_dir = os.path.join(self.root, "jobs")
         os.makedirs(self.jobs_dir, exist_ok=True)
         self.queue = JobQueue(os.path.join(self.root, "queue.db"))
@@ -209,6 +225,11 @@ class Supervisor:
         #: Staging hit/miss per live job, folded into the tenant at reap.
         self._stage_counts: Dict[str, Tuple[int, int]] = {}
         self._cancel_signalled: Set[str] = set()
+        # The dispatcher exists in both modes (its read-side endpoints —
+        # units, workers, counters — always answer); only in "workers"
+        # mode does the tick hand jobs to it instead of forking.
+        from .dispatch import Dispatcher
+        self.dispatcher = Dispatcher(self)
 
     @property
     def running_jobs(self) -> int:
@@ -271,12 +292,39 @@ class Supervisor:
     def tick(self) -> None:
         """One supervisor step: reap finished runners, launch claimable
         jobs while worker slots are free.  Cheap; call it often."""
+        if self.dispatch == "workers":
+            self.dispatcher.tick()
+            running = len(self.queue.list_jobs(state=STATE_RUNNING))
+            while running < self.max_jobs:
+                job = self.queue.claim_next()
+                if job is None:
+                    break
+                self._start_dispatched(job)
+                running += 1
+            return
         self._reap()
         while len(self._children) < self.max_jobs:
             job = self.queue.claim_next()
             if job is None:
                 break
             self._start(job)
+
+    def _start_dispatched(self, job: Job) -> None:
+        """Workers mode: stage, then fan out into leased work units."""
+        events = self.events_path(job.id)
+        append_event(events, "state", job=job.id, state=job.state)
+        try:
+            digests, hits, misses = self._stage(job)
+        except BaseException as exc:  # noqa: BLE001 - recorded, not fatal
+            self.queue.set_state(job.id, STATE_FAILED,
+                                 error=f"staging failed: {exc}")
+            append_event(events, "state", job=job.id, state=STATE_FAILED,
+                         error=str(exc))
+            self._emit(f"[service] job {job.id}: staging failed: {exc}")
+            return
+        self._staged[job.id] = digests
+        self._stage_counts[job.id] = (hits, misses)
+        self.dispatcher.start_job(job)
 
     def _start(self, job: Job) -> None:
         job_dir = self.job_dir(job.id)
@@ -381,13 +429,25 @@ class Supervisor:
         append_event(self.events_path(job_id), "state", job=job_id,
                      state=job.state, error=error or None)
 
-        # Fold the job's economics into its tenant, then bound the store
-        # (this job's traces are no longer pinned).
-        stage_hits, stage_misses = self._stage_counts.pop(job_id, (0, 0))
-        self._staged.pop(job_id, None)
+        self._settle(job, metrics)
+        self._emit(f"[service] job {job_id} -> {job.state}"
+                   f"{f' ({error})' if error else ''}")
+
+    def protected_digests(self) -> Set[str]:
+        """Every trace digest eviction must spare: trees staged for live
+        local jobs plus trees referenced by live work units (pinned from
+        lease grant until the result is acknowledged)."""
         protect = set().union(*self._staged.values()) if self._staged \
             else set()
-        evicted = self.store.evict(protect=protect)
+        protect |= self.dispatcher.pinned_digests()
+        return protect
+
+    def _settle(self, job: Job, metrics: Dict[str, Any]) -> None:
+        """Fold a finished job's economics into its tenant, then bound
+        the store (this job's traces are no longer pinned)."""
+        stage_hits, stage_misses = self._stage_counts.pop(job.id, (0, 0))
+        self._staged.pop(job.id, None)
+        evicted = self.store.evict(protect=self.protected_digests())
         self.queue.charge(
             job.tenant, float(metrics.get("wall_seconds", 0.0)),
             result_hits=int(metrics.get("cached_hits", 0)),
@@ -397,8 +457,11 @@ class Supervisor:
             finished=job.state in (STATE_DONE, STATE_FAILED,
                                    STATE_CANCELLED),
         )
-        self._emit(f"[service] job {job_id} -> {job.state}"
-                   f"{f' ({error})' if error else ''}")
+
+    def settle_dispatched(self, job: Job, metrics: Dict[str, Any]) -> None:
+        """Dispatcher callback when a units-backed job reaches a
+        terminal state."""
+        self._settle(job, metrics)
 
     def _read_outcome(self, job_id: str) -> Dict[str, Any]:
         try:
@@ -415,6 +478,14 @@ class Supervisor:
         (or finalise them CANCELLED if that was already requested)."""
         recovered = []
         for job in self.queue.unfinished_jobs():
+            if self.queue.units_for_job(job.id):
+                if self.dispatch == "workers":
+                    recovered.append(self._recover_dispatched(job))
+                    continue
+                # A workers-mode root adopted by a local-mode server:
+                # drop the leftover units and re-run locally with
+                # resume — recorded scenarios are served from the store.
+                self.queue.cancel_units(job.id)
             if job.pid and _pid_alive(job.pid):
                 self._terminate_pid(job.pid)
             # The orphan may have finished the whole campaign before (or
@@ -435,7 +506,31 @@ class Supervisor:
                          state=job.state, recovered=True)
             self._emit(f"[service] recovered job {job.id} -> {job.state}")
             recovered.append(job)
+        if self.dispatch == "workers":
+            # Crash-recovery lease sweep: workers that died with (or
+            # without) the server hold leases that are now past their
+            # deadline — drop them, tagged ``resumed``, so their units
+            # requeue immediately.  Live workers' leases stay valid (the
+            # tokens persist in SQLite) and their next heartbeat renews.
+            self.dispatcher.tick(resumed=True)
         return recovered
+
+    def _recover_dispatched(self, job: Job) -> Job:
+        """A units-backed job: the durable state IS the units table.
+
+        A RUNNING job stays RUNNING — surviving workers still hold valid
+        leases (tokens live in the queue DB) and keep heartbeating; dead
+        workers' leases expire and their units requeue.  A job caught
+        mid-fan-out (STAGING) goes back to QUEUED and is re-dispatched
+        idempotently: existing units (DONE ones included) are kept.
+        """
+        if job.state == STATE_STAGING:
+            job = self.queue.set_state(job.id, STATE_QUEUED, resume=True)
+        append_event(self.events_path(job.id), "state", job=job.id,
+                     state=job.state, recovered=True, dispatched=True)
+        self._emit(f"[service] recovered dispatched job {job.id} "
+                   f"-> {job.state}")
+        return job
 
     def _terminate_pid(self, pid: int) -> None:
         try:
@@ -464,6 +559,12 @@ class Supervisor:
                 process.join()
         self._reap()
         for job in self.queue.unfinished_jobs():
+            if self.dispatch == "workers" \
+                    and self.queue.units_for_job(job.id):
+                # Units-backed jobs are already durable: leases expire
+                # while the server is down and recover() re-adopts the
+                # job on restart — nothing to requeue here.
+                continue
             if job.cancel_requested:
                 job = self.queue.set_state(job.id, STATE_CANCELLED,
                                            error="cancelled at shutdown")
@@ -504,5 +605,11 @@ class Supervisor:
         doc = self.queue.counters_doc()
         doc["running_jobs"] = len(self._children)
         doc["max_jobs"] = self.max_jobs
+        doc["dispatch_mode"] = self.dispatch
         doc["artifact_store"] = self.store.counters_doc()
+        doc["dispatch"] = {
+            "counters": self.queue.dispatch_counters(),
+            "units_by_state": self.queue.units_by_state_doc(),
+            "workers": self.queue.workers_doc(),
+        }
         return doc
