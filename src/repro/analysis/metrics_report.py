@@ -103,6 +103,21 @@ def format_metrics_report(metrics: Optional[Dict],
         f"vectorized), "
         f"{_fmt_count(engine.get('maxmin_iterations', 0))} levels"
     )
+    patches = engine.get("incremental_patches", 0)
+    fallbacks = engine.get("patch_fallbacks", 0)
+    attempts = patches + fallbacks
+    lines.append(
+        f"incremental: {_fmt_count(patches)} patches applied / "
+        f"{_fmt_count(attempts)} attempts "
+        f"({_fmt_count(fallbacks)} fallbacks), "
+        f"{_fmt_count(engine.get('full_resolves', 0))} full solves"
+    )
+    hist = engine.get("filling_level_histogram") or {}
+    if hist:
+        body = ", ".join(
+            f"{k}:{_fmt_count(v)}"
+            for k, v in sorted(hist.items(), key=lambda kv: int(kv[0])))
+        lines.append(f"filling levels: {body}")
 
     if per_rank:
         lines.append("=== per rank ===")

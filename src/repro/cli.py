@@ -403,11 +403,21 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--collectives", default="binomial",
                         choices=["binomial", "flat"])
     parser.add_argument("--lmm", default="auto",
-                        choices=["auto", "reference", "vectorized"],
+                        choices=["auto", "reference", "vectorized",
+                                 "native"],
                         help="max-min solver path: 'auto' vectorizes "
                              "large sharing components, 'reference' "
                              "forces the pure-Python oracle, 'vectorized' "
-                             "forces NumPy (default: auto)")
+                             "forces NumPy, 'native' runs the optional "
+                             "Numba kernel (needs the repro[native] "
+                             "extra; fails fast when it is missing) "
+                             "(default: auto)")
+    parser.add_argument("--no-lmm-incremental", dest="lmm_incremental",
+                        action="store_false", default=True,
+                        help="disable the certified incremental max-min "
+                             "re-solve of large sharing groups (A/B "
+                             "benchmarking only; results are identical "
+                             "either way)")
     parser.add_argument("--eager-threshold", type=float, default=65536)
     parser.add_argument("--compiled", dest="compiled", action="store_const",
                         const="always", default="auto",
@@ -481,6 +491,7 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
             record_timed_trace=args.timed_trace is not None,
             collect_metrics=args.metrics is not None,
             lmm_mode=args.lmm,
+            lmm_incremental=args.lmm_incremental,
             fault_plan=fault_plan,
             fault_mode=args.fault_mode,
             compiled=args.compiled,
@@ -488,10 +499,11 @@ def main_replay(argv: Optional[List[str]] = None) -> int:
             shards=args.shards,
             shard_halo=args.shard_halo,
         )
-    except ValueError as exc:
+    except (ValueError, RuntimeError) as exc:
         # Option mismatch (checkpoint-restart without a checkpoint
-        # block, --shards with --no-compiled, ...) is an input error,
-        # not a replay failure.
+        # block, --shards with --no-compiled, --lmm native without the
+        # repro[native] extra installed, ...) is an input error, not a
+        # replay failure.
         print(f"bad replay configuration: {exc}", file=sys.stderr)
         return 2
     try:

@@ -530,6 +530,14 @@ def _merge_counters(blobs: List[Optional[Dict]]) -> Dict[str, Dict]:
             for key, value in blob[section].items():
                 if key.endswith(("_mean", "_rate")):
                     continue
+                if isinstance(value, dict):
+                    # Histogram-valued counter (filling_level_histogram):
+                    # merge per-bucket.
+                    bucket_total = total.setdefault(key, {})
+                    for bucket, count in value.items():
+                        bucket_total[bucket] = (
+                            bucket_total.get(bucket, 0) + count)
+                    continue
                 total[key] = total.get(key, 0) + value
         if section == "engine":
             recomputes = total.get("sharing_recomputes", 0)

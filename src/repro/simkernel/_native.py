@@ -1,0 +1,185 @@
+"""Optional Numba-compiled progressive-filling kernel (``repro[native]``).
+
+The default install never imports numba: this module is only reached
+through ``lmm_mode="native"`` (``repro-replay --lmm native``), and the
+import failure is reported as an actionable :class:`RuntimeError` at
+that point — never as a crash inside a default-mode replay.
+
+The kernel (:func:`_fill_loop`) is the same weighted progressive
+filling as :func:`repro.simkernel.lmm.fill_vectorized`, written as the
+plain scalar loops Numba compiles best: one pass over constraints for
+the level, one pass over memberships to fix and to subtract usage.  It
+is deliberately valid pure Python too, so its logic is property-tested
+against the reference oracle on every install — with numba present the
+very same function is ``njit``-compiled and the test suite additionally
+checks the compiled artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["available", "fill", "unavailable_reason"]
+
+_INF = float("inf")
+_EPS = 1e-12
+
+try:  # pragma: no cover - exercised only with the [native] extra
+    from numba import njit as _njit
+
+    _IMPORT_ERROR: Optional[BaseException] = None
+except Exception as exc:  # ImportError, or a broken numba installation
+    _njit = None
+    _IMPORT_ERROR = exc
+
+
+def available() -> bool:
+    """True when the ``repro[native]`` extra is installed and importable."""
+    return _njit is not None
+
+
+def unavailable_reason() -> str:
+    """Why ``mode='native'`` cannot run here (empty string when it can)."""
+    if _njit is not None:
+        return ""
+    return (
+        "lmm_mode='native' needs the optional Numba kernel: install the "
+        f"'repro[native]' extra (pip install 'repro[native]'); numba "
+        f"import failed with: {_IMPORT_ERROR!r}"
+    )
+
+
+def _fill_loop(caps, bounds, pair_w, var_idx, cons_idx,
+               rates, remaining, load) -> int:
+    """Weighted progressive filling as scalar loops (njit-compilable).
+
+    Mutates ``rates`` (zero-initialised), ``remaining`` (a copy of the
+    capacities) and ``load`` (per-constraint total weight of unfixed
+    variables) in place; returns the number of filling levels.  The
+    fix/threshold arithmetic mirrors ``fill_vectorized`` operation for
+    operation so the two kernels agree to float noise, not just to the
+    1e-9 gate.
+    """
+    n = bounds.shape[0]
+    m = var_idx.shape[0]
+    ncols = caps.shape[0]
+    unfixed = np.ones(n, np.bool_)
+    newly = np.zeros(n, np.bool_)
+    sat = np.zeros(ncols, np.bool_)
+    n_unfixed = n
+    levels = 0
+    while n_unfixed > 0:
+        levels += 1
+        level = _INF
+        for j in range(ncols):
+            if load[j] > _EPS:
+                share = remaining[j] / load[j]
+                if share < level:
+                    level = share
+        for i in range(n):
+            if unfixed[i] and bounds[i] < level:
+                level = bounds[i]
+        if level == _INF:
+            for i in range(n):
+                if unfixed[i]:
+                    rates[i] = _INF
+            break
+        threshold = level + _EPS * (level if level > 1.0 else 1.0)
+        for j in range(ncols):
+            sat[j] = (load[j] > _EPS
+                      and remaining[j] / load[j] <= threshold)
+        n_fixed = 0
+        for i in range(n):
+            if unfixed[i] and bounds[i] <= threshold:
+                newly[i] = True
+                rates[i] = bounds[i]
+                n_fixed += 1
+            else:
+                newly[i] = False
+        for p in range(m):
+            i = var_idx[p]
+            if unfixed[i] and not newly[i] and sat[cons_idx[p]]:
+                newly[i] = True
+                rates[i] = level
+                n_fixed += 1
+        if n_fixed == 0:
+            # Numerical corner: nothing saturates exactly; fix everything
+            # at the level to guarantee termination (as the oracle does).
+            for i in range(n):
+                if unfixed[i]:
+                    newly[i] = True
+                    rates[i] = level
+            n_fixed = n_unfixed
+        if n_fixed == n_unfixed:
+            # Last level: no reader of remaining/load is left.
+            break
+        for p in range(m):
+            i = var_idx[p]
+            if newly[i]:
+                j = cons_idx[p]
+                w = pair_w[p]
+                rem = remaining[j] - w * rates[i]
+                remaining[j] = rem if rem > 0.0 else 0.0
+                load[j] -= w
+        for i in range(n):
+            if newly[i]:
+                unfixed[i] = False
+        n_unfixed -= n_fixed
+    return levels
+
+
+_compiled = None
+
+
+def _kernel():
+    """The njit-compiled filling loop, compiled once on first use."""
+    global _compiled
+    if _compiled is None:
+        if _njit is None:
+            raise RuntimeError(unavailable_reason())
+        _compiled = _njit(cache=True, nogil=True)(_fill_loop)
+    return _compiled
+
+
+def _fill_with(kernel, caps, bounds, weights, var_idx, cons_idx,
+               load=None, work=None) -> Tuple[np.ndarray, int]:
+    """Array plumbing shared by the compiled and pure-Python entry
+    points: same signature and semantics as ``fill_vectorized`` (the
+    ``work`` scratch dict is accepted for interface parity but the
+    kernel's allocations are its own)."""
+    n = bounds.shape[0]
+    ncols = caps.shape[0]
+    m = var_idx.shape[0]
+    rates = np.zeros(n)
+    remaining = caps.astype(float, copy=True)
+    if weights is None:
+        pair_w = np.ones(m)
+        if load is None:
+            loadv = np.bincount(cons_idx, minlength=ncols).astype(float)
+        else:
+            loadv = load.astype(float, copy=True)
+    else:
+        pair_w = np.ascontiguousarray(weights[var_idx], dtype=float)
+        loadv = np.bincount(cons_idx, weights=pair_w, minlength=ncols)
+    levels = kernel(remaining.copy() * 0 + caps, bounds.astype(float),
+                    pair_w, np.ascontiguousarray(var_idx, dtype=np.intp),
+                    np.ascontiguousarray(cons_idx, dtype=np.intp),
+                    rates, remaining, loadv)
+    return rates, levels
+
+
+def fill(caps, bounds, weights, var_idx, cons_idx,
+         load=None, work=None) -> Tuple[np.ndarray, int]:
+    """``fill_vectorized``-compatible entry point on the njit kernel."""
+    return _fill_with(_kernel(), caps, bounds, weights, var_idx, cons_idx,
+                      load=load, work=work)
+
+
+def fill_python(caps, bounds, weights, var_idx, cons_idx,
+                load=None, work=None) -> Tuple[np.ndarray, int]:
+    """The same kernel interpreted by CPython — the property-test hook
+    that keeps the kernel logic verified on installs without numba."""
+    return _fill_with(_fill_loop, caps, bounds, weights, var_idx, cons_idx,
+                      load=load, work=work)

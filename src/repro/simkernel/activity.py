@@ -13,8 +13,8 @@ kernel advances three concrete kinds:
 
 The engine drives them lazily: each activity carries its current ``rate``,
 the ``remaining`` work at its ``settled_at`` instant, and an ``epoch``
-counter that invalidates stale completion-heap entries whenever the rate
-is re-assigned.  Rates only change when the activity's *sharing component*
+counter that invalidates stale completion-calendar entries whenever the
+rate is re-assigned.  Rates only change when the activity's *sharing component*
 (activities transitively connected through shared constraints) changes, so
 the engine settles and re-rates just that component — never the world.
 
@@ -111,7 +111,7 @@ class Activity(Waitable):
 
     __slots__ = ("name", "start_time", "finish_time",
                  "constraints", "bound", "remaining", "rate",
-                 "settled_at", "epoch", "registered")
+                 "settled_at", "epoch", "registered", "cal_slot")
 
     def __init__(self, name: str = "") -> None:
         super().__init__()
@@ -127,6 +127,7 @@ class Activity(Waitable):
         self.settled_at = 0.0
         self.epoch = 0
         self.registered = False  # constraints' user sets include self
+        self.cal_slot = -1       # owned event-calendar slot (engine)
 
     # -- hooks the engine calls ----------------------------------------
     def begin(self, now: float) -> str:

@@ -10,15 +10,23 @@ constraint records which activities currently use it, and when the
 activity mix changes, only the affected *sharing component* — activities
 transitively connected to the change through shared constraints — is
 settled (progress accrued at the old rate) and re-rated (max-min fair
-share recomputed).  Predicted completion instants live in a heap with
-epoch-validated lazy deletion.  The cost of an event is proportional to
-the size of its component, not to the number of activities in flight —
-which is what lets thousand-rank replays run in reasonable time.
+share recomputed).  Predicted completion instants live in an
+array-backed event calendar (:class:`_Calendar`) with epoch-validated
+lazy deletion and in-place re-arming.  The cost of an event is
+proportional to the size of its component, not to the number of
+activities in flight — which is what lets thousand-rank replays run in
+reasonable time.
+
+Re-rates of array-backed groups additionally try an *incremental*
+certified patch (:func:`repro.simkernel.lmm.patch_solve`) before paying
+for a full progressive filling: each group tracks the constraint
+columns dirtied since its last solve, and when the patch certificate
+holds only the affected cone is re-filled.  Fallbacks to the full
+solve are counted (``patch_fallbacks``), never silent.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import (
     Callable, Generator, List, Optional, Sequence, Set, Tuple,
@@ -29,12 +37,36 @@ import numpy as np
 from .activity import (
     Activity, ActivityFailed, CommActivity, ExecActivity, Timer, Waitable,
 )
-from .lmm import Constraint, VECTOR_THRESHOLD, fill_vectorized
+from .lmm import (
+    Constraint, LMM_MODES, VECTOR_THRESHOLD, fill_vectorized, native_fill,
+    patch_solve,
+)
 from .telemetry import EngineMetrics
 
 __all__ = ["Engine", "Process", "WaitAny", "DeadlockError"]
 
 INF = float("inf")
+
+#: Minimum filling-level count of a group's last *full* solve before the
+#: incremental patch is attempted on it.  A patch attempt costs a
+#: near-constant handful of O(memberships) passes (usage accumulation,
+#: cone BFS, certificate) plus a small sub-fill, while the full filling
+#: it replaces costs one such pass per level — so patching a group whose
+#: solves finish in one or two levels can only lose (measured: ~15-20%
+#: regression on 1-D chain traffic), while multi-level contention waves
+#: win multiples.  The last full solve's level count is the engine's
+#: cost estimate for the next one.
+_PATCH_MIN_LEVELS = 3
+
+#: Consecutive certified patches after which a group is forced through
+#: one full solve anyway.  Only full solves refresh ``last_levels``, so
+#: a group that patches forever would keep an arbitrarily stale cost
+#: estimate: a persistent 1-D chain group that once took a 3-level
+#: solve would stay "worth patching" for the rest of the run even after
+#: its solves collapsed to one level.  The periodic probe re-measures
+#: the true full-solve cost for ~1.5% overhead; the closed-gate
+#: direction needs no probe because every solve is then a full one.
+_PATCH_PROBE_EVERY = 64
 
 
 class DeadlockError(RuntimeError):
@@ -65,6 +97,145 @@ class WaitAny:
             raise ValueError("WaitAny needs at least one waitable")
 
 
+class _Calendar:
+    """Array-backed completion-event calendar (the old heap-of-tuples).
+
+    Entries live in parallel NumPy arrays — ``times`` / ``seqs`` /
+    ``epochs`` — plus a Python ``acts`` list, indexed by *slot*.  Each
+    activity owns at most one slot (``Activity.cal_slot``), so re-arming
+    an already-armed activity is three in-place array writes instead of
+    a push plus a lazily-invalidated leftover.  Freed slots go to a
+    free list; ``times`` is ``inf`` there, so the pop scan can treat
+    the whole ``[0, hi)`` prefix uniformly.
+
+    Ordering is exactly the old heap's: earliest time first, FIFO by a
+    monotone sequence number among simultaneous events.  Validity is
+    exactly the old heap's too: an entry fires only if its recorded
+    epoch still matches the activity's (and the activity is not done);
+    stale entries found on the way are released and counted in
+    ``stale``.  Pop is an ``argmin`` over the slot prefix — with the
+    engine's min-arming (one live event per sharing group) the prefix
+    stays at O(components), which is why the scan beats heap churn.
+    """
+
+    __slots__ = ("times", "seqs", "epochs", "acts", "hi", "free",
+                 "seq", "stale")
+
+    def __init__(self) -> None:
+        cap = 256
+        self.times = np.full(cap, INF)
+        self.seqs = np.zeros(cap, dtype=np.int64)
+        self.epochs = np.zeros(cap, dtype=np.int64)
+        self.acts: List[Optional[Activity]] = [None] * cap
+        self.hi = 0                 # slots [0, hi) are in use or freed
+        self.free: List[int] = []
+        self.seq = 0                # FIFO tie-break, monotone
+        self.stale = 0              # invalidated entries discarded
+
+    def __len__(self) -> int:
+        """Occupied slots (live + not-yet-released stale entries)."""
+        return self.hi - len(self.free)
+
+    def push(self, time_: float, act: Activity) -> None:
+        self.seq += 1
+        slot = act.cal_slot
+        if 0 <= slot < self.hi and self.acts[slot] is act:
+            # In-place re-arm: overwrite the slot this activity already
+            # owns (whether its entry was still valid or stale).
+            self.times[slot] = time_
+            self.seqs[slot] = self.seq
+            self.epochs[slot] = act.epoch
+            return
+        if self.free:
+            slot = self.free.pop()
+        else:
+            slot = self.hi
+            if slot >= self.times.shape[0]:
+                self._grow()
+            self.hi = slot + 1
+        self.times[slot] = time_
+        self.seqs[slot] = self.seq
+        self.epochs[slot] = act.epoch
+        self.acts[slot] = act
+        act.cal_slot = slot
+
+    def _grow(self) -> None:
+        cap = 2 * self.times.shape[0]
+        for name in ("times", "seqs", "epochs"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[:old.shape[0]] = old
+            setattr(self, name, new)
+        self.times[self.hi:] = INF
+        self.acts.extend([None] * (cap - len(self.acts)))
+
+    def _release(self, slot: int) -> None:
+        act = self.acts[slot]
+        self.acts[slot] = None
+        self.times[slot] = INF
+        if act is not None and act.cal_slot == slot:
+            act.cal_slot = -1
+        self.free.append(slot)
+
+    def pop(self) -> Optional[Tuple[float, Activity]]:
+        """The earliest valid ``(time, activity)`` event, or ``None``
+        when no valid entry remains (the engine's deadlock signal)."""
+        times = self.times
+        seqs = self.seqs
+        epochs = self.epochs
+        acts = self.acts
+        while True:
+            hi = self.hi
+            if hi == 0:
+                return None
+            view = times[:hi]
+            k = int(view.argmin())
+            t = float(view[k])
+            if t == INF:
+                return None
+            ties = np.flatnonzero(view == t)
+            if ties.shape[0] > 1:
+                k = int(ties[seqs[ties].argmin()])
+            act = acts[k]
+            if act.done or epochs[k] != act.epoch:
+                self.stale += 1
+                self._release(k)
+                continue
+            self._release(k)
+            return t, act
+
+    def compact(self) -> None:
+        """Drop every stale entry and repack the survivors densely.
+
+        Survivors keep their ``(time, seq)`` keys, so pop order is
+        untouched; their slots change, so ``cal_slot`` is rewritten
+        (dangling ``cal_slot`` values on evicted activities are safe —
+        :meth:`push` verifies slot ownership before reusing one).
+        """
+        hi = self.hi
+        acts = self.acts
+        epochs = self.epochs
+        live = [s for s in range(hi)
+                if acts[s] is not None
+                and not acts[s].done and epochs[s] == acts[s].epoch]
+        self.stale += (hi - len(self.free)) - len(live)
+        n = len(live)
+        if n:
+            idx = np.asarray(live, dtype=np.intp)
+            self.times[:n] = self.times[idx]
+            self.seqs[:n] = self.seqs[idx]
+            self.epochs[:n] = self.epochs[idx]
+            survivors = [acts[s] for s in live]
+            for i, a in enumerate(survivors):
+                acts[i] = a
+                a.cal_slot = i
+        for s in range(n, hi):
+            acts[s] = None
+        self.times[n:hi] = INF
+        self.hi = n
+        self.free = []
+
+
 class _Group:
     """A sharing group: an engine-maintained union of sharing components.
 
@@ -91,6 +262,13 @@ class _Group:
         "acts_list", "row", "mem_of", "col", "n", "m", "ncols",
         "rem", "rate", "settled", "bnd", "mem_var", "mem_cons", "caps",
         "loadv", "work", "armed",
+        # Incremental-patch state (array-backed groups only): the
+        # constraint columns dirtied since the last solve, whether the
+        # rate array holds a certified previous solution the incremental
+        # patch may start from, and how many filling levels the last
+        # full solve took (the cost a patch would save — patching is
+        # only attempted when that cost clears _PATCH_MIN_LEVELS).
+        "seeds", "inc_ok", "last_levels", "patch_streak",
     )
 
     def __init__(self) -> None:
@@ -98,6 +276,10 @@ class _Group:
         self.acts: Set[Activity] = set()
         self.vectorized = False
         self.armed: Optional[Activity] = None
+        self.seeds: Optional[Set[int]] = None
+        self.inc_ok = False
+        self.last_levels = 0
+        self.patch_streak = 0
 
 
 class Process:
@@ -144,28 +326,44 @@ class Engine:
         metrics: Optional[EngineMetrics] = None,
         lmm_mode: str = "auto",
         vector_threshold: int = VECTOR_THRESHOLD,
+        incremental: bool = True,
     ) -> None:
-        if lmm_mode not in ("auto", "reference", "vectorized"):
+        if lmm_mode not in LMM_MODES:
             raise ValueError(
-                f"unknown lmm_mode {lmm_mode!r}; use 'auto', 'reference' "
-                "or 'vectorized'"
+                f"unknown lmm_mode {lmm_mode!r}; use one of {LMM_MODES}"
             )
         # Which max-min implementation re-rates sharing components:
         # "auto" uses the NumPy filling for components of at least
         # ``vector_threshold`` activities and the pure-Python one below it
         # (small components are faster without array-building overhead);
-        # "reference"/"vectorized" force one path (oracle tests, benches).
+        # "reference"/"vectorized" force one path (oracle tests, benches);
+        # "native" runs array-backed groups through the optional Numba
+        # kernel and fails here, loudly, when the extra is missing —
+        # never mid-run, and never on any other mode.
+        if lmm_mode == "native":
+            from . import _native
+            if not _native.available():
+                raise RuntimeError(_native.unavailable_reason())
+            self._fill = native_fill
+        else:
+            self._fill = fill_vectorized
         self.lmm_mode = lmm_mode
         self.vector_threshold = int(vector_threshold)
+        # Incremental certified re-solve of array-backed groups
+        # (lmm.patch_solve).  On by default; the off switch exists for
+        # A/B benchmarking and for bisecting a suspected patch bug —
+        # correctness never depends on it either way (every certified
+        # patch equals the full solve by construction).
+        self.incremental = bool(incremental)
         self.now = 0.0
         self._processes: List[Process] = []
         self._ready: deque = deque()
         self._live_count = 0
-        self._heap: list = []       # (time, seq, epoch, activity)
-        self._seq = 0               # heap tie-breaker
+        self._calendar = _Calendar()
         self._dirty: Set[Constraint] = set()
-        # Heap-compaction watermark: compact when the heap doubles past
-        # the live-entry count observed at the previous compaction.
+        # Calendar-compaction watermark: rebuild when the occupied-slot
+        # prefix doubles past the live-entry count observed at the
+        # previous compaction.
         self._heap_floor = 4096
         # Progressive-filling levels, accumulated unconditionally (one
         # integer add per filling) and windowed into the metrics by run().
@@ -176,6 +374,15 @@ class Engine:
         # Solo activities started or completed on an otherwise-idle
         # constraint without any sharing recompute (same pattern).
         self._idle_advances = 0
+        # Incremental-solver provenance (same pattern): certified
+        # patches applied, patch attempts that fell back to a full
+        # solve, full group solves, calendar compaction sweeps, and the
+        # per-solve filling-level histogram {levels: solves}.
+        self._inc_patches = 0
+        self._patch_fallbacks = 0
+        self._full_resolves = 0
+        self._calendar_rebuilds = 0
+        self._level_hist: dict = {}
         # Optional telemetry; the counters themselves are loop-locals or
         # plain integer accumulators, so enabling metrics never changes
         # the arithmetic the hot paths execute.
@@ -273,7 +480,7 @@ class Engine:
     def run(self, until: Optional[float] = None) -> float:
         """Run until all processes finish (or ``until`` seconds of simulated
         time elapse).  Returns the final simulated time."""
-        heap = self._heap
+        cal = self._calendar
         metrics = self.metrics
         # Telemetry accumulates unconditionally in loop-locals — a few
         # integer increments per event, immeasurable next to the event
@@ -281,10 +488,15 @@ class Engine:
         # exact same bytecode whether metrics are on or off.  Only the
         # flush (in the finally below, so it also runs on deadlock) is
         # guarded.
-        popped = stale = fast = generic = comp_total = comp_max = 0
+        popped = fast = generic = comp_total = comp_max = 0
+        stale0 = cal.stale
         maxmin_iters0 = self._maxmin_iters
         vector_fillings0 = self._vector_fillings
         idle_advances0 = self._idle_advances
+        inc_patches0 = self._inc_patches
+        patch_fallbacks0 = self._patch_fallbacks
+        full_resolves0 = self._full_resolves
+        rebuilds0 = self._calendar_rebuilds
         try:
             while True:
                 self._run_ready()
@@ -307,21 +519,14 @@ class Engine:
                 if self._live_count == 0:
                     return self.now
                 # Pop the next valid completion event.
-                act = None
-                while heap:
-                    time_, _, epoch, candidate = heapq.heappop(heap)
-                    if candidate.done or epoch != candidate.epoch:
-                        stale += 1
-                        continue
-                    act = candidate
-                    break
-                if act is None:
+                item = cal.pop()
+                if item is None:
                     raise self._deadlock()
+                time_, act = item
                 popped += 1
                 if until is not None and time_ > until:
                     # Re-arm the event and pause the clock at the horizon.
-                    heapq.heappush(heap,
-                                   (time_, self._next_seq(), epoch, act))
+                    cal.push(time_, act)
                     self.now = until
                     return self.now
                 if time_ > self.now:
@@ -352,9 +557,10 @@ class Engine:
                 self._end_phase(act)
                 self._maybe_compact()
         finally:
+            hist, self._level_hist = self._level_hist, {}
             if metrics is not None:
                 metrics.events_popped += popped
-                metrics.stale_skipped += stale
+                metrics.stale_skipped += cal.stale - stale0
                 metrics.fastpath_recomputes += fast
                 metrics.generic_recomputes += generic
                 metrics.component_acts += comp_total
@@ -364,6 +570,17 @@ class Engine:
                                                   - vector_fillings0)
                 metrics.idle_advances += (self._idle_advances
                                           - idle_advances0)
+                metrics.incremental_patches += (self._inc_patches
+                                                - inc_patches0)
+                metrics.patch_fallbacks += (self._patch_fallbacks
+                                            - patch_fallbacks0)
+                metrics.full_resolves += (self._full_resolves
+                                          - full_resolves0)
+                metrics.calendar_rebuilds += (self._calendar_rebuilds
+                                              - rebuilds0)
+                mh = metrics.level_hist
+                for levels, count in hist.items():
+                    mh[levels] = mh.get(levels, 0) + count
                 if comp_max > metrics.max_component_acts:
                     metrics.max_component_acts = comp_max
 
@@ -572,7 +789,7 @@ class Engine:
             if len(group.cons) == 1:
                 self._rerate_single_constraint(group.cons[0], acts)
                 continue
-            if mode == "vectorized" or (
+            if mode in ("vectorized", "native") or (
                 mode == "auto" and len(acts) >= self.vector_threshold
             ):
                 self._vec_attach(group)
@@ -608,7 +825,11 @@ class Engine:
                 for act in finished:
                     self._end_phase(act)
                 continue
-            self._maxmin_iters += self._maxmin(acts)
+            iterations = self._maxmin(acts)
+            self._maxmin_iters += iterations
+            self._full_resolves += 1
+            hist = self._level_hist
+            hist[iterations] = hist.get(iterations, 0) + 1
             self._arm_earliest(acts, now)
         return total
 
@@ -687,6 +908,12 @@ class Engine:
         group.loadv = loadv
         group.work = {}
         group.armed = None
+        # The attribute-backed rates this snapshot inherits may predate
+        # pending membership changes without any seed record of them, so
+        # the first array solve must be a full one; it then certifies
+        # the rate array and arms the incremental path.
+        group.seeds = set()
+        group.inc_ok = False
         group.vectorized = True
 
     def _devectorize(self, group: _Group) -> None:
@@ -701,6 +928,8 @@ class Engine:
             a.epoch += 1
         group.vectorized = False
         group.armed = None
+        group.seeds = None
+        group.inc_ok = False
         group.acts_list = group.row = group.mem_of = group.col = None
         group.rem = group.rate = group.settled = group.bnd = None
         group.mem_var = group.mem_cons = group.caps = None
@@ -725,6 +954,7 @@ class Engine:
         col = group.col
         m = group.m
         slots = []
+        seeds = group.seeds
         for c in act.constraints:
             j = col.get(c)
             if j is None:
@@ -737,6 +967,7 @@ class Engine:
                 group.loadv[j] = 0.0
                 group.ncols = j + 1
             group.loadv[j] += 1.0
+            seeds.add(j)
             if m >= group.mem_var.shape[0]:
                 group.mem_var = self._grown(group.mem_var, m + 1)
                 group.mem_cons = self._grown(group.mem_cons, m + 1)
@@ -758,8 +989,11 @@ class Engine:
         # then belongs to some *other* activity, so the fix-up below
         # never chases the activity being removed.
         loadv = group.loadv
+        seeds = group.seeds
         for s in sorted(mem_of.pop(act), reverse=True):
-            loadv[int(mem_cons[s])] -= 1.0
+            j = int(mem_cons[s])
+            loadv[j] -= 1.0
+            seeds.add(j)
             last = m - 1
             if s != last:
                 moved_row = int(mem_var[last])
@@ -785,9 +1019,19 @@ class Engine:
 
     def _solve_group(self, group: _Group, now: float) -> None:
         """Settle, re-rate and re-arm one array-backed group — no
-        per-activity Python work at all on this path."""
+        per-activity Python work at all on this path.
+
+        Re-rating tries the certified incremental patch first (when
+        enabled and the group carries a previous certified solution):
+        only the cone of constraints/variables affected by the seed
+        columns is re-filled, and the patched vector is accepted only
+        when the max-min optimality certificate holds — otherwise the
+        full progressive filling runs, and the fallback is counted.
+        """
         n = group.n
         if n == 0:
+            if group.seeds:
+                group.seeds.clear()
             return
         rem = group.rem[:n]
         rate = group.rate[:n]
@@ -816,8 +1060,36 @@ class Engine:
                           for i in np.nonzero(done)[0].tolist()]:
                     self._end_phase(a)
                 return
+        seeds = group.seeds
+        if (self.incremental and group.inc_ok and seeds
+                and group.last_levels >= _PATCH_MIN_LEVELS
+                and group.patch_streak < _PATCH_PROBE_EVERY):
+            seed_cols = np.fromiter(seeds, dtype=np.intp, count=len(seeds))
+            seeds.clear()
+            ok, levels, _cone = patch_solve(
+                group.caps[:group.ncols],
+                group.bnd[:n],
+                rate,  # patched in place; restored on failure
+                group.mem_var[:group.m],
+                group.mem_cons[:group.m],
+                seed_cols,
+                fill=self._fill,
+            )
+            if ok:
+                self._inc_patches += 1
+                group.patch_streak += 1
+                self._maxmin_iters += levels
+                if levels:
+                    hist = self._level_hist
+                    hist[levels] = hist.get(levels, 0) + 1
+                self._rearm_group(group, now, rem, rate)
+                return
+            self._patch_fallbacks += 1
+        elif seeds:
+            seeds.clear()
         self._vector_fillings += 1
-        rates, iterations = fill_vectorized(
+        self._full_resolves += 1
+        rates, iterations = self._fill(
             group.caps[:group.ncols],
             group.bnd[:n],
             None,  # engine activities are equal-weight
@@ -827,15 +1099,27 @@ class Engine:
             work=group.work,
         )
         self._maxmin_iters += iterations
+        hist = self._level_hist
+        hist[iterations] = hist.get(iterations, 0) + 1
         rate[:] = rates
-        # Min-arming with O(1) invalidation: only the previously armed
-        # activity can hold a live heap event for this group, so one
-        # epoch bump replaces the per-activity sweep.
+        group.inc_ok = True
+        group.last_levels = iterations
+        group.patch_streak = 0
+        self._rearm_group(group, now, rem, rate)
+
+    def _rearm_group(self, group: _Group, now: float,
+                     rem: np.ndarray, rate: np.ndarray) -> None:
+        """Min-arm one array-backed group after a re-rate.
+
+        O(1) invalidation: only the previously armed activity can hold
+        a live calendar event for this group, so one epoch bump (or an
+        in-place calendar re-arm) replaces the per-activity sweep.
+        """
         prev = group.armed
         if prev is not None:
             prev.epoch += 1
         with np.errstate(divide="ignore"):
-            times = rem / rates
+            times = rem / rate
         k = int(times.argmin())
         best_t = float(times[k])
         if best_t < INF:
@@ -970,30 +1254,26 @@ class Engine:
         return iterations
 
     # ------------------------------------------------------------------
-    # Heap plumbing
+    # Event-calendar plumbing
     # ------------------------------------------------------------------
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
-
     def _push(self, time_: float, act: Activity) -> None:
-        heapq.heappush(self._heap, (time_, self._next_seq(), act.epoch, act))
+        self._calendar.push(time_, act)
 
     def _maybe_compact(self) -> None:
-        """Drop stale heap entries once they dominate (lazy deletion).
+        """Drop stale calendar entries once they dominate (lazy deletion).
 
-        Triggered when the heap doubles past the live count seen at the
-        previous compaction — amortised O(1) per event."""
-        heap = self._heap
-        if len(heap) > 2 * self._heap_floor:
-            live = [e for e in heap if not e[3].done and e[2] == e[3].epoch]
+        Triggered when the occupied-slot prefix doubles past the live
+        count seen at the previous compaction — amortised O(1) per
+        event.  The dropped-entry count flows into ``stale_skipped``
+        through the calendar's own ``stale`` counter (windowed by
+        ``run()``)."""
+        cal = self._calendar
+        if cal.hi > 2 * self._heap_floor:
+            cal.compact()
+            self._calendar_rebuilds += 1
             if self.metrics is not None:
                 self.metrics.compactions += 1
-                self.metrics.stale_skipped += len(heap) - len(live)
-            # In place: run() holds a reference to this very list.
-            heap[:] = live
-            heapq.heapify(heap)
-            self._heap_floor = max(4096, len(live))
+            self._heap_floor = max(4096, cal.hi)
 
     # ------------------------------------------------------------------
     # Completion and process scheduling
@@ -1078,6 +1358,7 @@ class Engine:
             j = group.col.get(cons)
             if j is not None:
                 group.caps[j] = cons.capacity
+                group.seeds.add(j)
         self._dirty.add(cons)
 
     def _complete(self, waitable: Waitable) -> None:

@@ -17,7 +17,7 @@ rate of a pinned task or a TCP-window limit); bounds are honoured by
 treating them as one-variable constraints.
 
 The solver is re-run from scratch whenever the set of active activities
-changes.  Two implementations coexist:
+changes.  Three implementations coexist:
 
 * :func:`solve_reference` — the original pure-Python progressive-filling
   loop, O(iterations x variables x constraints).  It stays as the
@@ -30,6 +30,23 @@ changes.  Two implementations coexist:
   scan.  Large sharing components (a 1024-rank communication wave over
   a congested backbone) are where this pays; tiny components are faster
   in pure Python, so :func:`solve` switches on :data:`VECTOR_THRESHOLD`.
+* ``fill_native`` (:mod:`repro.simkernel._native`, ``mode="native"``) —
+  the same filling as one Numba-compiled scalar loop.  Strictly
+  optional (the ``repro[native]`` extra); requesting it without a
+  usable numba raises a clear error and nothing else ever imports it.
+
+On top of any full filling, :func:`patch_solve` performs an
+*incremental* certified re-solve: given the rate vector of the previous
+solve and the constraints whose membership or capacity changed since,
+it rebuilds only the *affected cone* (variables reachable from the
+dirty constraints through the saturation graph), re-fills that
+subproblem against residual capacities, and certifies the patched rate
+vector against the max-min optimality conditions — feasibility plus the
+Bertsekas–Gallager bottleneck property, which for equal weights
+characterizes the (unique) max-min allocation exactly.  A patch that
+cannot be certified is rejected and the caller falls back — loudly,
+counted — to a full solve, so correctness never depends on the patch
+applying.
 
 Fatpipe constraints (non-shared resources; the model of a non-blocking
 switch fabric) must never reach the solver: the engine converts them to
@@ -51,7 +68,11 @@ __all__ = [
     "solve",
     "solve_reference",
     "fill_vectorized",
+    "patch_solve",
+    "native_fill",
+    "native_available",
     "VECTOR_THRESHOLD",
+    "LMM_MODES",
 ]
 
 _EPS = 1e-12
@@ -66,6 +87,31 @@ _EPS = 1e-12
 #: (~50 us either way); see docs/replay-performance.md for the
 #: measurement behind this number.
 VECTOR_THRESHOLD = 48
+
+#: Every max-min implementation selector accepted across the stack
+#: (``Engine(lmm_mode=...)``, ``TraceReplayer(lmm_mode=...)``,
+#: ``repro-replay --lmm``, ``ReplaySpec.lmm_mode``).
+LMM_MODES = ("auto", "reference", "vectorized", "native")
+
+
+def native_available() -> bool:
+    """True when the optional Numba filling kernel can be used."""
+    from . import _native
+
+    return _native.available()
+
+
+def native_fill(caps, bounds, weights, var_idx, cons_idx,
+                load=None, work=None):
+    """The Numba-compiled filling (same contract as
+    :func:`fill_vectorized`).  Raises :class:`RuntimeError` with an
+    actionable message when the ``repro[native]`` extra is missing —
+    callers reach this only when ``mode="native"`` was explicitly
+    requested, never from the default paths."""
+    from . import _native
+
+    return _native.fill(caps, bounds, weights, var_idx, cons_idx,
+                        load=load, work=work)
 
 
 class Constraint:
@@ -164,13 +210,17 @@ def solve(variables: List[Variable], mode: str = "auto") -> None:
 
     ``mode`` selects the implementation: ``"auto"`` (vectorized at or above
     :data:`VECTOR_THRESHOLD` variables), ``"reference"`` (always the
-    pure-Python oracle), ``"vectorized"`` (always NumPy).  Both agree to
-    1e-9 on the resulting rate vector (property-tested).
+    pure-Python oracle), ``"vectorized"`` (always NumPy), ``"native"``
+    (the optional Numba kernel; raises a clear error when the
+    ``repro[native]`` extra is unavailable).  All agree to 1e-9 on the
+    resulting rate vector (property-tested).
     """
     if mode == "reference":
         solve_reference(variables)
     elif mode == "vectorized":
         _solve_vectorized(variables)
+    elif mode == "native":
+        _solve_vectorized(variables, fill=native_fill)
     elif mode == "auto":
         if len(variables) >= VECTOR_THRESHOLD:
             _solve_vectorized(variables)
@@ -178,8 +228,8 @@ def solve(variables: List[Variable], mode: str = "auto") -> None:
             solve_reference(variables)
     else:
         raise ValueError(
-            f"unknown solve mode {mode!r}; use 'auto', 'reference' or "
-            "'vectorized'"
+            f"unknown solve mode {mode!r}; use 'auto', 'reference', "
+            "'vectorized' or 'native'"
         )
 
 
@@ -392,7 +442,8 @@ def fill_vectorized(
     return rates, iterations
 
 
-def _solve_vectorized(variables: Sequence[Variable]) -> None:
+def _solve_vectorized(variables: Sequence[Variable],
+                      fill=None) -> None:
     """NumPy path of :func:`solve`: build arrays, fill, write back."""
     solved: List[Variable] = []
     bounds: List[float] = []
@@ -421,7 +472,9 @@ def _solve_vectorized(variables: Sequence[Variable]) -> None:
             cons_idx.append(j)
     if not solved:
         return
-    rates, _ = fill_vectorized(
+    if fill is None:
+        fill = fill_vectorized
+    rates, _ = fill(
         np.asarray(caps, dtype=float),
         np.asarray(bounds, dtype=float),
         np.asarray(weights, dtype=float),
@@ -430,3 +483,208 @@ def _solve_vectorized(variables: Sequence[Variable]) -> None:
     )
     for i, var in enumerate(solved):
         var.value = float(rates[i])
+
+
+# ---------------------------------------------------------------------------
+# Incremental certified re-solve
+# ---------------------------------------------------------------------------
+
+#: Relative tolerance of the patch certificate.  Tight enough that a
+#: structurally wrong patch (whose error scales like ``capacity /
+#: group_size``) can never slip through, loose enough that the ~1 ulp
+#: float noise of the sub-solve arithmetic never triggers a spurious
+#: fallback.  One decade below the 1e-9 equivalence bar the replay
+#: drivers are gated on.
+_CERT_RTOL = 1e-10
+
+#: Cone-BFS expansion rounds before the cone is *truncated*.  Exhausting
+#: the budget is not a failure: the certificate in step 3 is global (it
+#: re-checks feasibility and blockedness of **every** variable in the
+#: patched vector), so a truncated cone stays sound — it merely bets
+#: that the rate change decays within this radius.  That bet is the
+#: normal case on wavefront traffic, where every active link is
+#: *topologically* saturated (so BFS closure would swallow the whole
+#: component) yet the actual rate perturbation dies out within a hop or
+#: two.  Kept small: each round is an O(memberships) mask pass, paid on
+#: every attempt.
+_CONE_ROUNDS = 3
+
+#: When set to a dict, :func:`patch_solve` counts outcomes here by
+#: reason ("ok", "empty_cone", "nonfinite", "cone_limit",
+#: "sub_nonfinite", "infeasible", "not_blocked", plus the non-terminal
+#: "truncated" marking attempts whose cone hit the round budget) — a
+#: diagnosis aid for unexpected ``patch_fallbacks`` rates, not a
+#: stable API.
+patch_debug: Optional[dict] = None
+
+
+def _note(reason: str) -> None:
+    debug = patch_debug
+    if debug is not None:
+        debug[reason] = debug.get(reason, 0) + 1
+
+
+def patch_solve(
+    caps: np.ndarray,
+    bounds: np.ndarray,
+    rates: np.ndarray,
+    var_idx: np.ndarray,
+    cons_idx: np.ndarray,
+    seed_cols: np.ndarray,
+    fill=None,
+    cone_limit: Optional[int] = None,
+) -> Tuple[bool, int, int]:
+    """Incrementally re-solve an equal-weight max-min system in place.
+
+    ``rates`` holds the previous solve's rate vector with the
+    membership changes already applied around it: departed variables'
+    rows are gone, arrived variables are present with their current
+    (typically zero) rate, and ``seed_cols`` lists the constraint
+    columns those arrivals/departures/capacity-changes touched.
+
+    The patch has three steps:
+
+    1. **Cone.**  Starting from the seed columns, pull in every user of
+       a dirty column, then expand through *saturated* columns only —
+       an unsaturated constraint transmits no rate pressure, so its
+       untouched users keep their rates.  Expansion stops after
+       :data:`_CONE_ROUNDS` rounds (the cone is *truncated*, betting
+       that the rate change decays within that radius; the global
+       certificate keeps the bet safe) and the attempt is abandoned
+       outright only past ``cone_limit`` variables (default
+       ``max(16, n_vars // 2)``), where a sub-solve approaches full
+       cost anyway.
+    2. **Sub-solve.**  Progressive filling over the cone variables
+       alone, against each touched constraint's residual capacity
+       (capacity minus the usage of the out-of-cone variables, whose
+       rates are kept).
+    3. **Certificate.**  The patched full-group vector is accepted only
+       if it is feasible on every constraint and every variable is
+       either at its private bound or crosses a saturated constraint on
+       which it has a maximal rate — for equal weights this is the
+       Bertsekas–Gallager bottleneck characterization, which is
+       necessary *and* sufficient for the (unique) max-min allocation.
+       So a certified patch equals a full re-solve up to float noise,
+       by construction, not by luck.
+
+    Returns ``(ok, filling_levels, cone_size)``.  On ``ok=False`` the
+    ``rates`` vector is left exactly as it came in and the caller must
+    run a full solve; the engine counts that as ``patch_fallbacks``.
+    """
+    n = rates.shape[0]
+    ncols = caps.shape[0]
+    if n == 0:
+        return True, 0, 0
+    # Infinite rates (a variable whose every constraint has infinite
+    # capacity) and infinite capacities break the residual arithmetic;
+    # both are vanishingly rare in replay groups — full solve.
+    if not np.isfinite(caps).all() or not np.isfinite(rates).all():
+        _note("nonfinite")
+        return False, 0, 0
+    if cone_limit is None:
+        cone_limit = max(16, n // 2)
+
+    usage = np.bincount(cons_idx, weights=rates[var_idx], minlength=ncols)
+    cap_tol = _CERT_RTOL * np.maximum(caps, 1.0)
+    saturated = usage >= caps - cap_tol
+
+    # --- 1. cone ----------------------------------------------------------
+    cone_vars = np.zeros(n, dtype=bool)
+    visited_cols = np.zeros(ncols, dtype=bool)
+    frontier = np.zeros(ncols, dtype=bool)
+    frontier[seed_cols] = True
+    n_cone = 0
+    for _ in range(_CONE_ROUNDS):
+        visited_cols |= frontier
+        pull = frontier[cons_idx] & ~cone_vars[var_idx]
+        if pull.any():
+            cone_vars[var_idx[pull]] = True
+            n_cone = int(np.count_nonzero(cone_vars))
+            if n_cone > cone_limit:
+                _note("cone_limit")
+                return False, 0, n_cone
+        touched = np.zeros(ncols, dtype=bool)
+        touched[cons_idx[cone_vars[var_idx]]] = True
+        frontier = touched & saturated & ~visited_cols
+        if not frontier.any():
+            break
+    else:
+        # The saturation graph kept expanding past the round budget.
+        # Do NOT give up: proceed with the truncated cone and let the
+        # global certificate below decide whether the change really
+        # stayed inside it.  (Topological saturation closure routinely
+        # covers a whole wavefront while the actual rate change decays
+        # within a couple of hops.)
+        _note("truncated")
+    if n_cone == 0:
+        # Seeds with no remaining users (e.g. the last variable left the
+        # column): nothing to re-rate, and nobody else can have moved.
+        _note("empty_cone")
+        return True, 0, 0
+
+    # --- 2. sub-solve against residual capacities -------------------------
+    cone_pairs = cone_vars[var_idx]
+    pair_vars = var_idx[cone_pairs]
+    pair_cols = cons_idx[cone_pairs]
+    sub_col_ids = np.unique(pair_cols)
+    col_map = np.full(ncols, -1, dtype=np.intp)
+    col_map[sub_col_ids] = np.arange(sub_col_ids.shape[0])
+    sub_var_ids = np.flatnonzero(cone_vars)
+    var_map = np.full(n, -1, dtype=np.intp)
+    var_map[sub_var_ids] = np.arange(n_cone)
+    cone_usage = np.bincount(pair_cols, weights=rates[pair_vars],
+                             minlength=ncols)
+    sub_caps = caps[sub_col_ids] - (usage[sub_col_ids]
+                                    - cone_usage[sub_col_ids])
+    np.maximum(sub_caps, 0.0, out=sub_caps)
+    if fill is None:
+        fill = fill_vectorized
+    sub_rates, levels = fill(
+        sub_caps,
+        bounds[sub_var_ids],
+        None,
+        var_map[pair_vars],
+        col_map[pair_cols],
+    )
+    if not np.isfinite(sub_rates).all():
+        _note("sub_nonfinite")
+        return False, levels, n_cone
+
+    old_rates = rates[sub_var_ids].copy()
+    rates[sub_var_ids] = sub_rates
+
+    # --- 3. certificate ---------------------------------------------------
+    # Only cone variables moved, so post-patch usage differs from the
+    # pre-patch accumulation on the cone's columns alone: swap the old
+    # cone contribution for the new one instead of re-accumulating all
+    # memberships.
+    pair_rates = rates[var_idx]
+    new_cone_usage = np.bincount(pair_cols, weights=rates[pair_vars],
+                                 minlength=ncols)
+    usage2 = usage + (new_cone_usage - cone_usage)
+    if not (usage2 <= caps + cap_tol).all():
+        rates[sub_var_ids] = old_rates
+        _note("infeasible")
+        return False, levels, n_cone
+    maxrate = np.full(ncols, -np.inf)
+    np.maximum.at(maxrate, cons_idx, pair_rates)
+    sat2 = usage2 >= caps - cap_tol
+    rate_tol = _CERT_RTOL * np.maximum(np.abs(maxrate), 1.0)
+    pair_ok = sat2[cons_idx] & (pair_rates
+                                >= (maxrate - rate_tol)[cons_idx])
+    blocked = np.zeros(n, dtype=bool)
+    blocked[var_idx[pair_ok]] = True
+    if not blocked.all():
+        finite_bound = np.isfinite(bounds)
+        at_bound = finite_bound.copy()
+        if finite_bound.any():
+            fb = bounds[finite_bound]
+            at_bound[finite_bound] = (
+                rates[finite_bound]
+                >= fb - _CERT_RTOL * np.maximum(fb, 1.0))
+        if not (blocked | at_bound).all():
+            rates[sub_var_ids] = old_rates
+            _note("not_blocked")
+            return False, levels, n_cone
+    _note("ok")
+    return True, levels, n_cone

@@ -92,15 +92,16 @@ class EngineMetrics:
                  "fastpath_recomputes", "generic_recomputes",
                  "component_acts", "max_component_acts",
                  "maxmin_iterations", "vectorized_recomputes",
-                 "idle_advances")
+                 "idle_advances", "incremental_patches", "patch_fallbacks",
+                 "full_resolves", "calendar_rebuilds", "level_hist")
 
     def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
         self.events_popped = 0        # valid completion events processed
-        self.stale_skipped = 0        # lazy-deleted heap entries discarded
-        self.compactions = 0          # heap compaction sweeps
+        self.stale_skipped = 0        # lazy-deleted calendar entries dropped
+        self.compactions = 0          # calendar compaction sweeps
         self.fastpath_recomputes = 0  # single-constraint fast path taken
         self.generic_recomputes = 0   # BFS + progressive-filling path
         self.component_acts = 0       # total activities settled+re-rated
@@ -109,6 +110,15 @@ class EngineMetrics:
         self.vectorized_recomputes = 0  # fillings done by the NumPy path
         self.idle_advances = 0        # solo activities advanced with no
         #                               recompute at all (fast path)
+        self.incremental_patches = 0  # certified incremental patches applied
+        self.patch_fallbacks = 0      # patch attempts that fell back to a
+        #                               full solve (loud, never silent)
+        self.full_resolves = 0        # full progressive fillings of a group
+        self.calendar_rebuilds = 0    # event-calendar compaction sweeps
+        # Per-solve filling-level histogram {levels: solves} over the
+        # generic solves (scalar, vectorized and certified patches; the
+        # single-constraint fast path is not a filling and is excluded).
+        self.level_hist: Dict[int, int] = {}
 
     def as_dict(self) -> Dict[str, float]:
         fast = self.fastpath_recomputes
@@ -136,6 +146,21 @@ class EngineMetrics:
             # constraint without any sharing recompute — the compiled
             # replay's fused-compute fast path.
             "idle_advances": self.idle_advances,
+            # Incremental-solver provenance: certified patches applied,
+            # patch attempts that (loudly) fell back to a full solve,
+            # and full group solves.  patches + fallbacks bounds the
+            # attempt count; full_resolves = fallbacks + never-attempted.
+            "incremental_patches": self.incremental_patches,
+            "patch_fallbacks": self.patch_fallbacks,
+            "full_resolves": self.full_resolves,
+            # Event-calendar compaction sweeps (same value as the
+            # legacy "heap_compactions" key above).
+            "calendar_rebuilds": self.calendar_rebuilds,
+            # {filling levels -> solve count}, string keys for JSON;
+            # shard/batch merges sum these per-bucket.
+            "filling_level_histogram": {
+                str(k): v for k, v in sorted(self.level_hist.items())
+            },
         }
 
 

@@ -329,6 +329,33 @@ def test_lu32_reports_byte_identical_across_lmm_solvers(lu32):
     json.loads(reports[0])  # and it is valid JSON
 
 
+def test_lu32_reports_byte_identical_across_every_lmm_config(lu32):
+    """Every selectable solver configuration — all lmm modes (native
+    when its extra is installed) crossed with the incremental re-solve
+    toggle — yields byte-for-byte the same fault report under the same
+    crash plan."""
+    from repro.simkernel.lmm import native_available
+
+    n = 32
+    fault_free = make_replayer(make_platform(n), n).replay(lu32)
+    plan = FaultPlan(events=(
+        HostCrash("c-5", 0.4 * fault_free.simulated_time),))
+    modes = ["auto", "reference", "vectorized"]
+    if native_available():
+        modes.append("native")
+    reports = {}
+    for mode in modes:
+        for incremental in (True, False):
+            result = make_replayer(
+                make_platform(n), n, fault_plan=plan, lmm_mode=mode,
+                lmm_incremental=incremental).replay(lu32)
+            reports[(mode, incremental)] = result.fault_report.to_json()
+    baseline = reports[("auto", True)]
+    json.loads(baseline)
+    assert all(doc == baseline for doc in reports.values()), (
+        sorted(k for k, doc in reports.items() if doc != baseline))
+
+
 # ---------------------------------------------------------------------------
 # Chaos harness
 # ---------------------------------------------------------------------------
